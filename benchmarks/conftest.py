@@ -1,0 +1,34 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the DES is deterministic, so repeated timing rounds add nothing,
+and the assertions are about the *shape* of the results, not the wall
+time of the simulator.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_benchmark_chains():
+    """Build all workload chains once so per-figure timings are stable."""
+    from repro.workloads import benchmark_names, build_benchmark_chains
+
+    for name in benchmark_names() + ["pii-ner"]:
+        build_benchmark_chains(name, 1)

@@ -1,0 +1,67 @@
+"""Ablations: quantify the design choices DESIGN.md calls out.
+
+Not paper figures — these isolate the mechanisms behind the headline
+results: scratchpad fusion, the DRX compiler's vectorization, decoupled
+access-execute, tiling vs scratchpad capacity, and NAPI-style
+notification handling.
+"""
+
+from repro.eval.ablations import (
+    ablate_decoupling,
+    ablate_notification_strategy,
+    ablate_scalar_residual,
+    ablate_scratchpad_capacity,
+    ablate_scratchpad_fusion,
+)
+
+
+def test_scratchpad_fusion_matters(run_once):
+    result = run_once(ablate_scratchpad_fusion)
+    # Fusing intermediates on chip is worth a measurable slice of the
+    # DMX speedup; without it the DRX streams CPU-like traffic.
+    assert result["fused"] > result["unfused"] * 1.05
+
+
+def test_compiler_vectorization_matters(run_once):
+    result = run_once(ablate_scalar_residual)
+    # Monotone: the more restructuring stays scalar on DRX, the less
+    # speedup survives.
+    residuals = sorted(result)
+    values = [result[r] for r in residuals]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    # Turning the programmable front-end's vectorization off entirely
+    # costs a substantial fraction of the benefit.
+    assert result[0.0] > result[1.0] * 1.15
+
+
+def test_decoupled_access_execute_matters(run_once):
+    result = run_once(ablate_decoupling)
+    assert result["decoupled"] > result["serialized"] * 1.05
+
+
+def test_bigger_scratchpads_reduce_tiling_overhead(run_once):
+    sweep = run_once(ablate_scratchpad_capacity)
+    sizes = sorted(sweep)
+    loops = [sweep[s]["loop_iterations"] for s in sizes]
+    # More scratchpad -> larger tiles -> no more hardware-loop iterations
+    # than a smaller scratchpad needs.
+    assert all(a >= b for a, b in zip(loops, loops[1:]))
+    assert loops[0] > loops[-1]
+
+
+def test_notification_strategy_under_load(run_once):
+    stats = run_once(ablate_notification_strategy)
+    # Completions arrive and are all accounted by exactly one strategy.
+    assert stats["interrupts"] + stats["coalesced"] + stats["polled"] > 0
+
+
+def test_small_batches_erode_dmx_benefit(run_once):
+    from repro.eval.ablations import ablate_batch_size
+
+    sweep = run_once(ablate_batch_size)
+    # At a tenth of the paper's batch size the fixed per-request costs
+    # (interrupts, DMA setup, kernel launch) eat into the speedup.
+    assert sweep[0.1] < sweep[1.0]
+    # Growing batches past the paper's sizes changes little: both sides
+    # scale linearly once overheads are amortized.
+    assert abs(sweep[4.0] - sweep[1.0]) / sweep[1.0] < 0.15

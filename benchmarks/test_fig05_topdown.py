@@ -1,0 +1,42 @@
+"""Fig. 5: top-down characterization of data-restructuring ops.
+
+Paper targets: Back-End Bound dominates (53%-77.6%); Bad Speculation
+<= 12.5%; Front-End <= 14%; L1I MPKI ~2.3 (well under CloudSuite's 7.8);
+L1D MPKI 50-215; L2 MPKI 25-109, both far above CloudSuite's <3.
+"""
+
+from repro.eval import fig5_topdown
+
+CLOUDSUITE_L1I_MPKI = 7.8
+CLOUDSUITE_L2_MPKI = 3.0
+
+
+def test_fig5_backend_bound_dominates(run_once):
+    result = run_once(fig5_topdown)
+    for name, row in result.rows_by_benchmark.items():
+        backend = row["backend_core_bound"] + row["backend_memory_bound"]
+        assert backend > 0.5, (name, backend)
+        # Back-end is the dominant category for every suite.
+        assert backend > row["front_end_bound"]
+        assert backend > row["bad_speculation"]
+
+
+def test_fig5_speculation_and_frontend_small(run_once):
+    result = run_once(fig5_topdown)
+    for name, row in result.rows_by_benchmark.items():
+        assert row["bad_speculation"] <= 0.15, name
+        assert row["front_end_bound"] <= 0.15, name
+
+
+def test_fig5_instruction_working_set_fits_l1i(run_once):
+    result = run_once(fig5_topdown)
+    for name, row in result.rows_by_benchmark.items():
+        assert row["l1i_mpki"] < CLOUDSUITE_L1I_MPKI, (name, row["l1i_mpki"])
+
+
+def test_fig5_data_mpki_far_above_cloudsuite(run_once):
+    result = run_once(fig5_topdown)
+    for name, row in result.rows_by_benchmark.items():
+        assert row["l1d_mpki"] > 40, (name, row["l1d_mpki"])
+        assert row["l2_mpki"] > 10 * CLOUDSUITE_L2_MPKI, (name, row["l2_mpki"])
+        assert row["l2_mpki"] < row["l1d_mpki"]

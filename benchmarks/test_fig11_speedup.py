@@ -1,0 +1,37 @@
+"""Fig. 11: DMX end-to-end latency speedup over Multi-Axl.
+
+Paper targets: average speedup 3.5x at 1 app growing to 8.2x at 15 apps;
+Video Surveillance gains least; Database Hash Join gains most.
+"""
+
+from repro.eval import fig11_speedup
+
+
+def test_fig11_geomean_range_and_growth(run_once):
+    result = run_once(fig11_speedup)
+    low = result.geomean(1)
+    high = result.geomean(15)
+    # Paper: 3.5x -> 8.2x. Allow a band around both endpoints.
+    assert 2.5 < low < 5.5, low
+    assert 6.0 < high < 11.0, high
+    assert high > 1.5 * low
+
+
+def test_fig11_speedup_monotone_with_concurrency(run_once):
+    result = run_once(fig11_speedup)
+    geomeans = [result.geomean(level) for level in result.levels]
+    assert all(b >= a * 0.95 for a, b in zip(geomeans, geomeans[1:]))
+
+
+def test_fig11_every_benchmark_gains(run_once):
+    result = run_once(fig11_speedup)
+    for name, series in result.per_benchmark.items():
+        for level, value in series.items():
+            assert value > 1.2, (name, level, value)
+
+
+def test_fig11_video_lowest_dbjoin_highest(run_once):
+    result = run_once(fig11_speedup)
+    at_15 = {name: series[15] for name, series in result.per_benchmark.items()}
+    assert at_15["video-surveillance"] == min(at_15.values())
+    assert at_15["db-hash-join"] == max(at_15.values())

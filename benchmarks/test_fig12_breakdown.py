@@ -1,0 +1,44 @@
+"""Fig. 12: runtime breakdown, Multi-Axl vs DMX.
+
+Paper targets: baseline restructuring is 66.8/55.7/64.7/71.7% of latency
+for 1/5/10/15 apps; DMX shrinks it to 17.0/15.3/13.5/7.2%, leaving
+kernel execution as the largest component.
+"""
+
+from repro.eval import fig12_breakdown
+
+
+def test_fig12_baseline_restructuring_share(run_once):
+    results = run_once(fig12_breakdown)
+    multi_axl = results["Multi-Axl"]
+    for level in multi_axl.levels:
+        share = multi_axl.fractions[level]["restructuring"]
+        # Paper band 55.7-71.7%; allow modeling headroom above.
+        assert 0.5 < share < 0.95, (level, share)
+
+
+def test_fig12_dmx_restructuring_share_small(run_once):
+    results = run_once(fig12_breakdown)
+    dmx = results["DMX"]
+    for level in dmx.levels:
+        share = dmx.fractions[level]["restructuring"]
+        # Paper band 7.2-17.0%; allow up to ~0.35 for the modeled DRX.
+        assert share < 0.35, (level, share)
+
+
+def test_fig12_dmx_cuts_restructuring_dramatically(run_once):
+    results = run_once(fig12_breakdown)
+    for level in results["DMX"].levels:
+        base = results["Multi-Axl"].fractions[level]["restructuring"]
+        dmx = results["DMX"].fractions[level]["restructuring"]
+        assert dmx < base / 2.0, (level, base, dmx)
+
+
+def test_fig12_kernels_grow_in_dmx_breakdown(run_once):
+    results = run_once(fig12_breakdown)
+    for level in results["DMX"].levels:
+        base_kernel = results["Multi-Axl"].fractions[level]["kernel"]
+        dmx_kernel = results["DMX"].fractions[level]["kernel"]
+        # "the kernel execution takes up larger portion of the runtime
+        # breakdown compared to the baseline".
+        assert dmx_kernel > base_kernel

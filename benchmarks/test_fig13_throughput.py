@@ -1,0 +1,32 @@
+"""Fig. 13: DMX throughput improvement over Multi-Axl.
+
+Paper targets: 3.0x at 1 app to 13.6x at 15 apps; Personal Info
+Redaction shows the lowest improvement (its regex accelerator limits
+throughput once restructuring is off the critical path).
+"""
+
+from repro.eval import fig13_throughput
+
+
+def test_fig13_geomean_range_and_growth(run_once):
+    result = run_once(fig13_throughput)
+    low = result.geomean(1)
+    high = result.geomean(15)
+    # Paper: 3.0x -> 13.6x.
+    assert 1.5 < low < 5.0, low
+    assert 10.0 < high < 25.0, high
+    assert high > 3.0 * low
+
+
+def test_fig13_improvement_grows_with_concurrency(run_once):
+    result = run_once(fig13_throughput)
+    geomeans = [result.geomean(level) for level in result.levels]
+    assert all(b > a for a, b in zip(geomeans, geomeans[1:]))
+
+
+def test_fig13_pii_among_the_lowest(run_once):
+    """PIR's throughput is limited by its regex kernel accelerator."""
+    result = run_once(fig13_throughput)
+    at_15 = {name: series[15] for name, series in result.per_benchmark.items()}
+    ordered = sorted(at_15, key=at_15.get)
+    assert "pii-redaction" in ordered[:2], at_15

@@ -1,0 +1,45 @@
+"""Fig. 14: latency speedup of the four DRX placements.
+
+Paper target: for every concurrency level the speedups order as
+Integrated <= Standalone <= Bump-in-the-Wire <= PCIe-Integrated, with
+Standalone/BITW pulling away from Integrated as concurrency grows
+(shared-DRX and shared-PCIe contention).
+"""
+
+from repro.core import Mode
+from repro.eval import fig14_placement_speedup
+
+
+def test_fig14_ordering(run_once):
+    result = run_once(fig14_placement_speedup)
+    for level in result.levels:
+        integrated = result.per_placement[Mode.INTEGRATED][level]
+        standalone = result.per_placement[Mode.STANDALONE][level]
+        bitw = result.per_placement[Mode.BUMP_IN_WIRE][level]
+        pcie = result.per_placement[Mode.PCIE_INTEGRATED][level]
+        assert integrated <= standalone * 1.02, level
+        assert standalone <= bitw * 1.02, level
+        assert bitw <= pcie * 1.05, level
+
+
+def test_fig14_distributed_placements_scale_with_concurrency(run_once):
+    result = run_once(fig14_placement_speedup)
+    for mode in (Mode.STANDALONE, Mode.BUMP_IN_WIRE, Mode.PCIE_INTEGRATED):
+        series = result.per_placement[mode]
+        assert series[15] > series[1], mode
+
+
+def test_fig14_integrated_lags_at_scale(run_once):
+    """Shared DRX + shared PCIe make Integrated the worst at 15 apps."""
+    result = run_once(fig14_placement_speedup)
+    at_15 = {m: s[15] for m, s in result.per_placement.items()}
+    assert at_15[Mode.INTEGRATED] == min(at_15.values())
+    # The gap to BITW is substantial (paper: 4.4x vs ~8x at 15 apps).
+    assert at_15[Mode.BUMP_IN_WIRE] > 1.5 * at_15[Mode.INTEGRATED]
+
+
+def test_fig14_all_placements_beat_baseline(run_once):
+    result = run_once(fig14_placement_speedup)
+    for mode, series in result.per_placement.items():
+        for level, value in series.items():
+            assert value > 1.0, (mode, level, value)

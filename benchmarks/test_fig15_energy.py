@@ -1,0 +1,52 @@
+"""Fig. 15: system energy reduction per DRX placement.
+
+Paper targets: Integrated delivers 3.4-4.0x but does not scale;
+Bump-in-the-Wire is best at 1 and 5 apps (3.8x, 4.3x); Standalone is
+best at 10 and 15 apps (6.1x, 6.5x) because BITW replicates glue logic
+and a dual-port PCIe mux per DRX while Standalone amortizes them.
+"""
+
+from repro.core import Mode
+from repro.eval import fig15_placement_energy
+
+
+def test_fig15_all_reductions_positive(run_once):
+    result = run_once(fig15_placement_energy)
+    for mode, series in result.per_placement.items():
+        for level, value in series.items():
+            assert value > 1.5, (mode, level, value)
+
+
+def test_fig15_bitw_best_at_low_concurrency(run_once):
+    result = run_once(fig15_placement_energy)
+    for level in (1, 5):
+        best = max(result.per_placement, key=lambda m:
+                   result.per_placement[m][level])
+        assert best == Mode.BUMP_IN_WIRE, (level, best)
+
+
+def test_fig15_standalone_best_at_high_concurrency(run_once):
+    """The replicated-glue crossover the paper highlights."""
+    result = run_once(fig15_placement_energy)
+    for level in (10, 15):
+        standalone = result.per_placement[Mode.STANDALONE][level]
+        bitw = result.per_placement[Mode.BUMP_IN_WIRE][level]
+        assert standalone >= bitw, (level, standalone, bitw)
+
+
+def test_fig15_integrated_does_not_scale(run_once):
+    result = run_once(fig15_placement_energy)
+    integrated = result.per_placement[Mode.INTEGRATED]
+    # Paper: 3.4x / 3.9x / 4.0x / 4.0x — roughly flat.
+    assert max(integrated.values()) < 1.5 * min(integrated.values())
+    # While the distributed placements clearly scale.
+    standalone = result.per_placement[Mode.STANDALONE]
+    assert standalone[15] > 1.25 * standalone[1]
+
+
+def test_fig15_magnitude_in_paper_band(run_once):
+    result = run_once(fig15_placement_energy)
+    bitw = result.per_placement[Mode.BUMP_IN_WIRE]
+    # Paper: 3.8x @1, 4.3x @5.
+    assert 2.5 < bitw[1] < 5.5
+    assert 2.8 < bitw[5] < 6.0

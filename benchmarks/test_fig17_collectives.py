@@ -1,0 +1,39 @@
+"""Fig. 17: one-to-many and many-to-one data movement.
+
+Paper targets: DMX achieves 3.7-5.2x on broadcast and 5.1-10.5x on
+all-reduce over 4-32 accelerators; all-reduce gains more ("more DMA
+transfers and data restructuring"); speedup scales with the
+accelerator count.
+"""
+
+from repro.eval import fig17_collectives
+
+
+def test_fig17_both_collectives_gain(run_once):
+    results = run_once(fig17_collectives)
+    for operation, series in results.items():
+        for n, speedup in series.speedups.items():
+            assert speedup > 1.5, (operation, n, speedup)
+
+
+def test_fig17_speedup_scales_with_accelerators(run_once):
+    results = run_once(fig17_collectives)
+    for operation, series in results.items():
+        assert series.speedups[32] > series.speedups[4], operation
+
+
+def test_fig17_allreduce_gains_more_than_broadcast(run_once):
+    results = run_once(fig17_collectives)
+    broadcast = results["broadcast"].speedups
+    allreduce = results["allreduce"].speedups
+    for n in (8, 16, 32):
+        assert allreduce[n] > broadcast[n], n
+
+
+def test_fig17_magnitudes_near_paper(run_once):
+    results = run_once(fig17_collectives)
+    # Paper: broadcast 3.7-5.2x, allreduce 5.1-10.5x. Allow a 2x band.
+    for n, speedup in results["broadcast"].speedups.items():
+        assert 1.8 < speedup < 10.5, ("broadcast", n, speedup)
+    for n, speedup in results["allreduce"].speedups.items():
+        assert 2.5 < speedup < 21.0, ("allreduce", n, speedup)

@@ -1,0 +1,28 @@
+"""Fig. 18: sensitivity to the number of RE lanes.
+
+Paper targets: speedup improves up to 128 lanes, then flattens —
+"increasing the lanes to 256 does not provide noticeable benefits" —
+which is why 128 is the default configuration.
+"""
+
+from repro.eval import fig18_lane_sweep
+
+
+def test_fig18_speedup_grows_then_saturates(run_once):
+    sweep = run_once(fig18_lane_sweep)
+    assert sweep[64] > sweep[32]
+    assert sweep[128] > sweep[64]
+    # Saturation: the 128->256 gain is small in absolute terms and much
+    # smaller than the 64->128 gain.
+    gain_64_128 = sweep[128] - sweep[64]
+    gain_128_256 = sweep[256] - sweep[128]
+    assert gain_128_256 < 0.5 * gain_64_128
+    assert gain_128_256 / sweep[128] < 0.08
+
+
+def test_fig18_default_config_is_at_the_knee(run_once):
+    from repro.drx import DEFAULT_DRX
+
+    run_once(lambda: DEFAULT_DRX)
+
+    assert DEFAULT_DRX.lanes == 128

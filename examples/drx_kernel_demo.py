@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""DRX compiler walkthrough (Sec. IV / Figs. 7-8).
+
+Compiles the Sound Detection data-motion kernel to DRX assembly, prints
+the program (the reproduction's Fig. 8), executes it on the functional
+DRX simulator, and cross-checks the output against the CPU-side numpy
+restructuring pipeline — the core DMX correctness invariant.
+
+Usage::
+
+    python examples/drx_kernel_demo.py
+"""
+
+import numpy as np
+
+from repro.drx import (
+    DRXCompiler,
+    DRXConfig,
+    DRXMemory,
+    DRXTimingModel,
+    FunctionalDRX,
+    disassemble,
+    sound_motion_kernel,
+)
+from repro.restructuring import (
+    LogCompress,
+    MelScale,
+    PowerSpectrum,
+    SpectrogramAssembly,
+    mel_filterbank,
+)
+
+N_FRAMES, N_BINS, N_MELS = 12, 65, 16
+
+
+def main() -> None:
+    config = DRXConfig()
+    compiler = DRXCompiler(config)
+    kernel = sound_motion_kernel(N_FRAMES, N_BINS, N_MELS)
+    program = compiler.compile(kernel)
+
+    print(f"Compiled {kernel.name!r} for a {config.lanes}-lane DRX "
+          f"({config.scratchpad_bytes // 1024} KB scratchpad)")
+    print(f"  {len(program)} instructions: {program.counts()}\n")
+    assembly = disassemble(program)
+    head = "\n".join(assembly.splitlines()[:18])
+    print("First instructions (Fig. 8 style):")
+    print(head)
+    print("  ...\n")
+
+    # Execute on the functional DRX and compare with the CPU pipeline.
+    rng = np.random.default_rng(7)
+    fft_out = (
+        rng.standard_normal((N_FRAMES, N_BINS))
+        + 1j * rng.standard_normal((N_FRAMES, N_BINS))
+    ).astype(np.complex64)
+
+    mem = DRXMemory()
+    mem.bind("re", fft_out.real.astype(np.float32))
+    mem.bind("im", fft_out.imag.astype(np.float32))
+    mem.bind("bank", mel_filterbank(N_MELS, N_BINS, 16000.0))
+    n = N_FRAMES * N_BINS
+    for name, size in [("re2", n), ("im2", n), ("power", n),
+                       ("spectrogram", n), ("mel", N_MELS * N_FRAMES),
+                       ("out", N_MELS * N_FRAMES)]:
+        mem.allocate(name, size, np.float32)
+
+    drx = FunctionalDRX(mem, n_banks=config.n_banks,
+                        scratchpad_bytes=config.scratchpad_bytes)
+    stats = drx.execute(program)
+    drx_result = mem.read("out").reshape(N_MELS, N_FRAMES)
+
+    cpu_result = LogCompress().apply(
+        MelScale(N_MELS, 16000.0).apply(
+            SpectrogramAssembly().apply(PowerSpectrum().apply(fft_out))
+        )
+    )
+    np.testing.assert_allclose(drx_result, cpu_result, rtol=1e-4)
+    print("DRX output matches the CPU restructuring pipeline exactly.")
+    print(f"  dynamic instructions: {stats.dynamic_instructions}")
+    print(f"  lane-operations:      {stats.vector_ops}")
+    print(f"  DRAM traffic:         {stats.bytes_total} B")
+    latency = DRXTimingModel(config).time_from_stats(stats)
+    print(f"  modeled DRX latency:  {latency * 1e6:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""DRX placement study (the Sec. III / Fig. 14-15 design-space sweep).
+
+Compares the four DRX placements against the Multi-Axl baseline for a
+chosen benchmark across concurrency levels, reporting latency speedup
+and energy reduction side by side.
+
+Usage::
+
+    python examples/placement_study.py [benchmark] [levels...]
+    python examples/placement_study.py db-hash-join 1 5 15
+"""
+
+import sys
+
+from repro.core import DMXSystem, Mode, SystemConfig
+from repro.energy import EnergyModel
+from repro.eval import format_table
+from repro.workloads import benchmark_names, build_benchmark_chains
+
+PLACEMENTS = (
+    Mode.INTEGRATED,
+    Mode.STANDALONE,
+    Mode.BUMP_IN_WIRE,
+    Mode.PCIE_INTEGRATED,
+)
+
+
+def measure(benchmark: str, n_apps: int, mode: Mode):
+    chains = build_benchmark_chains(benchmark, n_apps)
+    system = DMXSystem(chains, SystemConfig(mode=mode))
+    run = system.run_latency(requests_per_app=3)
+    energy = EnergyModel().evaluate_system(system).total_j / len(run.records)
+    return run.mean_latency(), energy
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "sound-detection"
+    levels = [int(v) for v in sys.argv[2:]] or [1, 5, 15]
+    if benchmark not in benchmark_names():
+        raise SystemExit(f"unknown benchmark; pick from {benchmark_names()}")
+
+    print(f"Placement study: {benchmark}, {levels} concurrent apps\n")
+    for n_apps in levels:
+        base_latency, base_energy = measure(benchmark, n_apps, Mode.MULTI_AXL)
+        rows = []
+        for mode in PLACEMENTS:
+            latency, energy = measure(benchmark, n_apps, mode)
+            rows.append([
+                mode.value,
+                f"{latency * 1e3:.2f} ms",
+                f"{base_latency / latency:.2f}x",
+                f"{base_energy / energy:.2f}x",
+            ])
+        print(format_table(
+            ["placement", "latency", "speedup", "energy reduction"],
+            rows,
+            title=f"-- {n_apps} concurrent apps "
+                  f"(baseline {base_latency * 1e3:.2f} ms) --",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

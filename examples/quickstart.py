@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: build a multi-accelerator system and measure DMX's benefit.
+
+Runs the Sound Detection benchmark (Fig. 2's running example) on two
+system configurations — the Multi-Axl baseline (restructuring on the
+host CPU) and DMX with Bump-in-the-Wire DRXs — and prints the latency,
+the phase breakdown, and the speedup.
+
+Usage::
+
+    python examples/quickstart.py [n_concurrent_apps]
+"""
+
+import sys
+
+from repro.core import DMXSystem, Mode, SystemConfig
+from repro.energy import EnergyModel
+from repro.workloads import build_benchmark_chains
+
+
+def main() -> None:
+    n_apps = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    print(f"Sound Detection x {n_apps} concurrent applications")
+    print("=" * 60)
+
+    chains = build_benchmark_chains("sound-detection", n_apps)
+    energy_model = EnergyModel()
+
+    results = {}
+    for mode in (Mode.MULTI_AXL, Mode.BUMP_IN_WIRE):
+        system = DMXSystem(chains, SystemConfig(mode=mode))
+        run = system.run_latency(requests_per_app=4)
+        energy = energy_model.evaluate_system(system)
+        results[mode] = (run, energy.total_j / len(run.records))
+        print(f"\n[{mode.value}]")
+        print(f"  mean end-to-end latency: {run.mean_latency() * 1e3:8.2f} ms")
+        print(f"  energy per request:      {results[mode][1] * 1e3:8.1f} mJ")
+        print("  breakdown:", end=" ")
+        for phase, fraction in sorted(run.phase_fractions().items()):
+            print(f"{phase}={fraction * 100:.1f}%", end="  ")
+        print()
+
+    base_run, base_energy = results[Mode.MULTI_AXL]
+    dmx_run, dmx_energy = results[Mode.BUMP_IN_WIRE]
+    print("\n" + "=" * 60)
+    print(f"DMX speedup:          "
+          f"{base_run.mean_latency() / dmx_run.mean_latency():.2f}x")
+    print(f"DMX energy reduction: {base_energy / dmx_energy:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,173 @@
+"""Object detection accelerator (Video Surveillance kernel 2).
+
+A from-scratch single-shot grid detector: a small convolutional backbone
+(im2col matmul convolutions, ReLU, 2x max pooling) followed by a 1x1
+detection head that predicts per-cell objectness and box geometry —
+YOLO-style output decoding with confidence thresholding. Weights are
+deterministic; the reproduction target is the data-motion behaviour and
+the device cost, not mAP.
+
+The paper uses an open-source RTL DNN accelerator for this kernel, hence
+``implementation="rtl"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..profiles import WorkProfile
+from .base import Accelerator, AcceleratorSpec
+
+__all__ = ["conv2d", "relu", "max_pool2d", "Detection", "ObjectDetectionAccelerator"]
+
+
+def conv2d(x: np.ndarray, weights: np.ndarray, bias: np.ndarray,
+           stride: int = 1, padding: int = 1) -> np.ndarray:
+    """2-D convolution via im2col + matmul.
+
+    ``x``: (C_in, H, W); ``weights``: (C_out, C_in, K, K); returns
+    (C_out, H_out, W_out).
+    """
+    c_in, h, w = x.shape
+    c_out, c_in_w, k, k2 = weights.shape
+    if c_in != c_in_w or k != k2:
+        raise ValueError("weight shape incompatible with input")
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    h_out = (x.shape[1] - k) // stride + 1
+    w_out = (x.shape[2] - k) // stride + 1
+    # im2col: gather all KxK patches into columns.
+    cols = np.empty((c_in * k * k, h_out * w_out), dtype=np.float32)
+    col = 0
+    for i in range(h_out):
+        for j in range(w_out):
+            patch = x[:, i * stride : i * stride + k, j * stride : j * stride + k]
+            cols[:, col] = patch.reshape(-1)
+            col += 1
+    out = weights.reshape(c_out, -1).astype(np.float32) @ cols
+    out += bias.reshape(-1, 1).astype(np.float32)
+    return out.reshape(c_out, h_out, w_out)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def max_pool2d(x: np.ndarray, size: int = 2) -> np.ndarray:
+    """Non-overlapping max pooling on (C, H, W)."""
+    c, h, w = x.shape
+    if h % size or w % size:
+        raise ValueError(f"spatial dims {h}x{w} not divisible by {size}")
+    return x.reshape(c, h // size, size, w // size, size).max(axis=(2, 4))
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected object: normalized box + confidence."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+    confidence: float
+
+
+class ObjectDetectionAccelerator(Accelerator):
+    """Grid detector over a (3, S, S) normalized image tensor.
+
+    Architecture: 3 conv+pool stages (3→16→32→64 channels) then a 1x1
+    head emitting 5 values per cell (objectness, dx, dy, dw, dh).
+    """
+
+    def __init__(self, input_size: int = 416, threshold: float = 0.5,
+                 speedup_vs_cpu: float = 7.5, seed: int = 1234):
+        if input_size % 8:
+            raise ValueError("input_size must be divisible by 8")
+        self.input_size = input_size
+        self.threshold = threshold
+        rng = np.random.default_rng(seed)
+
+        def he(shape):
+            fan_in = int(np.prod(shape[1:]))
+            return (rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)).astype(
+                np.float32
+            )
+
+        self.layers = [
+            (he((16, 3, 3, 3)), np.zeros(16, dtype=np.float32)),
+            (he((32, 16, 3, 3)), np.zeros(32, dtype=np.float32)),
+            (he((64, 32, 3, 3)), np.zeros(64, dtype=np.float32)),
+        ]
+        self.head_w = he((5, 64, 1, 1))
+        self.head_b = np.zeros(5, dtype=np.float32)
+        self.spec = AcceleratorSpec(
+            name="object-detect-accel",
+            domain="machine-learning",
+            speedup_vs_cpu=speedup_vs_cpu,
+            implementation="rtl",  # open-source DNN accelerator per Sec. VI
+        )
+
+    def forward(self, tensor: np.ndarray) -> np.ndarray:
+        """Raw head output: (5, S/8, S/8)."""
+        if tensor.shape != (3, self.input_size, self.input_size):
+            raise ValueError(
+                f"expected (3, {self.input_size}, {self.input_size}), got "
+                f"{tensor.shape}"
+            )
+        x = tensor.astype(np.float32)
+        for weights, bias in self.layers:
+            x = max_pool2d(relu(conv2d(x, weights, bias)))
+        return conv2d(x, self.head_w, self.head_b, padding=0)
+
+    def run(self, tensor: np.ndarray) -> List[Detection]:
+        head = self.forward(tensor)
+        objectness = 1.0 / (1.0 + np.exp(-head[0]))
+        grid = head.shape[1]
+        detections: List[Detection] = []
+        for gy in range(grid):
+            for gx in range(grid):
+                conf = float(objectness[gy, gx])
+                if conf < self.threshold:
+                    continue
+                dx, dy, dw, dh = (float(v) for v in head[1:, gy, gx])
+                detections.append(
+                    Detection(
+                        x=(gx + _sigmoid(dx)) / grid,
+                        y=(gy + _sigmoid(dy)) / grid,
+                        width=float(np.exp(np.clip(dw, -4, 4)) / grid),
+                        height=float(np.exp(np.clip(dh, -4, 4)) / grid),
+                        confidence=conf,
+                    )
+                )
+        return detections
+
+    def work_profile(self, tensor: np.ndarray) -> WorkProfile:
+        total_macs = 0.0
+        size = self.input_size
+        c_in = 3
+        for weights, _bias in self.layers:
+            c_out = weights.shape[0]
+            total_macs += size * size * c_out * c_in * 9
+            size //= 2
+            c_in = c_out
+        total_macs += size * size * 5 * c_in  # head
+        out_elems = 5 * size * size
+        return WorkProfile(
+            name=self.spec.name,
+            bytes_in=int(tensor.nbytes),
+            bytes_out=int(out_elems * 4),
+            elements=int(out_elems),
+            ops_per_element=2.0 * total_macs / max(1, out_elems),
+            element_size=4,
+            branch_fraction=0.02,
+            vectorizable_fraction=1.0,
+            gather_fraction=0.1,
+        )
+
+
+def _sigmoid(value: float) -> float:
+    return 1.0 / (1.0 + np.exp(-value))

@@ -1,0 +1,138 @@
+"""Hash-join accelerator (Database Hash Join kernel 2).
+
+A from-scratch equi-join over columnar int32 tables: build an
+open-addressing hash table (linear probing) on the smaller input's key
+column, probe with the larger input, emit matched row pairs. Duplicate
+keys on the build side are chained through an overflow list, so the join
+is a true relational join (all matching pairs), validated against a
+nested-loop oracle in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..profiles import WorkProfile
+from ..restructuring.table import fnv1a32
+from .base import Accelerator, AcceleratorSpec
+
+__all__ = ["hash_join", "HashJoinAccelerator"]
+
+_EMPTY = -1
+
+
+def _build_table(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Open-addressing table: returns (slot_keys, slot_rows, next_rows).
+
+    ``next_rows[i]`` chains additional build rows sharing row ``i``'s key.
+    """
+    n = len(keys)
+    capacity = max(8, 1 << int(np.ceil(np.log2(max(1, n * 2)))))
+    slot_keys = np.full(capacity, _EMPTY, dtype=np.int64)
+    slot_rows = np.full(capacity, _EMPTY, dtype=np.int64)
+    next_rows = np.full(n, _EMPTY, dtype=np.int64)
+    hashes = fnv1a32(keys) % np.uint32(capacity)
+    for row in range(n):
+        slot = int(hashes[row])
+        key = int(keys[row])
+        while True:
+            if slot_keys[slot] == _EMPTY:
+                slot_keys[slot] = key
+                slot_rows[slot] = row
+                break
+            if slot_keys[slot] == key:
+                # Prepend to the duplicate chain.
+                next_rows[row] = slot_rows[slot]
+                slot_rows[slot] = row
+                break
+            slot = (slot + 1) % capacity
+    return slot_keys, slot_rows, next_rows
+
+
+def hash_join(
+    build: np.ndarray, probe: np.ndarray, build_key: int = 0, probe_key: int = 0
+) -> np.ndarray:
+    """Equi-join two columnar blocks ``(n_cols, n_rows)`` on key columns.
+
+    Returns a columnar result: the probe row's columns followed by the
+    build row's non-key columns, one output row per matching pair.
+    """
+    for name, table in (("build", build), ("probe", probe)):
+        if table.ndim != 2 or table.dtype != np.int32:
+            raise ValueError(f"{name} must be a (n_cols, n_rows) int32 block")
+    if build_key >= build.shape[0] or probe_key >= probe.shape[0]:
+        raise ValueError("key column out of range")
+
+    slot_keys, slot_rows, next_rows = _build_table(build[build_key])
+    capacity = len(slot_keys)
+    probe_keys = probe[probe_key]
+    hashes = fnv1a32(probe_keys) % np.uint32(capacity)
+
+    probe_matches = []
+    build_matches = []
+    for probe_row in range(probe.shape[1]):
+        slot = int(hashes[probe_row])
+        key = int(probe_keys[probe_row])
+        while slot_keys[slot] != _EMPTY:
+            if slot_keys[slot] == key:
+                build_row = int(slot_rows[slot])
+                while build_row != _EMPTY:
+                    probe_matches.append(probe_row)
+                    build_matches.append(build_row)
+                    build_row = int(next_rows[build_row])
+                break
+            slot = (slot + 1) % capacity
+
+    build_payload_cols = [c for c in range(build.shape[0]) if c != build_key]
+    n_out_cols = probe.shape[0] + len(build_payload_cols)
+    result = np.empty((n_out_cols, len(probe_matches)), dtype=np.int32)
+    probe_index = np.asarray(probe_matches, dtype=np.int64)
+    build_index = np.asarray(build_matches, dtype=np.int64)
+    for col in range(probe.shape[0]):
+        result[col] = probe[col, probe_index] if len(probe_index) else []
+    for out_col, col in enumerate(build_payload_cols):
+        result[probe.shape[0] + out_col] = (
+            build[col, build_index] if len(build_index) else []
+        )
+    return result
+
+
+class HashJoinAccelerator(Accelerator):
+    """Join kernel over a pair of columnar tables.
+
+    ``run`` takes ``(build_block, probe_block)`` and key column indices
+    fixed at construction.
+    """
+
+    def __init__(self, build_key: int = 0, probe_key: int = 0,
+                 speedup_vs_cpu: float = 11.0):
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self.spec = AcceleratorSpec(
+            name="hash-join-accel",
+            domain="database",
+            speedup_vs_cpu=speedup_vs_cpu,
+            implementation="hls",  # Vitis database library per Sec. VI
+        )
+
+    def run(self, tables: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        build, probe = tables
+        return hash_join(build, probe, self.build_key, self.probe_key)
+
+    def work_profile(self, tables: Tuple[np.ndarray, np.ndarray]) -> WorkProfile:
+        build, probe = tables
+        rows = build.shape[1] + probe.shape[1]
+        return WorkProfile(
+            name=self.spec.name,
+            bytes_in=int(build.nbytes + probe.nbytes),
+            bytes_out=int(probe.nbytes),  # approximate output volume
+            elements=rows,
+            ops_per_element=12.0,  # hash + probe walk per row
+            element_size=4,
+            branch_fraction=0.12,
+            mispredict_rate=0.06,
+            vectorizable_fraction=0.5,
+            gather_fraction=0.7,  # hash-table probes are random access
+        )

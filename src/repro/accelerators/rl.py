@@ -1,0 +1,157 @@
+"""Reinforcement-learning accelerator (Brain Stimulation kernel 2).
+
+A from-scratch PPO-style actor-critic: a two-layer tanh MLP policy head
+(Gaussian action distribution) and value head, plus a clipped-surrogate
+PPO update implemented in numpy for completeness. The accelerated kernel
+is inference — mapping a brain-state observation to a stimulation action
+(the paper's proximal policy optimization kernel on the open-source RTL
+DNN accelerator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..profiles import WorkProfile
+from .base import Accelerator, AcceleratorSpec
+
+__all__ = ["MLPPolicy", "ppo_update", "RLPolicyAccelerator"]
+
+
+class MLPPolicy:
+    """Two-hidden-layer tanh MLP with policy (mean) and value heads."""
+
+    def __init__(self, obs_dim: int, action_dim: int, hidden: int = 64,
+                 seed: int = 7):
+        if obs_dim <= 0 or action_dim <= 0 or hidden <= 0:
+            raise ValueError("dimensions must be positive")
+        rng = np.random.default_rng(seed)
+
+        def layer(n_in, n_out):
+            scale = np.sqrt(2.0 / n_in)
+            return (
+                (rng.standard_normal((n_in, n_out)) * scale).astype(np.float32),
+                np.zeros(n_out, dtype=np.float32),
+            )
+
+        self.obs_dim = obs_dim
+        self.action_dim = action_dim
+        self.w1, self.b1 = layer(obs_dim, hidden)
+        self.w2, self.b2 = layer(hidden, hidden)
+        self.w_pi, self.b_pi = layer(hidden, action_dim)
+        self.w_v, self.b_v = layer(hidden, 1)
+        self.log_std = np.full(action_dim, -0.5, dtype=np.float32)
+
+    def _trunk(self, obs: np.ndarray) -> np.ndarray:
+        h = np.tanh(obs.astype(np.float32) @ self.w1 + self.b1)
+        return np.tanh(h @ self.w2 + self.b2)
+
+    def forward(self, obs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns (action_mean, value) for a batch of observations."""
+        if obs.ndim != 2 or obs.shape[1] != self.obs_dim:
+            raise ValueError(f"expected (n, {self.obs_dim}) observations")
+        h = self._trunk(obs)
+        mean = h @ self.w_pi + self.b_pi
+        value = (h @ self.w_v + self.b_v).reshape(-1)
+        return mean, value
+
+    def act(self, obs: np.ndarray, deterministic: bool = True,
+            rng: np.random.Generator = None) -> np.ndarray:
+        """Select actions; stochastic sampling uses the Gaussian head."""
+        mean, _value = self.forward(obs)
+        if deterministic:
+            return mean
+        rng = rng or np.random.default_rng()
+        std = np.exp(self.log_std)
+        return mean + rng.standard_normal(mean.shape).astype(np.float32) * std
+
+    def log_prob(self, obs: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        """Gaussian log-density of ``actions`` under the current policy."""
+        mean, _ = self.forward(obs)
+        std = np.exp(self.log_std)
+        z = (actions - mean) / std
+        return (-0.5 * z**2 - self.log_std - 0.5 * np.log(2 * np.pi)).sum(axis=1)
+
+
+def ppo_update(
+    policy: MLPPolicy,
+    obs: np.ndarray,
+    actions: np.ndarray,
+    advantages: np.ndarray,
+    old_log_probs: np.ndarray,
+    clip: float = 0.2,
+    lr: float = 1e-3,
+) -> Dict[str, float]:
+    """One clipped-surrogate PPO step on the policy mean head.
+
+    Gradients are computed analytically for the final linear layer (the
+    trunk is treated as a fixed feature extractor — sufficient for the
+    reproduction's purposes and keeps the math exact).
+    """
+    if not 0 < clip < 1:
+        raise ValueError("clip must be in (0, 1)")
+    mean, _ = policy.forward(obs)
+    std = np.exp(policy.log_std)
+    z = (actions - mean) / std
+    log_probs = (-0.5 * z**2 - policy.log_std - 0.5 * np.log(2 * np.pi)).sum(axis=1)
+    ratio = np.exp(log_probs - old_log_probs)
+    clipped = np.clip(ratio, 1 - clip, 1 + clip)
+    objective = np.minimum(ratio * advantages, clipped * advantages)
+
+    # d(objective)/d(mean) for unclipped, advantage-weighted samples.
+    active = (ratio * advantages <= clipped * advantages) | np.isclose(
+        ratio, clipped
+    )
+    grad_mean = (
+        (active * ratio * advantages)[:, None] * (z / std)
+    )  # (n, action_dim)
+    features = policy._trunk(obs)  # (n, hidden)
+    grad_w = features.T @ grad_mean / len(obs)
+    grad_b = grad_mean.mean(axis=0)
+    policy.w_pi += lr * grad_w.astype(np.float32)
+    policy.b_pi += lr * grad_b.astype(np.float32)
+    return {
+        "objective": float(objective.mean()),
+        "ratio_mean": float(ratio.mean()),
+        "clip_fraction": float((ratio != clipped).mean()),
+    }
+
+
+class RLPolicyAccelerator(Accelerator):
+    """Inference kernel: brain-state observation → stimulation action."""
+
+    def __init__(self, obs_dim: int = 320, action_dim: int = 8,
+                 speedup_vs_cpu: float = 7.0):
+        self.policy = MLPPolicy(obs_dim, action_dim)
+        self.spec = AcceleratorSpec(
+            name="rl-policy-accel",
+            domain="machine-learning",
+            speedup_vs_cpu=speedup_vs_cpu,
+            implementation="rtl",  # open-source PPO accelerator per Sec. VI
+        )
+
+    def run(self, observations: np.ndarray) -> np.ndarray:
+        return self.policy.act(observations, deterministic=True)
+
+    def work_profile(self, observations: np.ndarray) -> WorkProfile:
+        n = observations.shape[0]
+        hidden = self.policy.w1.shape[1]
+        macs = n * (
+            self.policy.obs_dim * hidden
+            + hidden * hidden
+            + hidden * (self.policy.action_dim + 1)
+        )
+        out_elems = n * self.policy.action_dim
+        return WorkProfile(
+            name=self.spec.name,
+            bytes_in=int(observations.nbytes),
+            bytes_out=int(out_elems * 4),
+            elements=int(out_elems),
+            ops_per_element=2.0 * macs / max(1, out_elems),
+            element_size=4,
+            branch_fraction=0.02,
+            vectorizable_fraction=1.0,
+        )

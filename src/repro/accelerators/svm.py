@@ -1,0 +1,124 @@
+"""Support vector machine accelerator (Sound Detection kernel 2).
+
+A from-scratch linear multi-class SVM: one-vs-rest hinge-loss classifiers
+trained with subgradient descent (Pegasos-style). The inference kernel —
+what the accelerator card runs — is a dense matrix-vector product plus
+argmax over class scores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..profiles import WorkProfile
+from .base import Accelerator, AcceleratorSpec
+
+__all__ = ["LinearSVM", "SVMAccelerator"]
+
+
+class LinearSVM:
+    """One-vs-rest linear SVM with Pegasos subgradient training."""
+
+    def __init__(self, n_classes: int, n_features: int, reg: float = 1e-4):
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        self.n_classes = n_classes
+        self.n_features = n_features
+        self.reg = reg
+        self.weights = np.zeros((n_classes, n_features), dtype=np.float32)
+        self.bias = np.zeros(n_classes, dtype=np.float32)
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 20,
+        seed: int = 0,
+    ) -> "LinearSVM":
+        """Train with the Pegasos schedule (eta_t = 1 / (reg * t))."""
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels disagree on sample count")
+        if features.shape[1] != self.n_features:
+            raise ValueError("feature dimension mismatch")
+        rng = np.random.default_rng(seed)
+        x = features.astype(np.float32)
+        t = 0
+        for _epoch in range(epochs):
+            order = rng.permutation(len(x))
+            for index in order:
+                t += 1
+                eta = 1.0 / (self.reg * t)
+                sample = x[index]
+                for cls in range(self.n_classes):
+                    target = 1.0 if labels[index] == cls else -1.0
+                    margin = target * (self.weights[cls] @ sample + self.bias[cls])
+                    self.weights[cls] *= 1.0 - eta * self.reg
+                    if margin < 1.0:
+                        self.weights[cls] += eta * target * sample
+                        self.bias[cls] += eta * target * 0.1
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Class scores, shape ``(n_samples, n_classes)``."""
+        if features.ndim != 2 or features.shape[1] != self.n_features:
+            raise ValueError(f"expected (n, {self.n_features}) features")
+        return features.astype(np.float32) @ self.weights.T + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.decision_function(features).argmax(axis=1)
+
+
+class SVMAccelerator(Accelerator):
+    """Inference kernel: classify flattened mel-spectrogram features.
+
+    If no trained model is supplied, deterministic pseudo-random weights
+    stand in (the timing and data-motion behaviour — the reproduction
+    target — are unchanged by the weight values).
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 10,
+        n_features: int = 7936,
+        model: Optional[LinearSVM] = None,
+        speedup_vs_cpu: float = 7.0,
+    ):
+        self.model = model or self._default_model(n_classes, n_features)
+        self.spec = AcceleratorSpec(
+            name="svm-accel",
+            domain="machine-learning",
+            speedup_vs_cpu=speedup_vs_cpu,
+            implementation="hls",  # Vitis SVM library per Sec. VI
+        )
+
+    @staticmethod
+    def _default_model(n_classes: int, n_features: int) -> LinearSVM:
+        model = LinearSVM(n_classes, n_features)
+        rng = np.random.default_rng(42)
+        model.weights = rng.standard_normal(
+            (n_classes, n_features)
+        ).astype(np.float32) * 0.01
+        model.bias = rng.standard_normal(n_classes).astype(np.float32) * 0.01
+        return model
+
+    def run(self, features: np.ndarray) -> np.ndarray:
+        return self.model.predict(features)
+
+    def work_profile(self, features: np.ndarray) -> WorkProfile:
+        n_samples = features.shape[0]
+        n_classes, n_features = self.model.weights.shape
+        total_ops = 2.0 * n_samples * n_classes * n_features
+        return WorkProfile(
+            name=self.spec.name,
+            bytes_in=int(features.nbytes),
+            bytes_out=int(n_samples * 8),
+            elements=int(n_samples * n_classes),
+            ops_per_element=total_ops / max(1, n_samples * n_classes),
+            element_size=4,
+            branch_fraction=0.02,
+            vectorizable_fraction=1.0,
+        )

@@ -1,0 +1,40 @@
+"""DMX core: chains, placements, the system model, collectives."""
+
+from .chain import AppChain, KernelStage, MotionStage, merge_profiles
+from .collectives import (
+    CollectiveResult,
+    CollectiveSystem,
+    collective_profile,
+    reduction_profile,
+)
+from .placement import Mode, SystemConfig, drx_config_for
+from .system import (
+    PHASE_CONTROL,
+    PHASE_KERNEL,
+    PHASE_MOVEMENT,
+    PHASE_RESTRUCTURE,
+    DMXSystem,
+    RequestRecord,
+    RunResult,
+)
+
+__all__ = [
+    "AppChain",
+    "KernelStage",
+    "MotionStage",
+    "merge_profiles",
+    "CollectiveResult",
+    "CollectiveSystem",
+    "collective_profile",
+    "reduction_profile",
+    "Mode",
+    "SystemConfig",
+    "drx_config_for",
+    "PHASE_CONTROL",
+    "PHASE_KERNEL",
+    "PHASE_MOVEMENT",
+    "PHASE_RESTRUCTURE",
+    "DMXSystem",
+    "RequestRecord",
+    "RunResult",
+]

@@ -1,0 +1,19 @@
+"""Host CPU models: specs, cache behaviour, top-down analysis, DES device."""
+
+from .cache import CacheBehaviour, CacheModel
+from .host import BULK_PRIORITY, INTERRUPT_PRIORITY, HostCPU
+from .specs import XEON_8260L, CacheLevel, CPUSpec
+from .topdown import TopDownBreakdown, TopDownModel
+
+__all__ = [
+    "CacheBehaviour",
+    "CacheModel",
+    "BULK_PRIORITY",
+    "INTERRUPT_PRIORITY",
+    "HostCPU",
+    "XEON_8260L",
+    "CacheLevel",
+    "CPUSpec",
+    "TopDownBreakdown",
+    "TopDownModel",
+]

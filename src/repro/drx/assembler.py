@@ -1,0 +1,280 @@
+"""DRX assembler: text ↔ :class:`~repro.drx.isa.Program`.
+
+A human-readable assembly syntax (what Fig. 8's "sample of the DRX
+kernel" looks like in this reproduction):
+
+.. code-block:: text
+
+    ; mel-scale inner tile
+    SYNC.START
+    LOOP 16
+      LD    v0, in[0,+512], 512
+      VMULI v1, v0, 0.5
+      ST    out[0,+512], v1, 512
+    ENDLOOP
+    SYNC.END
+
+Addresses are ``buffer[base,+stride0,+stride1,...]`` with one stride per
+enclosing loop (outermost first). Comments start with ``;``. Bank
+operands are ``v<N>``; scalar registers ``s<N>``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .isa import (
+    BINARY_OPCODES,
+    IMMEDIATE_OPCODES,
+    UNARY_OPCODES,
+    AddressExpr,
+    Instruction,
+    Opcode,
+    Program,
+    ProgramError,
+)
+
+__all__ = ["assemble", "disassemble"]
+
+
+def _parse_bank(token: str) -> int:
+    token = token.strip().rstrip(",")
+    if not token.startswith("v"):
+        raise ProgramError(f"expected bank operand, got {token!r}")
+    try:
+        return int(token[1:])
+    except ValueError:
+        raise ProgramError(f"bad bank operand {token!r}")
+
+
+def _parse_address(token: str) -> AddressExpr:
+    token = token.strip().rstrip(",")
+    if "[" not in token or not token.endswith("]"):
+        raise ProgramError(f"bad address {token!r}")
+    buffer, inner = token[:-1].split("[", 1)
+    parts = inner.split(",")
+    try:
+        base = int(parts[0])
+        strides = tuple(int(p) for p in parts[1:])
+    except ValueError:
+        raise ProgramError(f"bad address arithmetic in {token!r}")
+    return AddressExpr(buffer=buffer, base=base, strides=strides)
+
+
+def _split_operands(rest: str) -> List[str]:
+    # Commas inside [...] belong to the address expression.
+    out: List[str] = []
+    depth = 0
+    current = ""
+    for char in rest:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            out.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        out.append(current.strip())
+    return out
+
+
+def assemble(text: str, name: str = "drx-kernel") -> Program:
+    """Parse assembly text into a validated :class:`Program`."""
+    instructions: List[Instruction] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.upper()
+        operands = _split_operands(rest) if rest.strip() else []
+        try:
+            instructions.append(_assemble_one(mnemonic, operands))
+        except ProgramError as exc:
+            raise ProgramError(f"line {line_no}: {exc}") from None
+    program = Program(instructions=instructions, name=name)
+    program.validate()
+    return program
+
+
+def _assemble_one(mnemonic: str, operands: List[str]) -> Instruction:
+    try:
+        opcode = Opcode(mnemonic)
+    except ValueError:
+        raise ProgramError(f"unknown mnemonic {mnemonic!r}")
+
+    if opcode == Opcode.LOOP:
+        if len(operands) != 1:
+            raise ProgramError("LOOP takes one count operand")
+        return Instruction(opcode, count=int(operands[0]))
+    if opcode in (Opcode.ENDLOOP, Opcode.SYNC_START, Opcode.SYNC_END,
+                  Opcode.HALT):
+        if operands:
+            raise ProgramError(f"{mnemonic} takes no operands")
+        return Instruction(opcode)
+    if opcode == Opcode.LD:
+        if len(operands) != 3:
+            raise ProgramError("LD takes: dst_bank, address, count")
+        return Instruction(
+            opcode,
+            dst=_parse_bank(operands[0]),
+            addr=_parse_address(operands[1]),
+            count=int(operands[2]),
+        )
+    if opcode == Opcode.ST:
+        if len(operands) != 3:
+            raise ProgramError("ST takes: address, src_bank[slice], count")
+        src_token = operands[1]
+        bank_addr = None
+        if "[" in src_token:
+            bank_index = _parse_bank(src_token.split("[", 1)[0])
+            slice_expr = _parse_address("bank" + src_token[src_token.index("[") :])
+            bank_addr = slice_expr
+        else:
+            bank_index = _parse_bank(src_token)
+        return Instruction(
+            opcode,
+            addr=_parse_address(operands[0]),
+            src=bank_index,
+            bank_addr=bank_addr,
+            count=int(operands[2]),
+        )
+    if opcode in BINARY_OPCODES:
+        if len(operands) != 3:
+            raise ProgramError(f"{mnemonic} takes: dst, srcA, srcB")
+        return Instruction(
+            opcode,
+            dst=_parse_bank(operands[0]),
+            src=_parse_bank(operands[1]),
+            src2=_parse_bank(operands[2]),
+        )
+    if opcode == Opcode.VSET:
+        if len(operands) not in (2, 3):
+            raise ProgramError("VSET takes: dst, imm [, count]")
+        count = int(operands[2]) if len(operands) == 3 else None
+        return Instruction(opcode, dst=_parse_bank(operands[0]),
+                           imm=float(operands[1]), count=count)
+    if opcode == Opcode.VBCAST:
+        if len(operands) != 3:
+            raise ProgramError("VBCAST takes: dst, src, count")
+        return Instruction(
+            opcode,
+            dst=_parse_bank(operands[0]),
+            src=_parse_bank(operands[1]),
+            count=int(operands[2]),
+        )
+    if opcode in IMMEDIATE_OPCODES:
+        if len(operands) != 3:
+            raise ProgramError(f"{mnemonic} takes: dst, src, imm")
+        return Instruction(
+            opcode,
+            dst=_parse_bank(operands[0]),
+            src=_parse_bank(operands[1]),
+            imm=float(operands[2]),
+        )
+    if opcode in UNARY_OPCODES:
+        if len(operands) != 2:
+            raise ProgramError(f"{mnemonic} takes: dst, src")
+        return Instruction(opcode, dst=_parse_bank(operands[0]),
+                           src=_parse_bank(operands[1]))
+    if opcode == Opcode.VCVT:
+        if len(operands) != 3:
+            raise ProgramError("VCVT takes: dst, src, dtype")
+        return Instruction(
+            opcode,
+            dst=_parse_bank(operands[0]),
+            src=_parse_bank(operands[1]),
+            dtype=operands[2],
+        )
+    if opcode == Opcode.VRED:
+        if len(operands) != 3:
+            raise ProgramError("VRED takes: dst, src, op")
+        return Instruction(
+            opcode,
+            dst=_parse_bank(operands[0]),
+            src=_parse_bank(operands[1]),
+            reduce_op=operands[2],
+        )
+    if opcode == Opcode.TRANS:
+        if len(operands) != 4:
+            raise ProgramError("TRANS takes: dst, src, rows, cols")
+        return Instruction(
+            opcode,
+            dst=_parse_bank(operands[0]),
+            src=_parse_bank(operands[1]),
+            rows=int(operands[2]),
+            cols=int(operands[3]),
+        )
+    if opcode == Opcode.SSET:
+        if len(operands) != 2:
+            raise ProgramError("SSET takes: sreg, imm")
+        reg = operands[0]
+        if not reg.startswith("s"):
+            raise ProgramError(f"expected scalar register, got {reg!r}")
+        return Instruction(opcode, dst=int(reg[1:]), imm=float(operands[1]))
+    raise ProgramError(f"unhandled mnemonic {mnemonic!r}")  # pragma: no cover
+
+
+def disassemble(program: Program) -> str:
+    """Format a program back to assembly text (round-trips with assemble)."""
+    lines: List[str] = []
+    indent = 0
+    for instr in program.instructions:
+        op = instr.opcode
+        if op == Opcode.ENDLOOP:
+            indent -= 1
+        pad = "  " * max(0, indent)
+        if op == Opcode.LOOP:
+            lines.append(f"{pad}LOOP {instr.count}")
+            indent += 1
+        elif op in (Opcode.ENDLOOP, Opcode.SYNC_START, Opcode.SYNC_END,
+                    Opcode.HALT):
+            lines.append(f"{pad}{op.value}")
+        elif op == Opcode.LD:
+            lines.append(
+                f"{pad}LD v{instr.dst}, {instr.addr.format()}, {instr.count}"
+            )
+        elif op == Opcode.ST:
+            src = f"v{instr.src}"
+            if instr.bank_addr is not None:
+                slice_expr = instr.bank_addr.format()
+                src += slice_expr[slice_expr.index("[") :]
+            lines.append(f"{pad}ST {instr.addr.format()}, {src}, {instr.count}")
+        elif op in BINARY_OPCODES:
+            lines.append(
+                f"{pad}{op.value} v{instr.dst}, v{instr.src}, v{instr.src2}"
+            )
+        elif op == Opcode.VSET:
+            suffix = f", {instr.count}" if instr.count is not None else ""
+            lines.append(f"{pad}VSET v{instr.dst}, {instr.imm}{suffix}")
+        elif op == Opcode.VBCAST:
+            lines.append(
+                f"{pad}VBCAST v{instr.dst}, v{instr.src}, {instr.count}"
+            )
+        elif op in IMMEDIATE_OPCODES:
+            lines.append(
+                f"{pad}{op.value} v{instr.dst}, v{instr.src}, {instr.imm}"
+            )
+        elif op in UNARY_OPCODES:
+            lines.append(f"{pad}{op.value} v{instr.dst}, v{instr.src}")
+        elif op == Opcode.VCVT:
+            lines.append(
+                f"{pad}VCVT v{instr.dst}, v{instr.src}, {instr.dtype}"
+            )
+        elif op == Opcode.VRED:
+            lines.append(
+                f"{pad}VRED v{instr.dst}, v{instr.src}, {instr.reduce_op}"
+            )
+        elif op == Opcode.TRANS:
+            lines.append(
+                f"{pad}TRANS v{instr.dst}, v{instr.src}, {instr.rows}, "
+                f"{instr.cols}"
+            )
+        elif op == Opcode.SSET:
+            lines.append(f"{pad}SSET s{instr.dst}, {instr.imm}")
+    return "\n".join(lines)

@@ -1,0 +1,324 @@
+"""DRX code generation: kernel IR → tiled instruction streams.
+
+The compiler's optimization pass is tiling: every statement is blocked
+so its live tiles fit the configured scratchpad (with headroom for
+double buffering), loop counts feed the Instruction Repeater, and
+``<Base, Stride, Iteration>`` affine addresses feed the strided address
+calculators — no pack/unpack or branch instructions are emitted, per the
+paper's ISA design.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..isa import AddressExpr, Instruction, Opcode, Program, ProgramError
+from ..microarch import DRXConfig, DEFAULT_DRX
+from .ir import (
+    Cast,
+    Elementwise,
+    ElementwiseBinary,
+    IRError,
+    Kernel,
+    MatMul,
+    Primitive,
+    Transpose2D,
+)
+
+__all__ = ["DRXCompiler", "choose_tile"]
+
+_BINARY_TO_OPCODE = {
+    "add": Opcode.VADD,
+    "sub": Opcode.VSUB,
+    "mul": Opcode.VMUL,
+    "div": Opcode.VDIV,
+    "max": Opcode.VMAX,
+    "min": Opcode.VMIN,
+}
+
+_PRIMITIVE_TO_OPCODE = {
+    "add": Opcode.VADDI,
+    "sub": Opcode.VSUBI,
+    "mul": Opcode.VMULI,
+    "div": Opcode.VDIVI,
+    "max": Opcode.VMAXI,
+    "min": Opcode.VMINI,
+    "sqrt": Opcode.VSQRT,
+    "exp": Opcode.VEXP,
+    "log1p": Opcode.VLOG1P,
+    "abs": Opcode.VABS,
+    "sqr": Opcode.VSQR,
+    "round": Opcode.VROUND,
+}
+
+
+def choose_tile(
+    n_elements: int,
+    element_size: int,
+    config: DRXConfig,
+    live_tiles: int = 2,
+    headroom: float = 0.5,
+) -> int:
+    """Largest lane-aligned tile such that ``live_tiles`` tiles fit.
+
+    ``headroom`` reserves scratchpad space for double buffering (the
+    access engine prefetches the next tile while the REs compute).
+    """
+    if n_elements <= 0:
+        raise IRError("cannot tile an empty buffer")
+    budget = int(config.scratchpad_bytes * headroom) // max(1, live_tiles)
+    max_tile = max(config.lanes, budget // element_size)
+    # Lane-align, then clamp to the problem size.
+    tile = (max_tile // config.lanes) * config.lanes
+    tile = max(config.lanes, tile)
+    return min(tile, n_elements)
+
+
+class DRXCompiler:
+    """Compile validated kernels against a hardware configuration."""
+
+    def __init__(self, config: DRXConfig = DEFAULT_DRX):
+        self.config = config
+
+    def compile(self, kernel: Kernel) -> Program:
+        """Produce a validated, SYNC-bracketed instruction stream."""
+        kernel.validate()
+        instructions: List[Instruction] = [Instruction(Opcode.SYNC_START)]
+        for statement in kernel.statements:
+            if isinstance(statement, Elementwise):
+                instructions += self._elementwise(kernel, statement)
+            elif isinstance(statement, ElementwiseBinary):
+                instructions += self._elementwise_binary(kernel, statement)
+            elif isinstance(statement, Cast):
+                instructions += self._cast(kernel, statement)
+            elif isinstance(statement, MatMul):
+                instructions += self._matmul(kernel, statement)
+            elif isinstance(statement, Transpose2D):
+                instructions += self._transpose(kernel, statement)
+            else:  # pragma: no cover - exhaustive
+                raise IRError(f"unsupported statement {statement!r}")
+        instructions.append(Instruction(Opcode.SYNC_END))
+        program = Program(instructions=instructions, name=kernel.name)
+        program.validate(self.config.n_banks)
+        return program
+
+    # -- per-statement lowering ---------------------------------------------------
+
+    def _streaming_blocks(self, total: int, element_size: int,
+                          live_tiles: int) -> List[tuple]:
+        """(base, tile_len, n_tiles) blocks covering ``total`` elements."""
+        tile = choose_tile(total, element_size, self.config, live_tiles)
+        full = total // tile
+        blocks = []
+        if full:
+            blocks.append((0, tile, full))
+        tail = total - full * tile
+        if tail:
+            blocks.append((full * tile, tail, 1))
+        return blocks
+
+    def _elementwise(self, kernel: Kernel, stmt: Elementwise) -> List[Instruction]:
+        total = kernel.buffer(stmt.src).n_elements
+        element_size = np.dtype(kernel.buffer(stmt.src).dtype).itemsize
+        out: List[Instruction] = []
+        for base, tile, n_tiles in self._streaming_blocks(total, element_size, 2):
+            body: List[Instruction] = [
+                Instruction(
+                    Opcode.LD,
+                    dst=0,
+                    addr=AddressExpr(stmt.src, base=base, strides=(tile,)),
+                    count=tile,
+                )
+            ]
+            bank = 0
+            for prim in stmt.chain:
+                opcode = _PRIMITIVE_TO_OPCODE[prim.op]
+                if prim.imm is not None:
+                    body.append(
+                        Instruction(opcode, dst=1, src=bank, imm=prim.imm)
+                    )
+                else:
+                    body.append(Instruction(opcode, dst=1, src=bank))
+                bank = 1
+            body.append(
+                Instruction(
+                    Opcode.ST,
+                    addr=AddressExpr(stmt.dst, base=base, strides=(tile,)),
+                    src=bank,
+                    count=tile,
+                )
+            )
+            out.append(Instruction(Opcode.LOOP, count=n_tiles))
+            out += body
+            out.append(Instruction(Opcode.ENDLOOP))
+        return out
+
+    def _elementwise_binary(
+        self, kernel: Kernel, stmt: ElementwiseBinary
+    ) -> List[Instruction]:
+        total = kernel.buffer(stmt.src_a).n_elements
+        element_size = np.dtype(kernel.buffer(stmt.src_a).dtype).itemsize
+        opcode = _BINARY_TO_OPCODE[stmt.op]
+        out: List[Instruction] = []
+        for base, tile, n_tiles in self._streaming_blocks(total, element_size, 3):
+            out.append(Instruction(Opcode.LOOP, count=n_tiles))
+            out.append(
+                Instruction(
+                    Opcode.LD, dst=0,
+                    addr=AddressExpr(stmt.src_a, base=base, strides=(tile,)),
+                    count=tile,
+                )
+            )
+            out.append(
+                Instruction(
+                    Opcode.LD, dst=1,
+                    addr=AddressExpr(stmt.src_b, base=base, strides=(tile,)),
+                    count=tile,
+                )
+            )
+            out.append(Instruction(opcode, dst=2, src=0, src2=1))
+            out.append(
+                Instruction(
+                    Opcode.ST,
+                    addr=AddressExpr(stmt.dst, base=base, strides=(tile,)),
+                    src=2,
+                    count=tile,
+                )
+            )
+            out.append(Instruction(Opcode.ENDLOOP))
+        return out
+
+    def _cast(self, kernel: Kernel, stmt: Cast) -> List[Instruction]:
+        total = kernel.buffer(stmt.src).n_elements
+        element_size = max(
+            np.dtype(kernel.buffer(stmt.src).dtype).itemsize,
+            np.dtype(stmt.dtype).itemsize,
+        )
+        out: List[Instruction] = []
+        for base, tile, n_tiles in self._streaming_blocks(total, element_size, 2):
+            out.append(Instruction(Opcode.LOOP, count=n_tiles))
+            out.append(
+                Instruction(
+                    Opcode.LD,
+                    dst=0,
+                    addr=AddressExpr(stmt.src, base=base, strides=(tile,)),
+                    count=tile,
+                )
+            )
+            out.append(Instruction(Opcode.VCVT, dst=1, src=0, dtype=stmt.dtype))
+            out.append(
+                Instruction(
+                    Opcode.ST,
+                    addr=AddressExpr(stmt.dst, base=base, strides=(tile,)),
+                    src=1,
+                    count=tile,
+                )
+            )
+            out.append(Instruction(Opcode.ENDLOOP))
+        return out
+
+    def _matmul(self, kernel: Kernel, stmt: MatMul) -> List[Instruction]:
+        """C[m, :] = sum_k A[m, k] * B[k, :], accumulator tiled over N."""
+        m, k, n = stmt.m, stmt.k, stmt.n
+        element_size = np.dtype(kernel.buffer(stmt.dst).dtype).itemsize
+        # Live tiles: accumulator, broadcast scalar, B row tile.
+        n_tile = choose_tile(n, element_size, self.config, live_tiles=3)
+        out: List[Instruction] = []
+        n_full = n // n_tile
+        tail = n - n_full * n_tile
+
+        def emit_block(n_base: int, width: int, n_blocks: int) -> None:
+            # Loop order: m (rows), then n-blocks, then k (reduction).
+            out.append(Instruction(Opcode.LOOP, count=m))
+            out.append(Instruction(Opcode.LOOP, count=n_blocks))
+            out.append(Instruction(Opcode.VSET, dst=2, imm=0.0, count=width))
+            out.append(Instruction(Opcode.LOOP, count=k))
+            # A[m, k]: one element; strides over (m, n-block, k).
+            out.append(
+                Instruction(
+                    Opcode.LD,
+                    dst=0,
+                    addr=AddressExpr(stmt.a, base=0, strides=(k, 0, 1)),
+                    count=1,
+                )
+            )
+            out.append(Instruction(Opcode.VBCAST, dst=1, src=0, count=width))
+            # B[k, n_base + block*width : +width].
+            out.append(
+                Instruction(
+                    Opcode.LD,
+                    dst=3,
+                    addr=AddressExpr(
+                        stmt.b, base=n_base, strides=(0, width, n)
+                    ),
+                    count=width,
+                )
+            )
+            out.append(Instruction(Opcode.VMAC, dst=2, src=1, src2=3))
+            out.append(Instruction(Opcode.ENDLOOP))
+            out.append(
+                Instruction(
+                    Opcode.ST,
+                    addr=AddressExpr(stmt.dst, base=n_base, strides=(n, width)),
+                    src=2,
+                    count=width,
+                )
+            )
+            out.append(Instruction(Opcode.ENDLOOP))
+            out.append(Instruction(Opcode.ENDLOOP))
+
+        if n_full:
+            emit_block(0, n_tile, n_full)
+        if tail:
+            emit_block(n_full * n_tile, tail, 1)
+        return out
+
+    def _transpose(self, kernel: Kernel, stmt: Transpose2D) -> List[Instruction]:
+        """Row-block tiling: load R rows, transpose, store column slices."""
+        rows, cols = stmt.rows, stmt.cols
+        element_size = np.dtype(kernel.buffer(stmt.src).dtype).itemsize
+        # Two live tiles of R*cols elements each.
+        budget = int(self.config.scratchpad_bytes * 0.5) // 2 // element_size
+        r_block = max(1, min(rows, budget // cols))
+        out: List[Instruction] = []
+        n_full = rows // r_block
+        tail = rows - n_full * r_block
+
+        def emit_block(row_base: int, height: int, n_blocks: int) -> None:
+            out.append(Instruction(Opcode.LOOP, count=n_blocks))
+            out.append(
+                Instruction(
+                    Opcode.LD,
+                    dst=0,
+                    addr=AddressExpr(
+                        stmt.src, base=row_base * cols, strides=(height * cols,)
+                    ),
+                    count=height * cols,
+                )
+            )
+            out.append(
+                Instruction(Opcode.TRANS, dst=1, src=0, rows=height, cols=cols)
+            )
+            # v1 is (cols, height): store column c at dst[c*rows + row_base].
+            out.append(Instruction(Opcode.LOOP, count=cols))
+            out.append(
+                Instruction(
+                    Opcode.ST,
+                    addr=AddressExpr(
+                        stmt.dst, base=row_base, strides=(height, rows)
+                    ),
+                    src=1,
+                    bank_addr=AddressExpr("bank", base=0, strides=(0, height)),
+                    count=height,
+                )
+            )
+            out.append(Instruction(Opcode.ENDLOOP))
+            out.append(Instruction(Opcode.ENDLOOP))
+
+        if n_full:
+            emit_block(0, r_block, n_full)
+        if tail:
+            emit_block(n_full * r_block, tail, 1)
+        return out

@@ -1,0 +1,225 @@
+"""DRX compiler intermediate representation.
+
+The DRX compiler (Sec. IV-B) "takes two inputs: a high-level
+representation of the data restructuring kernel and an architecture
+configuration file", maps the kernel to an IR, optimizes tiling against
+the hardware configuration, and emits DRX ISA instructions.
+
+This IR models restructuring kernels as a short sequence of dataflow
+statements over named flat buffers:
+
+* :class:`Elementwise` — a chain of per-element primitives applied while
+  streaming one buffer to another (the dominant restructuring shape);
+* :class:`MatMul` — dense projection (mel filterbank, feature maps);
+* :class:`Transpose2D` — materialized layout pivot;
+* :class:`Cast` — dtype conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "BufferDecl",
+    "Primitive",
+    "Elementwise",
+    "ElementwiseBinary",
+    "MatMul",
+    "Transpose2D",
+    "Cast",
+    "Kernel",
+    "IRError",
+    "Statement",
+]
+
+
+class IRError(ValueError):
+    """Raised for malformed kernel IR."""
+
+
+@dataclass(frozen=True)
+class BufferDecl:
+    """A named DRAM buffer the kernel reads or writes."""
+
+    name: str
+    n_elements: int
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if self.n_elements <= 0:
+            raise IRError(f"buffer {self.name!r} must have elements")
+        np.dtype(self.dtype)  # validates
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_elements * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One per-element primitive in an elementwise chain.
+
+    ``op`` maps directly onto a vector opcode: "add", "sub", "mul",
+    "div", "max", "min" (with ``imm``), or "sqrt", "exp", "log1p",
+    "abs", "sqr", "round" (unary).
+    """
+
+    op: str
+    imm: Optional[float] = None
+
+    _IMMEDIATE = frozenset({"add", "sub", "mul", "div", "max", "min"})
+    _UNARY = frozenset({"sqrt", "exp", "log1p", "abs", "sqr", "round"})
+
+    def __post_init__(self) -> None:
+        if self.op in self._IMMEDIATE:
+            if self.imm is None:
+                raise IRError(f"primitive {self.op!r} needs an immediate")
+        elif self.op in self._UNARY:
+            if self.imm is not None:
+                raise IRError(f"primitive {self.op!r} takes no immediate")
+        else:
+            raise IRError(f"unknown primitive {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Elementwise:
+    """``dst[i] = chain(src[i])`` for every element."""
+
+    src: str
+    dst: str
+    chain: Tuple[Primitive, ...] = ()
+
+
+@dataclass(frozen=True)
+class ElementwiseBinary:
+    """``dst[i] = op(src_a[i], src_b[i])`` for every element."""
+
+    src_a: str
+    src_b: str
+    dst: str
+    op: str
+
+    _OPS = frozenset({"add", "sub", "mul", "div", "max", "min"})
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise IRError(f"unknown binary op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class MatMul:
+    """``dst[M,N] = a[M,K] @ b[K,N]`` over flat row-major buffers."""
+
+    a: str
+    b: str
+    dst: str
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise IRError("MatMul dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class Transpose2D:
+    """``dst[cols,rows] = src[rows,cols]^T`` over flat row-major buffers."""
+
+    src: str
+    dst: str
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise IRError("Transpose2D dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class Cast:
+    """``dst[i] = dtype(src[i])``."""
+
+    src: str
+    dst: str
+    dtype: str
+
+    def __post_init__(self) -> None:
+        np.dtype(self.dtype)
+
+
+Statement = Union[Elementwise, ElementwiseBinary, MatMul, Transpose2D, Cast]
+
+
+@dataclass
+class Kernel:
+    """A complete restructuring kernel: buffers + statement list."""
+
+    name: str
+    buffers: List[BufferDecl] = field(default_factory=list)
+    statements: List[Statement] = field(default_factory=list)
+
+    def buffer(self, name: str) -> BufferDecl:
+        for decl in self.buffers:
+            if decl.name == name:
+                return decl
+        raise IRError(f"kernel {self.name!r} has no buffer {name!r}")
+
+    def validate(self) -> None:
+        """Check statement/buffer consistency before codegen."""
+        if not self.statements:
+            raise IRError(f"kernel {self.name!r} has no statements")
+        names = {b.name for b in self.buffers}
+        if len(names) != len(self.buffers):
+            raise IRError(f"kernel {self.name!r} has duplicate buffer names")
+        for statement in self.statements:
+            if isinstance(statement, Elementwise):
+                refs = [statement.src, statement.dst]
+                if self.buffer(statement.src).n_elements != self.buffer(
+                    statement.dst
+                ).n_elements:
+                    raise IRError(
+                        f"{self.name}: elementwise src/dst sizes differ"
+                    )
+            elif isinstance(statement, ElementwiseBinary):
+                refs = [statement.src_a, statement.src_b, statement.dst]
+                sizes = {self.buffer(r).n_elements for r in refs}
+                if len(sizes) != 1:
+                    raise IRError(
+                        f"{self.name}: binary elementwise sizes differ"
+                    )
+            elif isinstance(statement, MatMul):
+                refs = [statement.a, statement.b, statement.dst]
+                if self.buffer(statement.a).n_elements != statement.m * statement.k:
+                    raise IRError(f"{self.name}: matmul A size mismatch")
+                if self.buffer(statement.b).n_elements != statement.k * statement.n:
+                    raise IRError(f"{self.name}: matmul B size mismatch")
+                if self.buffer(statement.dst).n_elements != (
+                    statement.m * statement.n
+                ):
+                    raise IRError(f"{self.name}: matmul C size mismatch")
+            elif isinstance(statement, Transpose2D):
+                refs = [statement.src, statement.dst]
+                expected = statement.rows * statement.cols
+                for ref in refs:
+                    if self.buffer(ref).n_elements != expected:
+                        raise IRError(
+                            f"{self.name}: transpose buffer size mismatch"
+                        )
+            elif isinstance(statement, Cast):
+                refs = [statement.src, statement.dst]
+                if self.buffer(statement.src).n_elements != self.buffer(
+                    statement.dst
+                ).n_elements:
+                    raise IRError(f"{self.name}: cast src/dst sizes differ")
+            else:  # pragma: no cover - exhaustive
+                raise IRError(f"unknown statement {statement!r}")
+            for ref in refs:
+                if ref not in names:
+                    raise IRError(
+                        f"{self.name}: statement references unknown buffer "
+                        f"{ref!r}"
+                    )

@@ -1,0 +1,229 @@
+"""Prebuilt DRX kernel IR for the benchmark restructuring operations.
+
+Each builder returns a :class:`~repro.drx.compiler.ir.Kernel` whose
+functional execution on the DRX simulator matches the corresponding
+numpy restructuring op — the cross-check tests assert exact agreement.
+Buffer naming convention: inputs first, output last.
+"""
+
+from __future__ import annotations
+
+from .ir import (
+    BufferDecl,
+    Cast,
+    Elementwise,
+    ElementwiseBinary,
+    Kernel,
+    MatMul,
+    Primitive,
+    Transpose2D,
+)
+
+__all__ = [
+    "normalize_kernel",
+    "quantize_kernel",
+    "typecast_kernel",
+    "power_spectrum_kernel",
+    "log_compress_kernel",
+    "transpose_kernel",
+    "mel_projection_kernel",
+    "sound_motion_kernel",
+    "image_tensor_kernel",
+    "columnar_pivot_kernel",
+]
+
+
+def normalize_kernel(n: int, offset: float, scale: float) -> Kernel:
+    """``out = (in - offset) / scale`` (the Normalize restructuring op)."""
+    return Kernel(
+        name="normalize",
+        buffers=[
+            BufferDecl("in", n, "float32"),
+            BufferDecl("out", n, "float32"),
+        ],
+        statements=[
+            Elementwise(
+                "in",
+                "out",
+                chain=(
+                    Primitive("sub", offset),
+                    Primitive("div", scale),
+                ),
+            )
+        ],
+    )
+
+
+def quantize_kernel(n: int, scale: float) -> Kernel:
+    """fp32 → int8 affine quantization with clipping."""
+    return Kernel(
+        name="quantize-int8",
+        buffers=[
+            BufferDecl("in", n, "float32"),
+            BufferDecl("scaled", n, "float32"),
+            BufferDecl("out", n, "int8"),
+        ],
+        statements=[
+            Elementwise(
+                "in",
+                "scaled",
+                chain=(
+                    Primitive("div", scale),
+                    Primitive("round"),
+                    Primitive("min", 127.0),
+                    Primitive("max", -128.0),
+                ),
+            ),
+            Cast("scaled", "out", "int8"),
+        ],
+    )
+
+
+def typecast_kernel(n: int, src_dtype: str, dst_dtype: str) -> Kernel:
+    """Pure dtype conversion (ubiquitous "typecasting" step)."""
+    return Kernel(
+        name=f"typecast-{src_dtype}-to-{dst_dtype}",
+        buffers=[
+            BufferDecl("in", n, src_dtype),
+            BufferDecl("out", n, dst_dtype),
+        ],
+        statements=[Cast("in", "out", dst_dtype)],
+    )
+
+
+def power_spectrum_kernel(n: int) -> Kernel:
+    """``power = re^2 + im^2`` from split complex FFT output."""
+    return Kernel(
+        name="power-spectrum",
+        buffers=[
+            BufferDecl("re", n, "float32"),
+            BufferDecl("im", n, "float32"),
+            BufferDecl("re2", n, "float32"),
+            BufferDecl("im2", n, "float32"),
+            BufferDecl("out", n, "float32"),
+        ],
+        statements=[
+            Elementwise("re", "re2", chain=(Primitive("sqr"),)),
+            Elementwise("im", "im2", chain=(Primitive("sqr"),)),
+            ElementwiseBinary("re2", "im2", "out", "add"),
+        ],
+    )
+
+
+def log_compress_kernel(n: int) -> Kernel:
+    """``out = log1p(in)`` dynamic-range compression."""
+    return Kernel(
+        name="log-compress",
+        buffers=[
+            BufferDecl("in", n, "float32"),
+            BufferDecl("out", n, "float32"),
+        ],
+        statements=[Elementwise("in", "out", chain=(Primitive("log1p"),))],
+    )
+
+
+def transpose_kernel(rows: int, cols: int, dtype: str = "float32") -> Kernel:
+    """Materialized 2-D transpose (spectrogram assembly, layout pivots)."""
+    return Kernel(
+        name=f"transpose-{rows}x{cols}",
+        buffers=[
+            BufferDecl("in", rows * cols, dtype),
+            BufferDecl("out", rows * cols, dtype),
+        ],
+        statements=[Transpose2D("in", "out", rows, cols)],
+    )
+
+
+def mel_projection_kernel(n_mels: int, n_bins: int, n_frames: int) -> Kernel:
+    """``mel[n_mels, frames] = bank[n_mels, bins] @ spec[bins, frames]``."""
+    return Kernel(
+        name="mel-projection",
+        buffers=[
+            BufferDecl("bank", n_mels * n_bins, "float32"),
+            BufferDecl("spec", n_bins * n_frames, "float32"),
+            BufferDecl("out", n_mels * n_frames, "float32"),
+        ],
+        statements=[
+            MatMul("bank", "spec", "out", m=n_mels, k=n_bins, n=n_frames)
+        ],
+    )
+
+
+def image_tensor_kernel(height: int, width: int, mean: float = 127.5,
+                        scale: float = 127.5) -> Kernel:
+    """HWC uint8 image → normalized planar CHW fp32 (ImageToTensor on DRX).
+
+    Cast to fp32, affine-normalize, then pivot the (H*W, C) interleaved
+    layout to (C, H*W) planar with the Transposition Engine.
+    """
+    n = height * width * 3
+    return Kernel(
+        name="image-to-tensor",
+        buffers=[
+            BufferDecl("in", n, "uint8"),
+            BufferDecl("as_float", n, "float32"),
+            BufferDecl("normalized", n, "float32"),
+            BufferDecl("out", n, "float32"),
+        ],
+        statements=[
+            Cast("in", "as_float", "float32"),
+            Elementwise(
+                "as_float",
+                "normalized",
+                chain=(Primitive("sub", mean), Primitive("div", scale)),
+            ),
+            # Interleaved (H*W rows of C) -> planar (C rows of H*W).
+            Transpose2D("normalized", "out", rows=height * width, cols=3),
+        ],
+    )
+
+
+def columnar_pivot_kernel(n_rows: int, n_cols: int) -> Kernel:
+    """Row-major int32 table → columnar layout (RowsToColumnar on DRX).
+
+    The row→column pivot is exactly a (rows, cols) transpose over the
+    int32 fields — the Transposition Engine's home turf.
+    """
+    n = n_rows * n_cols
+    return Kernel(
+        name="columnar-pivot",
+        buffers=[
+            BufferDecl("in", n, "int32"),
+            BufferDecl("out", n, "int32"),
+        ],
+        statements=[Transpose2D("in", "out", rows=n_rows, cols=n_cols)],
+    )
+
+
+def sound_motion_kernel(n_frames: int, n_bins: int, n_mels: int) -> Kernel:
+    """The full Sound Detection data-motion kernel (Fig. 2) on DRX.
+
+    FFT output (split re/im, ``(frames, bins)`` row-major) → power →
+    spectrogram transpose → mel projection → log compression. The mel
+    filterbank arrives as an input buffer (precomputed on the host at
+    context-creation time, like any other kernel constant).
+    """
+    n = n_frames * n_bins
+    return Kernel(
+        name="sound-detection-motion",
+        buffers=[
+            BufferDecl("re", n, "float32"),
+            BufferDecl("im", n, "float32"),
+            BufferDecl("bank", n_mels * n_bins, "float32"),
+            BufferDecl("re2", n, "float32"),
+            BufferDecl("im2", n, "float32"),
+            BufferDecl("power", n, "float32"),
+            BufferDecl("spectrogram", n, "float32"),
+            BufferDecl("mel", n_mels * n_frames, "float32"),
+            BufferDecl("out", n_mels * n_frames, "float32"),
+        ],
+        statements=[
+            Elementwise("re", "re2", chain=(Primitive("sqr"),)),
+            Elementwise("im", "im2", chain=(Primitive("sqr"),)),
+            ElementwiseBinary("re2", "im2", "power", "add"),
+            Transpose2D("power", "spectrogram", rows=n_frames, cols=n_bins),
+            MatMul("bank", "spectrogram", "mel",
+                   m=n_mels, k=n_bins, n=n_frames),
+            Elementwise("mel", "out", chain=(Primitive("log1p"),)),
+        ],
+    )

@@ -1,0 +1,320 @@
+"""Functional DRX simulator: executes programs on real data.
+
+The simulator models the architecture of Fig. 6 functionally:
+
+* **DRAM** — named numpy buffers (the DRX's 8 GB DDR4 device memory,
+  where RX/TX data queues live);
+* **scratchpad banks** — a fixed number of software-managed tile
+  registers with a total byte capacity (64 KB default);
+* **Restructuring Engines** — elementwise vector ops over banks;
+* **Transposition Engine** — tile transposes;
+* **Instruction Repeater** — hardware loops with loop indices feeding
+  the strided address calculator.
+
+Execution also produces a :class:`ExecutionStats` record (dynamic
+instruction counts, bytes moved, vector operations) that the timing
+model converts to cycles, so functional runs and timing are derived from
+the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .isa import (
+    BINARY_OPCODES,
+    IMMEDIATE_OPCODES,
+    UNARY_OPCODES,
+    AddressExpr,
+    Instruction,
+    Opcode,
+    Program,
+    ProgramError,
+)
+
+__all__ = ["DRXMemory", "ExecutionStats", "FunctionalDRX"]
+
+_BINARY_FUNCS = {
+    Opcode.VADD: np.add,
+    Opcode.VSUB: np.subtract,
+    Opcode.VMUL: np.multiply,
+    Opcode.VDIV: np.divide,
+    Opcode.VMAX: np.maximum,
+    Opcode.VMIN: np.minimum,
+}
+_IMMEDIATE_FUNCS = {
+    Opcode.VADDI: np.add,
+    Opcode.VSUBI: np.subtract,
+    Opcode.VMULI: np.multiply,
+    Opcode.VDIVI: np.divide,
+    Opcode.VMAXI: np.maximum,
+    Opcode.VMINI: np.minimum,
+}
+_UNARY_FUNCS = {
+    Opcode.VSQRT: np.sqrt,
+    Opcode.VEXP: np.exp,
+    Opcode.VLOG1P: np.log1p,
+    Opcode.VABS: np.abs,
+    Opcode.VSQR: np.square,
+    Opcode.VROUND: np.round,
+    Opcode.VMOV: np.copy,
+}
+
+
+class DRXMemory:
+    """Named DRAM buffers on the DRX card (flat element arrays)."""
+
+    def __init__(self, capacity_bytes: int = 8 * 1024**3):
+        self.capacity_bytes = capacity_bytes
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def bind(self, name: str, data: np.ndarray) -> None:
+        """Attach an input/output buffer (stored flat, dtype preserved)."""
+        flat = np.ascontiguousarray(data).reshape(-1)
+        used = sum(b.nbytes for b in self._buffers.values())
+        if used + flat.nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"binding {name!r} ({flat.nbytes} B) exceeds DRX DRAM capacity"
+            )
+        self._buffers[name] = flat.copy()
+
+    def allocate(self, name: str, n_elements: int, dtype) -> None:
+        """Create a zeroed output buffer."""
+        self.bind(name, np.zeros(n_elements, dtype=dtype))
+
+    def read(self, name: str) -> np.ndarray:
+        if name not in self._buffers:
+            raise KeyError(f"no DRAM buffer named {name!r}")
+        return self._buffers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+
+@dataclass
+class ExecutionStats:
+    """Dynamic execution trace summary of one program run."""
+
+    dynamic_instructions: int = 0
+    vector_ops: int = 0  # elementwise lane-operations issued
+    transpose_elements: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    loop_iterations: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_loaded + self.bytes_stored
+
+
+class FunctionalDRX:
+    """Executes a validated :class:`Program` against a :class:`DRXMemory`.
+
+    Parameters
+    ----------
+    memory:
+        The card's DRAM buffers.
+    n_banks:
+        Scratchpad banks (tile registers).
+    scratchpad_bytes:
+        Total on-chip scratchpad capacity; a tile set exceeding it is a
+        program bug and raises.
+    """
+
+    def __init__(
+        self,
+        memory: DRXMemory,
+        n_banks: int = 16,
+        scratchpad_bytes: int = 64 * 1024,
+    ):
+        self.memory = memory
+        self.n_banks = n_banks
+        self.scratchpad_bytes = scratchpad_bytes
+        self.banks: List[Optional[np.ndarray]] = [None] * n_banks
+        self.scalar_regs: Dict[int, float] = {}
+        self.stats = ExecutionStats()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _bank(self, index: int) -> np.ndarray:
+        value = self.banks[index]
+        if value is None:
+            raise ProgramError(f"read of uninitialized scratchpad bank v{index}")
+        return value
+
+    def _check_scratchpad(self) -> None:
+        used = sum(b.nbytes for b in self.banks if b is not None)
+        if used > self.scratchpad_bytes:
+            raise ProgramError(
+                f"scratchpad overflow: {used} B used, "
+                f"{self.scratchpad_bytes} B available"
+            )
+
+    def _resolve(self, addr: AddressExpr, indices: List[int]) -> int:
+        return addr.resolve(indices)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, program: Program) -> ExecutionStats:
+        """Run the program to completion; returns execution statistics."""
+        program.validate(self.n_banks)
+        self.stats = ExecutionStats()
+        self._run_block(program.instructions, 0, len(program.instructions), [])
+        return self.stats
+
+    def _find_matching_endloop(self, instrs, start: int, end: int) -> int:
+        depth = 0
+        for pc in range(start, end):
+            if instrs[pc].opcode == Opcode.LOOP:
+                depth += 1
+            elif instrs[pc].opcode == Opcode.ENDLOOP:
+                depth -= 1
+                if depth == 0:
+                    return pc
+        raise ProgramError("LOOP without matching ENDLOOP")
+
+    def _run_block(self, instrs, start: int, end: int, indices: List[int]) -> None:
+        pc = start
+        while pc < end:
+            instr = instrs[pc]
+            if instr.opcode == Opcode.LOOP:
+                end_pc = self._find_matching_endloop(instrs, pc, end)
+                for iteration in range(instr.count):
+                    self.stats.loop_iterations += 1
+                    self._run_block(instrs, pc + 1, end_pc, indices + [iteration])
+                pc = end_pc + 1
+                continue
+            self._step(instr, indices)
+            pc += 1
+
+    def _step(self, instr: Instruction, indices: List[int]) -> None:
+        self.stats.dynamic_instructions += 1
+        op = instr.opcode
+
+        if op in (Opcode.SYNC_START, Opcode.SYNC_END, Opcode.HALT,
+                  Opcode.ENDLOOP):
+            return
+
+        if op == Opcode.SSET:
+            self.scalar_regs[instr.dst] = instr.imm
+            return
+
+        if op == Opcode.LD:
+            buffer = self.memory.read(instr.addr.buffer)
+            offset = self._resolve(instr.addr, indices)
+            if offset + instr.count > len(buffer):
+                raise ProgramError(
+                    f"LD out of bounds: {instr.addr.buffer}[{offset}:"
+                    f"{offset + instr.count}] of {len(buffer)}"
+                )
+            self.banks[instr.dst] = buffer[offset : offset + instr.count].copy()
+            self.stats.bytes_loaded += int(self.banks[instr.dst].nbytes)
+            self._check_scratchpad()
+            return
+
+        if op == Opcode.ST:
+            buffer = self.memory.read(instr.addr.buffer)
+            offset = self._resolve(instr.addr, indices)
+            tile = self._bank(instr.src)
+            if instr.bank_addr is not None:
+                bank_offset = instr.bank_addr.resolve(indices)
+                if bank_offset + instr.count > len(tile):
+                    raise ProgramError(
+                        f"ST bank slice [{bank_offset}:{bank_offset + instr.count}]"
+                        f" exceeds tile length {len(tile)}"
+                    )
+                tile = tile[bank_offset : bank_offset + instr.count]
+            elif instr.count != len(tile):
+                raise ProgramError(
+                    f"ST count {instr.count} != tile length {len(tile)}"
+                )
+            if offset + instr.count > len(buffer):
+                raise ProgramError(
+                    f"ST out of bounds: {instr.addr.buffer}[{offset}:"
+                    f"{offset + instr.count}] of {len(buffer)}"
+                )
+            buffer[offset : offset + instr.count] = tile.astype(buffer.dtype)
+            self.stats.bytes_stored += int(tile.nbytes)
+            return
+
+        if op in BINARY_OPCODES:
+            a = self._bank(instr.src)
+            if op == Opcode.VMAC:
+                acc = self._bank(instr.dst)
+                b = self._bank(instr.src2)
+                if not (len(a) == len(b) == len(acc)):
+                    raise ProgramError("VMAC tile length mismatch")
+                self.banks[instr.dst] = acc + a * b
+            else:
+                b = self._bank(instr.src2)
+                if len(a) != len(b):
+                    raise ProgramError(f"{op.value} tile length mismatch")
+                self.banks[instr.dst] = _BINARY_FUNCS[op](a, b)
+            self.stats.vector_ops += len(a)
+            self._check_scratchpad()
+            return
+
+        if op == Opcode.VSET:
+            # Fill a tile with an immediate. Explicit count when given;
+            # otherwise the destination's current tile length (or 1).
+            if instr.count is not None:
+                length = instr.count
+            else:
+                current = self.banks[instr.dst]
+                length = len(current) if current is not None else 1
+            self.banks[instr.dst] = np.full(length, instr.imm, dtype=np.float32)
+            self.stats.vector_ops += length
+            self._check_scratchpad()
+            return
+
+        if op == Opcode.VBCAST:
+            source = self._bank(instr.src)
+            self.banks[instr.dst] = np.full(
+                instr.count, source[0], dtype=source.dtype
+            )
+            self.stats.vector_ops += instr.count
+            self._check_scratchpad()
+            return
+
+        if op in IMMEDIATE_OPCODES:
+            a = self._bank(instr.src)
+            self.banks[instr.dst] = _IMMEDIATE_FUNCS[op](a, instr.imm)
+            self.stats.vector_ops += len(a)
+            return
+
+        if op in UNARY_OPCODES:
+            a = self._bank(instr.src)
+            self.banks[instr.dst] = _UNARY_FUNCS[op](a)
+            self.stats.vector_ops += len(a)
+            return
+
+        if op == Opcode.VCVT:
+            a = self._bank(instr.src)
+            self.banks[instr.dst] = a.astype(np.dtype(instr.dtype))
+            self.stats.vector_ops += len(a)
+            self._check_scratchpad()
+            return
+
+        if op == Opcode.VRED:
+            a = self._bank(instr.src)
+            func = {"sum": np.sum, "max": np.max, "min": np.min}[instr.reduce_op]
+            self.banks[instr.dst] = np.asarray([func(a)], dtype=a.dtype)
+            self.stats.vector_ops += len(a)
+            return
+
+        if op == Opcode.TRANS:
+            a = self._bank(instr.src)
+            if len(a) != instr.rows * instr.cols:
+                raise ProgramError(
+                    f"TRANS tile length {len(a)} != {instr.rows}x{instr.cols}"
+                )
+            self.banks[instr.dst] = np.ascontiguousarray(
+                a.reshape(instr.rows, instr.cols).T
+            ).reshape(-1)
+            self.stats.transpose_elements += len(a)
+            return
+
+        raise ProgramError(f"unhandled opcode {op!r}")  # pragma: no cover

@@ -1,0 +1,297 @@
+"""DRX instruction set architecture (Sec. IV-B, Fig. 7).
+
+The DRX ISA departs from conventional SIMD in three ways the paper calls
+out, all reflected here:
+
+* **memory** — no vector register file / cache hierarchy; instructions
+  move tiles between off-chip DRAM and software-managed on-chip
+  scratchpad banks via the Off-chip Data Access Engine;
+* **loops** — hardware loops (the Instruction Repeater) replace branch
+  instructions: ``LOOP n ... ENDLOOP`` repeats a body with a loop index
+  available for strided address calculation;
+* **addressing** — memory operands carry ``<Base, Stride, Iteration>``
+  style affine addresses over the enclosing loop indices (the Strided
+  Scratchpad Address Calculator), eliminating pack/unpack instructions.
+
+Instruction classes: loop (``LOOP``/``ENDLOOP``), off-chip access
+(``LD``/``ST``), compute (``V*`` vector ops, ``TRANS`` for the
+Transposition Engine), synchronization (``SYNC``), and scalar support
+(``SSET``, ``HALT``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Opcode",
+    "AddressExpr",
+    "Instruction",
+    "Program",
+    "ProgramError",
+    "VECTOR_OPCODES",
+    "UNARY_OPCODES",
+    "BINARY_OPCODES",
+    "IMMEDIATE_OPCODES",
+]
+
+
+class ProgramError(ValueError):
+    """Raised for malformed DRX programs."""
+
+
+class Opcode(enum.Enum):
+    """Every DRX instruction opcode."""
+
+    # Loop instructions (Instruction Repeater).
+    LOOP = "LOOP"
+    ENDLOOP = "ENDLOOP"
+    # Off-chip Data Access Engine.
+    LD = "LD"
+    ST = "ST"
+    # Vector compute (Restructuring Engines).
+    VADD = "VADD"
+    VSUB = "VSUB"
+    VMUL = "VMUL"
+    VDIV = "VDIV"
+    VMAX = "VMAX"
+    VMIN = "VMIN"
+    VMAC = "VMAC"
+    VADDI = "VADDI"
+    VSUBI = "VSUBI"
+    VMULI = "VMULI"
+    VDIVI = "VDIVI"
+    VMAXI = "VMAXI"
+    VMINI = "VMINI"
+    VSQRT = "VSQRT"
+    VEXP = "VEXP"
+    VLOG1P = "VLOG1P"
+    VABS = "VABS"
+    VSQR = "VSQR"
+    VROUND = "VROUND"
+    VMOV = "VMOV"
+    VSET = "VSET"
+    VBCAST = "VBCAST"
+    VCVT = "VCVT"
+    VRED = "VRED"
+    # Transposition Engine.
+    TRANS = "TRANS"
+    # Synchronization.
+    SYNC_START = "SYNC.START"
+    SYNC_END = "SYNC.END"
+    # Scalar support.
+    SSET = "SSET"
+    HALT = "HALT"
+
+
+BINARY_OPCODES = frozenset(
+    {Opcode.VADD, Opcode.VSUB, Opcode.VMUL, Opcode.VDIV, Opcode.VMAX,
+     Opcode.VMIN, Opcode.VMAC}
+)
+IMMEDIATE_OPCODES = frozenset(
+    {Opcode.VADDI, Opcode.VSUBI, Opcode.VMULI, Opcode.VDIVI, Opcode.VMAXI,
+     Opcode.VMINI, Opcode.VSET}
+)
+UNARY_OPCODES = frozenset(
+    {Opcode.VSQRT, Opcode.VEXP, Opcode.VLOG1P, Opcode.VABS, Opcode.VSQR,
+     Opcode.VROUND, Opcode.VMOV}
+)
+VECTOR_OPCODES = BINARY_OPCODES | IMMEDIATE_OPCODES | UNARY_OPCODES | {
+    Opcode.VCVT, Opcode.VRED, Opcode.VBCAST,
+}
+
+
+@dataclass(frozen=True)
+class AddressExpr:
+    """Affine DRAM address: ``base + sum(loop_index[l] * strides[l])``.
+
+    ``strides`` aligns with enclosing loops, outermost first; shorter
+    tuples leave inner loops unused. All units are *elements*, not bytes.
+    """
+
+    buffer: str
+    base: int = 0
+    strides: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.buffer:
+            raise ProgramError("address requires a buffer name")
+        if self.base < 0:
+            raise ProgramError(f"negative base offset {self.base}")
+
+    def resolve(self, loop_indices: Sequence[int]) -> int:
+        """Concrete element offset for the current loop indices."""
+        if len(self.strides) > len(loop_indices):
+            raise ProgramError(
+                f"address uses {len(self.strides)} loop dims but only "
+                f"{len(loop_indices)} loops are live"
+            )
+        offset = self.base
+        for stride, index in zip(self.strides, loop_indices):
+            offset += stride * index
+        return offset
+
+    def format(self) -> str:
+        strides = "".join(f",{s:+d}" for s in self.strides)
+        return f"{self.buffer}[{self.base}{strides}]"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One DRX instruction.
+
+    Fields are opcode-dependent; :meth:`validate` enforces the shape.
+
+    ==========  ==============================================================
+    opcode      operands used
+    ==========  ==============================================================
+    LOOP        ``count``
+    ENDLOOP     (none)
+    LD          ``dst`` (bank), ``addr``, ``count``
+    ST          ``src`` (bank), ``addr``, ``count``
+                [+ ``bank_addr``: affine offset *within* the source bank,
+                for storing a slice of a tile (transpose tiling)]
+    V binary    ``dst``, ``src`` (a), ``src2`` (b)
+    V immediate ``dst``, ``src``, ``imm``
+    V unary     ``dst``, ``src``
+    VSET        ``dst``, ``imm``, ``count`` (tile fill)
+    VBCAST      ``dst``, ``src``, ``count`` (broadcast src[0])
+    VCVT        ``dst``, ``src``, ``dtype``
+    VRED        ``dst``, ``src``, ``reduce_op`` ("sum"|"max"|"min")
+    TRANS       ``dst``, ``src``, ``rows``, ``cols``
+    SYNC.*      (none)
+    SSET        ``dst`` (scalar reg id), ``imm``
+    HALT        (none)
+    ==========  ==============================================================
+    """
+
+    opcode: Opcode
+    dst: Optional[int] = None
+    src: Optional[int] = None
+    src2: Optional[int] = None
+    imm: Optional[float] = None
+    addr: Optional[AddressExpr] = None
+    bank_addr: Optional[AddressExpr] = None
+    count: Optional[int] = None
+    rows: Optional[int] = None
+    cols: Optional[int] = None
+    dtype: Optional[str] = None
+    reduce_op: Optional[str] = None
+
+    def validate(self, n_banks: int) -> None:
+        """Raise :class:`ProgramError` on operand-shape violations."""
+        op = self.opcode
+
+        def need_bank(value, role):
+            if value is None or not 0 <= value < n_banks:
+                raise ProgramError(f"{op.value}: {role} bank {value!r} invalid")
+
+        if op == Opcode.LOOP:
+            if self.count is None or self.count <= 0:
+                raise ProgramError(f"LOOP count must be positive, got {self.count}")
+        elif op in (Opcode.LD, Opcode.ST):
+            bank = self.dst if op == Opcode.LD else self.src
+            need_bank(bank, "data")
+            if self.addr is None:
+                raise ProgramError(f"{op.value}: missing address")
+            if self.count is None or self.count <= 0:
+                raise ProgramError(f"{op.value}: count must be positive")
+        elif op in BINARY_OPCODES:
+            need_bank(self.dst, "dst")
+            need_bank(self.src, "src")
+            need_bank(self.src2, "src2")
+        elif op in IMMEDIATE_OPCODES:
+            need_bank(self.dst, "dst")
+            if op != Opcode.VSET:
+                need_bank(self.src, "src")
+            if self.imm is None:
+                raise ProgramError(f"{op.value}: missing immediate")
+        elif op == Opcode.VBCAST:
+            need_bank(self.dst, "dst")
+            need_bank(self.src, "src")
+            if self.count is None or self.count <= 0:
+                raise ProgramError("VBCAST: count must be positive")
+        elif op in UNARY_OPCODES:
+            need_bank(self.dst, "dst")
+            need_bank(self.src, "src")
+        elif op == Opcode.VCVT:
+            need_bank(self.dst, "dst")
+            need_bank(self.src, "src")
+            if self.dtype is None:
+                raise ProgramError("VCVT: missing dtype")
+            np.dtype(self.dtype)  # raises TypeError if unknown
+        elif op == Opcode.VRED:
+            need_bank(self.dst, "dst")
+            need_bank(self.src, "src")
+            if self.reduce_op not in ("sum", "max", "min"):
+                raise ProgramError(f"VRED: bad reduce op {self.reduce_op!r}")
+        elif op == Opcode.TRANS:
+            need_bank(self.dst, "dst")
+            need_bank(self.src, "src")
+            if not self.rows or not self.cols or self.rows <= 0 or self.cols <= 0:
+                raise ProgramError("TRANS: rows/cols must be positive")
+        elif op == Opcode.SSET:
+            if self.dst is None or self.dst < 0:
+                raise ProgramError("SSET: bad scalar register")
+            if self.imm is None:
+                raise ProgramError("SSET: missing immediate")
+        elif op in (Opcode.ENDLOOP, Opcode.SYNC_START, Opcode.SYNC_END,
+                    Opcode.HALT):
+            pass
+        else:  # pragma: no cover - exhaustive
+            raise ProgramError(f"unknown opcode {op!r}")
+
+
+@dataclass
+class Program:
+    """A validated DRX instruction stream.
+
+    Programs must be bracketed by ``SYNC.START`` / ``SYNC.END`` (the
+    paper: "synchronization instructions are issued at the start and the
+    end of the instruction stream").
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    name: str = "drx-kernel"
+
+    def validate(self, n_banks: int = 16) -> None:
+        if not self.instructions:
+            raise ProgramError(f"{self.name}: empty program")
+        if self.instructions[0].opcode != Opcode.SYNC_START:
+            raise ProgramError(f"{self.name}: must begin with SYNC.START")
+        if self.instructions[-1].opcode != Opcode.SYNC_END:
+            raise ProgramError(f"{self.name}: must end with SYNC.END")
+        depth = 0
+        for instr in self.instructions:
+            instr.validate(n_banks)
+            if instr.opcode == Opcode.LOOP:
+                depth += 1
+            elif instr.opcode == Opcode.ENDLOOP:
+                depth -= 1
+                if depth < 0:
+                    raise ProgramError(f"{self.name}: unbalanced ENDLOOP")
+        if depth != 0:
+            raise ProgramError(f"{self.name}: {depth} unterminated LOOPs")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def counts(self) -> dict:
+        """Static instruction histogram by class (compiler statistics)."""
+        out = {"loop": 0, "memory": 0, "compute": 0, "sync": 0, "other": 0}
+        for instr in self.instructions:
+            if instr.opcode in (Opcode.LOOP, Opcode.ENDLOOP):
+                out["loop"] += 1
+            elif instr.opcode in (Opcode.LD, Opcode.ST):
+                out["memory"] += 1
+            elif instr.opcode in VECTOR_OPCODES or instr.opcode == Opcode.TRANS:
+                out["compute"] += 1
+            elif instr.opcode in (Opcode.SYNC_START, Opcode.SYNC_END):
+                out["sync"] += 1
+            else:
+                out["other"] += 1
+        return out

@@ -1,0 +1,126 @@
+"""DRX RX/TX data queues (Sec. V, Fig. 9).
+
+Each DRX's 8 GB device memory is statically partitioned into RX/TX data
+queue pairs — one pair per peer accelerator for direct DRX↔accelerator
+traffic and one pair per peer DRX. Each RX/TX *pair* is 100 MB (so each
+queue is 50 MB); two pairs per accelerator in the system bound it to
+8 GB / 200 MB = 40 accelerators per server, the paper's provisioning.
+The driver tracks head/tail pointers per queue; a point-to-point DMA
+moves payloads between queue buffers and accelerator memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["DataQueue", "QueuePartition", "QueueFullError",
+           "QUEUE_BYTES", "QUEUE_PAIR_BYTES", "DRX_MEMORY_BYTES",
+           "MAX_ACCELERATORS"]
+
+QUEUE_PAIR_BYTES = 100 * 1024 * 1024
+QUEUE_BYTES = QUEUE_PAIR_BYTES // 2
+DRX_MEMORY_BYTES = 8 * 1024**3
+
+
+def _max_accelerators(memory_bytes: int = DRX_MEMORY_BYTES,
+                      pair_bytes: int = QUEUE_PAIR_BYTES) -> int:
+    """Accelerator budget: 2 pairs (accel pair + DRX-DRX pair) per peer."""
+    return memory_bytes // (2 * pair_bytes)
+
+
+MAX_ACCELERATORS = _max_accelerators()
+
+
+class QueueFullError(RuntimeError):
+    """Raised when an enqueue would exceed a data queue's capacity."""
+
+
+@dataclass
+class DataQueue:
+    """A circular buffer with head/tail pointers (driver-visible state)."""
+
+    name: str
+    capacity_bytes: int = QUEUE_BYTES
+    head: int = 0  # total bytes dequeued
+    tail: int = 0  # total bytes enqueued
+    entries: List[Tuple[int, int]] = field(default_factory=list)  # (offset, size)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.tail - self.head
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def enqueue(self, nbytes: int) -> int:
+        """Reserve space for a payload; returns its offset token."""
+        if nbytes <= 0:
+            raise ValueError(f"payload size must be positive, got {nbytes}")
+        if nbytes > self.free_bytes:
+            raise QueueFullError(
+                f"{self.name}: {nbytes} B requested, {self.free_bytes} B free"
+            )
+        offset = self.tail
+        self.tail += nbytes
+        self.entries.append((offset, nbytes))
+        return offset
+
+    def dequeue(self) -> Tuple[int, int]:
+        """Release the oldest payload; returns ``(offset, size)``."""
+        if not self.entries:
+            raise IndexError(f"{self.name}: dequeue from empty queue")
+        offset, size = self.entries.pop(0)
+        self.head += size
+        return offset, size
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class QueuePartition:
+    """Static partition of one DRX's memory into per-peer queue pairs.
+
+    Peers are discovered at PCIe enumeration time (Sec. V): the driver
+    learns the accelerator and DRX population and carves two RX/TX pairs
+    per peer out of device memory.
+    """
+
+    def __init__(
+        self,
+        drx_name: str,
+        accelerator_peers: List[str],
+        drx_peers: Optional[List[str]] = None,
+        memory_bytes: int = DRX_MEMORY_BYTES,
+        queue_bytes: int = QUEUE_BYTES,
+    ):
+        drx_peers = drx_peers or []
+        total_peers = len(accelerator_peers) + len(drx_peers)
+        needed = total_peers * 2 * queue_bytes
+        if needed > memory_bytes:
+            raise MemoryError(
+                f"{drx_name}: {total_peers} peers need {needed} B of queue "
+                f"space but only {memory_bytes} B are provisioned"
+            )
+        self.drx_name = drx_name
+        self.queue_bytes = queue_bytes
+        self.rx: Dict[str, DataQueue] = {}
+        self.tx: Dict[str, DataQueue] = {}
+        for peer in list(accelerator_peers) + list(drx_peers):
+            self.rx[peer] = DataQueue(f"{drx_name}.rx[{peer}]", queue_bytes)
+            self.tx[peer] = DataQueue(f"{drx_name}.tx[{peer}]", queue_bytes)
+
+    def rx_for(self, peer: str) -> DataQueue:
+        if peer not in self.rx:
+            raise KeyError(f"{self.drx_name}: no RX queue for peer {peer!r}")
+        return self.rx[peer]
+
+    def tx_for(self, peer: str) -> DataQueue:
+        if peer not in self.tx:
+            raise KeyError(f"{self.drx_name}: no TX queue for peer {peer!r}")
+        return self.tx[peer]
+
+    @property
+    def peers(self) -> List[str]:
+        return list(self.rx)

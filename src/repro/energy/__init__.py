@@ -1,0 +1,5 @@
+"""System energy accounting (RAPL-style CPU + card + PCIe models)."""
+
+from .models import EnergyBreakdown, EnergyModel, EnergyParams
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "EnergyParams"]

@@ -1,0 +1,171 @@
+"""CLI: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.eval            # everything
+    python -m repro.eval fig11 fig13   # selected experiments
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import experiments as X
+from .report import Banner, format_table
+
+
+def _print_fig3a() -> None:
+    print(Banner("Fig. 3(a): runtime breakdown, All-CPU vs Multi-Axl"))
+    for label, result in X.fig3a_runtime_breakdown().items():
+        print(format_table(
+            ["apps", "kernel", "restructuring", "movement"],
+            result.rows(), title=f"[{label}]",
+        ))
+        print()
+
+
+def _print_fig3b() -> None:
+    print(Banner("Fig. 3(b): end-to-end vs per-kernel speedup"))
+    result = X.fig3b_motivation_speedup()
+    for level, value in result.end_to_end.items():
+        print(f"  Multi-Axl end-to-end speedup @ {level} apps: {value:.2f}x")
+    print(f"  per-accelerator kernel speedup (geomean): "
+          f"{result.per_kernel_geomean:.2f}x")
+    print()
+
+
+def _print_fig5() -> None:
+    print(Banner("Fig. 5: top-down breakdown of restructuring ops"))
+    print(format_table(
+        ["benchmark", "retire", "frontend", "badspec", "core", "memory",
+         "L1I MPKI", "L1D MPKI", "L2 MPKI"],
+        X.fig5_topdown().rows(),
+    ))
+    print()
+
+
+def _print_fig11() -> None:
+    print(Banner("Fig. 11: DMX latency speedup over Multi-Axl"))
+    result = X.fig11_speedup()
+    print(format_table(
+        ["benchmark"] + [f"{l} apps" for l in result.levels], result.rows()
+    ))
+    print()
+
+
+def _print_fig12() -> None:
+    print(Banner("Fig. 12: runtime breakdown, Multi-Axl vs DMX"))
+    for label, result in X.fig12_breakdown().items():
+        print(format_table(
+            ["apps", "kernel", "restructuring", "movement"],
+            result.rows(), title=f"[{label}]",
+        ))
+        print()
+
+
+def _print_fig13() -> None:
+    print(Banner("Fig. 13: DMX throughput improvement over Multi-Axl"))
+    result = X.fig13_throughput()
+    print(format_table(
+        ["benchmark"] + [f"{l} apps" for l in result.levels], result.rows()
+    ))
+    print()
+
+
+def _print_fig14() -> None:
+    print(Banner("Fig. 14: speedup by DRX placement"))
+    result = X.fig14_placement_speedup()
+    print(format_table(
+        ["placement"] + [f"{l} apps" for l in result.levels], result.rows()
+    ))
+    print()
+
+
+def _print_fig15() -> None:
+    print(Banner("Fig. 15: energy reduction by DRX placement"))
+    result = X.fig15_placement_energy()
+    print(format_table(
+        ["placement"] + [f"{l} apps" for l in result.levels], result.rows()
+    ))
+    print()
+
+
+def _print_fig16() -> None:
+    print(Banner("Fig. 16: PIR + NER (three kernels)"))
+    result = X.fig16_ner_extension()
+    rows = [
+        [level, f"{result.speedups[level]:.2f}x",
+         f"{result.dmx_motion_fraction[level] * 100:.1f}%",
+         f"{result.baseline_restructure_fraction[level] * 100:.1f}%"]
+        for level in result.speedups
+    ]
+    print(format_table(
+        ["apps", "DMX speedup", "DMX motion share", "baseline restr share"],
+        rows,
+    ))
+    print()
+
+
+def _print_fig17() -> None:
+    print(Banner("Fig. 17: collective-communication speedups"))
+    for operation, series in X.fig17_collectives().items():
+        rows = [[n, f"{v:.2f}x"] for n, v in series.speedups.items()]
+        print(format_table(["accelerators", "speedup"], rows,
+                           title=f"[{operation}]"))
+        print()
+
+
+def _print_fig18() -> None:
+    print(Banner("Fig. 18: RE-lane sensitivity"))
+    rows = [[lanes, f"{v:.2f}x"] for lanes, v in X.fig18_lane_sweep().items()]
+    print(format_table(["RE lanes", "speedup"], rows))
+    print()
+
+
+def _print_fig19() -> None:
+    print(Banner("Fig. 19: PCIe generation sensitivity"))
+    rows = [[gen, f"{v:.2f}x"] for gen, v in X.fig19_pcie_generations().items()]
+    print(format_table(["PCIe gen", "DMX speedup"], rows))
+    print()
+
+
+def _print_table1() -> None:
+    print(Banner("Table I: end-to-end benchmarks"))
+    print(format_table(
+        ["benchmark", "kernel 1", "impl", "restructuring", "kernel 2",
+         "impl", "intermediate"],
+        X.table1_benchmarks(),
+    ))
+    print()
+
+
+_ALL = {
+    "table1": _print_table1,
+    "fig3a": _print_fig3a,
+    "fig3b": _print_fig3b,
+    "fig5": _print_fig5,
+    "fig11": _print_fig11,
+    "fig12": _print_fig12,
+    "fig13": _print_fig13,
+    "fig14": _print_fig14,
+    "fig15": _print_fig15,
+    "fig16": _print_fig16,
+    "fig17": _print_fig17,
+    "fig18": _print_fig18,
+    "fig19": _print_fig19,
+}
+
+
+def main(argv=None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or list(_ALL)
+    unknown = [n for n in names if n not in _ALL]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {list(_ALL)}")
+        return 2
+    for name in names:
+        _ALL[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each ablation switches off (or sweeps) one mechanism the DMX design
+relies on and measures the cost, quantifying *why* the design is the
+way it is:
+
+* **scratchpad fusion** — the DRX compiler keeps restructuring-chain
+  intermediates on chip; without it, every intermediate round-trips
+  DRAM like the CPU's cache hierarchy does;
+* **interrupt coalescing / NAPI polling** — the driver's notification
+  strategy under bursty completion traffic;
+* **scratchpad capacity** — smaller scratchpads force more, smaller
+  tiles through the compiler (more hardware-loop iterations and issue
+  overhead);
+* **DRX scalar residual** — how much of DMX's benefit depends on the
+  compiler vectorizing control-flow-bound restructuring;
+* **decoupled access-execute** — overlap of the Off-chip Data Access
+  Engine with the RE lanes, vs a serialized design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core import DMXSystem, Mode, SystemConfig
+from ..drx import (
+    DRXCompiler,
+    DRXConfig,
+    DRXMemory,
+    DRXTimingModel,
+    FunctionalDRX,
+    sound_motion_kernel,
+)
+from ..restructuring import mel_filterbank
+from ..sim import geometric_mean
+from ..workloads import benchmark_names, build_benchmark_chains
+
+__all__ = [
+    "ablate_scratchpad_fusion",
+    "ablate_notification_strategy",
+    "ablate_scratchpad_capacity",
+    "ablate_scalar_residual",
+    "ablate_decoupling",
+    "ablate_batch_size",
+]
+
+
+def _geomean_speedup(config: SystemConfig, n_apps: int,
+                     requests: int = 3) -> float:
+    ratios = []
+    for name in benchmark_names():
+        chains = build_benchmark_chains(name, n_apps)
+        base = DMXSystem(
+            chains, SystemConfig(mode=Mode.MULTI_AXL)
+        ).run_latency(requests)
+        dmx = DMXSystem(chains, replace(config, mode=config.mode)).run_latency(
+            requests
+        )
+        ratios.append(base.mean_latency() / dmx.mean_latency())
+    return geometric_mean(ratios)
+
+
+def ablate_scratchpad_fusion(n_apps: int = 5) -> Dict[str, float]:
+    """DMX speedup with and without on-chip fusion of op chains.
+
+    Without fusion, the DRX's DRAM traffic equals the CPU's (every
+    intermediate materialized), so memory-bound restructuring loses most
+    of its advantage.
+    """
+    from ..core import system as system_module
+
+    fused = _geomean_speedup(SystemConfig(mode=Mode.BUMP_IN_WIRE), n_apps)
+    system_module.SCRATCHPAD_FUSION = False
+    try:
+        unfused = _geomean_speedup(
+            SystemConfig(mode=Mode.BUMP_IN_WIRE), n_apps
+        )
+    finally:
+        system_module.SCRATCHPAD_FUSION = True
+    return {"fused": fused, "unfused": unfused}
+
+
+def ablate_notification_strategy(n_apps: int = 10) -> Dict[str, int]:
+    """Interrupt / coalesced / polled counts under load (NAPI behaviour)."""
+    chains = build_benchmark_chains("sound-detection", n_apps)
+    system = DMXSystem(chains, SystemConfig(mode=Mode.BUMP_IN_WIRE))
+    system.run_throughput(10)
+    stats = system.notifier.stats
+    return {
+        "interrupts": stats.interrupts,
+        "coalesced": stats.coalesced,
+        "polled": stats.polled,
+    }
+
+
+def ablate_scratchpad_capacity(
+    sizes: Sequence[int] = (8 * 1024, 16 * 1024, 64 * 1024, 256 * 1024),
+) -> Dict[int, Dict[str, float]]:
+    """Compiler tiling vs scratchpad size on the sound-motion kernel."""
+    n_frames, n_bins, n_mels = 16, 65, 16
+    n = n_frames * n_bins
+    rng = np.random.default_rng(0)
+    out: Dict[int, Dict[str, float]] = {}
+    for size in sizes:
+        config = DRXConfig(scratchpad_bytes=size)
+        program = DRXCompiler(config).compile(
+            sound_motion_kernel(n_frames, n_bins, n_mels)
+        )
+        mem = DRXMemory()
+        mem.bind("re", rng.standard_normal(n).astype(np.float32))
+        mem.bind("im", rng.standard_normal(n).astype(np.float32))
+        mem.bind("bank", mel_filterbank(n_mels, n_bins, 16000.0))
+        for name, count in [("re2", n), ("im2", n), ("power", n),
+                            ("spectrogram", n), ("mel", n_mels * n_frames),
+                            ("out", n_mels * n_frames)]:
+            mem.allocate(name, count, np.float32)
+        drx = FunctionalDRX(mem, n_banks=config.n_banks,
+                            scratchpad_bytes=size)
+        stats = drx.execute(program)
+        out[size] = {
+            "static_instructions": float(len(program)),
+            "loop_iterations": float(stats.loop_iterations),
+            "latency_s": DRXTimingModel(config).time_from_stats(stats),
+        }
+    return out
+
+
+def ablate_scalar_residual(
+    residuals: Sequence[float] = (0.0, 0.1, 0.5, 1.0),
+    n_apps: int = 5,
+) -> Dict[float, float]:
+    """DMX speedup vs how much restructuring stays scalar on DRX.
+
+    residual=1.0 means the DRX compiler vectorizes nothing the CPU
+    couldn't — the paper's programmable-front-end claim turned off.
+    """
+    out = {}
+    for residual in residuals:
+        config = SystemConfig(
+            mode=Mode.BUMP_IN_WIRE,
+            drx=DRXConfig(scalar_residual=residual),
+        )
+        out[residual] = _geomean_speedup(config, n_apps)
+    return out
+
+
+def ablate_batch_size(
+    factors: Sequence[float] = (0.01, 0.1, 1.0, 4.0),
+    benchmark: str = "sound-detection",
+    n_apps: int = 5,
+) -> Dict[float, float]:
+    """DMX speedup vs intermediate batch size.
+
+    DMX pays fixed per-request costs (interrupts, DMA setup, DRX kernel
+    launch); for tiny batches those overheads eat the benefit, locating
+    the crossover below which chaining accelerators through DRX stops
+    paying.
+    """
+    out = {}
+    for factor in factors:
+        chains = [
+            chain.scale_batches(factor)
+            for chain in build_benchmark_chains(benchmark, n_apps)
+        ]
+        base = DMXSystem(
+            chains, SystemConfig(mode=Mode.MULTI_AXL)
+        ).run_latency(3)
+        dmx = DMXSystem(
+            chains, SystemConfig(mode=Mode.BUMP_IN_WIRE)
+        ).run_latency(3)
+        out[factor] = base.mean_latency() / dmx.mean_latency()
+    return out
+
+
+def ablate_decoupling(n_apps: int = 5) -> Dict[str, float]:
+    """Decoupled access-execute (overlap) vs a serialized DRX.
+
+    A serialized DRX pays compute + memory instead of max(compute,
+    memory); modeled by halving effective DRAM bandwidth and compute
+    rate together (equivalent to summing for balanced kernels).
+    """
+    decoupled = _geomean_speedup(SystemConfig(mode=Mode.BUMP_IN_WIRE), n_apps)
+    serialized_config = SystemConfig(
+        mode=Mode.BUMP_IN_WIRE,
+        drx=DRXConfig(dram_bandwidth=12.5e9, compute_efficiency=0.45),
+    )
+    serialized = _geomean_speedup(serialized_config, n_apps)
+    return {"decoupled": decoupled, "serialized": serialized}

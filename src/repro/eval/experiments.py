@@ -1,0 +1,473 @@
+"""Experiment drivers: one function per table/figure in the paper.
+
+Each driver builds the systems it needs, runs the DES, and returns a
+structured result whose ``rows()`` print the same series the paper
+reports. Absolute numbers differ from the paper (the substrate is a
+model, not the authors' testbed); the *shape* assertions live in
+``benchmarks/``.
+
+Concurrency levels follow the paper: 1, 5, 10, 15 concurrent
+applications (each application occupies one accelerator per kernel, so
+15 two-kernel applications = 30 accelerators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import (
+    CollectiveSystem,
+    DMXSystem,
+    Mode,
+    SystemConfig,
+)
+from ..cpu import TopDownModel, XEON_8260L
+from ..drx.microarch import DRXConfig
+from ..energy import EnergyModel
+from ..interconnect import PCIeGen
+from ..sim import geometric_mean
+from ..workloads import benchmark_names, build_benchmark_chains
+
+__all__ = [
+    "CONCURRENCY_LEVELS",
+    "run_mode",
+    "fig3a_runtime_breakdown",
+    "fig3b_motivation_speedup",
+    "fig5_topdown",
+    "fig11_speedup",
+    "fig12_breakdown",
+    "fig13_throughput",
+    "fig14_placement_speedup",
+    "fig15_placement_energy",
+    "fig16_ner_extension",
+    "fig17_collectives",
+    "fig18_lane_sweep",
+    "fig19_pcie_generations",
+    "table1_benchmarks",
+]
+
+CONCURRENCY_LEVELS = (1, 5, 10, 15)
+_LATENCY_REQUESTS = 3
+_THROUGHPUT_REQUESTS = 8
+
+
+def run_mode(
+    benchmark: str,
+    n_apps: int,
+    mode: Mode,
+    config: Optional[SystemConfig] = None,
+    throughput: bool = False,
+):
+    """Build and run one (benchmark, concurrency, mode) system."""
+    chains = build_benchmark_chains(benchmark, n_apps)
+    cfg = replace(config or SystemConfig(), mode=mode) if config else (
+        SystemConfig(mode=mode)
+    )
+    system = DMXSystem(chains, cfg)
+    if throughput:
+        result = system.run_throughput(_THROUGHPUT_REQUESTS)
+    else:
+        result = system.run_latency(_LATENCY_REQUESTS)
+    return system, result
+
+
+# -- Fig. 3: motivation ------------------------------------------------------
+
+
+@dataclass
+class BreakdownResult:
+    """Phase-fraction series per concurrency level."""
+
+    title: str
+    levels: Tuple[int, ...]
+    fractions: Dict[int, Dict[str, float]]  # level -> phase -> fraction
+
+    def rows(self) -> List[Sequence[object]]:
+        out = []
+        for level in self.levels:
+            f = self.fractions[level]
+            out.append(
+                [
+                    level,
+                    f"{f.get('kernel', 0) * 100:.1f}%",
+                    f"{f.get('restructuring', 0) * 100:.1f}%",
+                    f"{(f.get('movement', 0) + f.get('control', 0)) * 100:.1f}%",
+                ]
+            )
+        return out
+
+
+def _geomean_fractions(mode: Mode, n_apps: int) -> Dict[str, float]:
+    """Per-phase fractions, geomean-weighted across the five benchmarks."""
+    totals: Dict[str, List[float]] = {}
+    for name in benchmark_names():
+        _, result = run_mode(name, n_apps, mode)
+        for phase, fraction in result.phase_fractions().items():
+            totals.setdefault(phase, []).append(fraction)
+    return {
+        phase: sum(values) / len(values) for phase, values in totals.items()
+    }
+
+
+def fig3a_runtime_breakdown(
+    levels: Sequence[int] = CONCURRENCY_LEVELS,
+) -> Dict[str, BreakdownResult]:
+    """Fig. 3(a): runtime breakdown for All-CPU and Multi-Axl."""
+    out = {}
+    for mode, label in ((Mode.ALL_CPU, "All-CPU"), (Mode.MULTI_AXL, "Multi-Axl")):
+        fractions = {level: _geomean_fractions(mode, level) for level in levels}
+        out[label] = BreakdownResult(label, tuple(levels), fractions)
+    return out
+
+
+@dataclass
+class MotivationResult:
+    """Fig. 3(b): end-to-end vs per-kernel speedup."""
+
+    end_to_end: Dict[int, float]  # n_apps -> Multi-Axl speedup over All-CPU
+    per_kernel_geomean: float
+
+
+def fig3b_motivation_speedup(levels: Sequence[int] = (1, 10)) -> MotivationResult:
+    end_to_end = {}
+    for level in levels:
+        ratios = []
+        for name in benchmark_names():
+            _, cpu_run = run_mode(name, level, Mode.ALL_CPU)
+            _, axl_run = run_mode(name, level, Mode.MULTI_AXL)
+            ratios.append(cpu_run.mean_latency() / axl_run.mean_latency())
+        end_to_end[level] = geometric_mean(ratios)
+    speedups = []
+    for name in benchmark_names():
+        chains = build_benchmark_chains(name, 1)
+        for stage in chains[0].kernel_stages:
+            speedups.append(stage.spec.speedup_vs_cpu)
+    return MotivationResult(
+        end_to_end=end_to_end, per_kernel_geomean=geometric_mean(speedups)
+    )
+
+
+# -- Fig. 5: restructuring characterization --------------------------------------
+
+
+@dataclass
+class TopDownResult:
+    """Per-benchmark top-down attribution of its restructuring work."""
+
+    rows_by_benchmark: Dict[str, Dict[str, float]]
+
+    def rows(self) -> List[Sequence[object]]:
+        out = []
+        for name, r in self.rows_by_benchmark.items():
+            out.append(
+                [
+                    name,
+                    f"{r['retiring'] * 100:.1f}%",
+                    f"{r['front_end_bound'] * 100:.1f}%",
+                    f"{r['bad_speculation'] * 100:.1f}%",
+                    f"{r['backend_core_bound'] * 100:.1f}%",
+                    f"{r['backend_memory_bound'] * 100:.1f}%",
+                    f"{r['l1i_mpki']:.1f}",
+                    f"{r['l1d_mpki']:.0f}",
+                    f"{r['l2_mpki']:.0f}",
+                ]
+            )
+        return out
+
+
+def fig5_topdown() -> TopDownResult:
+    """Fig. 5: top-down stall breakdown + MPKI per restructuring suite."""
+    model = TopDownModel(XEON_8260L)
+    rows = {}
+    for name in benchmark_names():
+        chain = build_benchmark_chains(name, 1)[0]
+        profile = chain.motion_stages[0].profile
+        breakdown = model.analyze(profile)
+        row = breakdown.as_dict()
+        row["l1i_mpki"] = breakdown.cache.l1i_mpki
+        row["l1d_mpki"] = breakdown.cache.l1d_mpki
+        row["l2_mpki"] = breakdown.cache.l2_mpki
+        rows[name] = row
+    return TopDownResult(rows)
+
+
+# -- Fig. 11-13: headline results ---------------------------------------------
+
+
+@dataclass
+class SpeedupResult:
+    """Per-benchmark ratios (DMX over Multi-Axl) per concurrency level."""
+
+    metric: str
+    levels: Tuple[int, ...]
+    per_benchmark: Dict[str, Dict[int, float]]
+
+    def geomean(self, level: int) -> float:
+        return geometric_mean(
+            [series[level] for series in self.per_benchmark.values()]
+        )
+
+    def rows(self) -> List[Sequence[object]]:
+        out = []
+        for name, series in self.per_benchmark.items():
+            out.append([name] + [f"{series[l]:.2f}x" for l in self.levels])
+        out.append(
+            ["GEOMEAN"] + [f"{self.geomean(l):.2f}x" for l in self.levels]
+        )
+        return out
+
+
+def fig11_speedup(levels: Sequence[int] = CONCURRENCY_LEVELS) -> SpeedupResult:
+    """Fig. 11: DMX (Bump-in-the-Wire) latency speedup over Multi-Axl."""
+    per_benchmark: Dict[str, Dict[int, float]] = {}
+    for name in benchmark_names():
+        series = {}
+        for level in levels:
+            _, base = run_mode(name, level, Mode.MULTI_AXL)
+            _, dmx = run_mode(name, level, Mode.BUMP_IN_WIRE)
+            series[level] = base.mean_latency() / dmx.mean_latency()
+        per_benchmark[name] = series
+    return SpeedupResult("latency-speedup", tuple(levels), per_benchmark)
+
+
+def fig12_breakdown(
+    levels: Sequence[int] = CONCURRENCY_LEVELS,
+) -> Dict[str, BreakdownResult]:
+    """Fig. 12: runtime breakdown for Multi-Axl (a) and DMX (b)."""
+    out = {}
+    for mode, label in (
+        (Mode.MULTI_AXL, "Multi-Axl"),
+        (Mode.BUMP_IN_WIRE, "DMX"),
+    ):
+        fractions = {level: _geomean_fractions(mode, level) for level in levels}
+        out[label] = BreakdownResult(label, tuple(levels), fractions)
+    return out
+
+
+def fig13_throughput(levels: Sequence[int] = CONCURRENCY_LEVELS) -> SpeedupResult:
+    """Fig. 13: DMX throughput improvement over Multi-Axl."""
+    per_benchmark: Dict[str, Dict[int, float]] = {}
+    for name in benchmark_names():
+        series = {}
+        for level in levels:
+            _, base = run_mode(name, level, Mode.MULTI_AXL, throughput=True)
+            _, dmx = run_mode(name, level, Mode.BUMP_IN_WIRE, throughput=True)
+            series[level] = dmx.throughput() / base.throughput()
+        per_benchmark[name] = series
+    return SpeedupResult("throughput-improvement", tuple(levels), per_benchmark)
+
+
+# -- Fig. 14-15: placement studies ---------------------------------------------
+
+_PLACEMENTS = (
+    Mode.INTEGRATED,
+    Mode.STANDALONE,
+    Mode.BUMP_IN_WIRE,
+    Mode.PCIE_INTEGRATED,
+)
+
+
+@dataclass
+class PlacementResult:
+    """Average-over-benchmarks ratios per placement per level."""
+
+    metric: str
+    levels: Tuple[int, ...]
+    per_placement: Dict[Mode, Dict[int, float]]
+
+    def rows(self) -> List[Sequence[object]]:
+        return [
+            [mode.value] + [f"{series[l]:.2f}x" for l in self.levels]
+            for mode, series in self.per_placement.items()
+        ]
+
+
+def fig14_placement_speedup(
+    levels: Sequence[int] = CONCURRENCY_LEVELS,
+    placements: Sequence[Mode] = _PLACEMENTS,
+) -> PlacementResult:
+    """Fig. 14: latency speedup of each DRX placement over Multi-Axl."""
+    per_placement: Dict[Mode, Dict[int, float]] = {m: {} for m in placements}
+    for level in levels:
+        base_latencies = {}
+        for name in benchmark_names():
+            _, base = run_mode(name, level, Mode.MULTI_AXL)
+            base_latencies[name] = base.mean_latency()
+        for mode in placements:
+            ratios = []
+            for name in benchmark_names():
+                _, run = run_mode(name, level, mode)
+                ratios.append(base_latencies[name] / run.mean_latency())
+            per_placement[mode][level] = geometric_mean(ratios)
+    return PlacementResult("placement-speedup", tuple(levels), per_placement)
+
+
+def fig15_placement_energy(
+    levels: Sequence[int] = CONCURRENCY_LEVELS,
+    placements: Sequence[Mode] = (
+        Mode.INTEGRATED,
+        Mode.STANDALONE,
+        Mode.BUMP_IN_WIRE,
+    ),
+) -> PlacementResult:
+    """Fig. 15: system energy reduction vs Multi-Axl per placement.
+
+    PCIe-Integrated is excluded, as in the paper ("because of the
+    difficulty of estimating the energy consumption of a PCIe switch
+    integrated with DRX").
+    """
+    model = EnergyModel()
+    per_placement: Dict[Mode, Dict[int, float]] = {m: {} for m in placements}
+    for level in levels:
+        base_energy = {}
+        for name in benchmark_names():
+            system, result = run_mode(name, level, Mode.MULTI_AXL)
+            base_energy[name] = (
+                model.evaluate_system(system).total_j / len(result.records)
+            )
+        for mode in placements:
+            ratios = []
+            for name in benchmark_names():
+                system, result = run_mode(name, level, mode)
+                energy = (
+                    model.evaluate_system(system).total_j / len(result.records)
+                )
+                ratios.append(base_energy[name] / energy)
+            per_placement[mode][level] = geometric_mean(ratios)
+    return PlacementResult("energy-reduction", tuple(levels), per_placement)
+
+
+# -- Fig. 16: three-kernel extension ------------------------------------------
+
+
+@dataclass
+class NERResult:
+    speedups: Dict[int, float]
+    dmx_motion_fraction: Dict[int, float]  # restructuring+movement share
+    baseline_restructure_fraction: Dict[int, float]
+
+
+def fig16_ner_extension(levels: Sequence[int] = CONCURRENCY_LEVELS) -> NERResult:
+    """Fig. 16: PIR + NER (three kernels, two data-motion steps)."""
+    speedups, motion_frac, base_frac = {}, {}, {}
+    for level in levels:
+        _, base = run_mode("pii-ner", level, Mode.MULTI_AXL)
+        _, dmx = run_mode("pii-ner", level, Mode.BUMP_IN_WIRE)
+        speedups[level] = base.mean_latency() / dmx.mean_latency()
+        dmx_fracs = dmx.phase_fractions()
+        motion_frac[level] = (
+            dmx_fracs.get("restructuring", 0.0)
+            + dmx_fracs.get("movement", 0.0)
+            + dmx_fracs.get("control", 0.0)
+        )
+        base_frac[level] = base.phase_fractions().get("restructuring", 0.0)
+    return NERResult(speedups, motion_frac, base_frac)
+
+
+# -- Fig. 17: collectives ------------------------------------------------------
+
+
+@dataclass
+class CollectiveResultSeries:
+    operation: str
+    speedups: Dict[int, float]  # n_accelerators -> DMX speedup
+
+
+def fig17_collectives(
+    fan_outs: Sequence[int] = (4, 8, 16, 32),
+    payload_bytes: int = 8 * 1024 * 1024,
+) -> Dict[str, CollectiveResultSeries]:
+    """Fig. 17: broadcast and all-reduce speedups on 4-32 accelerators."""
+    out = {}
+    for operation in ("broadcast", "allreduce"):
+        speedups = {}
+        for n in fan_outs:
+            base = CollectiveSystem(
+                n, SystemConfig(mode=Mode.MULTI_AXL)
+            ).run(operation, payload_bytes)
+            dmx = CollectiveSystem(
+                n, SystemConfig(mode=Mode.BUMP_IN_WIRE)
+            ).run(operation, payload_bytes)
+            speedups[n] = base.latency_s / dmx.latency_s
+        out[operation] = CollectiveResultSeries(operation, speedups)
+    return out
+
+
+# -- Fig. 18: RE-lane sensitivity ----------------------------------------------
+
+
+def fig18_lane_sweep(
+    lanes: Sequence[int] = (32, 64, 128, 256),
+    n_apps: int = 5,
+) -> Dict[int, float]:
+    """Fig. 18: DMX speedup vs Multi-Axl as RE lane count sweeps."""
+    out = {}
+    for lane_count in lanes:
+        config = SystemConfig(
+            mode=Mode.BUMP_IN_WIRE, drx=DRXConfig(lanes=lane_count)
+        )
+        ratios = []
+        for name in benchmark_names():
+            _, base = run_mode(name, n_apps, Mode.MULTI_AXL)
+            _, dmx = run_mode(name, n_apps, Mode.BUMP_IN_WIRE, config=config)
+            ratios.append(base.mean_latency() / dmx.mean_latency())
+        out[lane_count] = geometric_mean(ratios)
+    return out
+
+
+# -- Fig. 19: PCIe generation sensitivity ----------------------------------------
+
+
+def fig19_pcie_generations(
+    gens: Sequence[PCIeGen] = (PCIeGen.GEN3, PCIeGen.GEN4, PCIeGen.GEN5),
+    n_apps: int = 10,
+) -> Dict[str, float]:
+    """Fig. 19: BITW speedup under PCIe Gen 3/4/5.
+
+    Per the paper's discussion, the *baseline* benefits twice from newer
+    generations: more bandwidth per lane AND more usable lanes to the
+    CPU ("the baselines are able to use more PCIe lanes to reduce
+    bandwidth contention from accelerators to CPUs with PCIe Gen 4 and
+    Gen 5"). The DMX data path never touches the CPU links, so its
+    configuration only gains the per-lane bandwidth.
+    """
+    out = {}
+    for gen in gens:
+        lanes = 8 if gen == PCIeGen.GEN3 else 16
+        config = SystemConfig(mode=Mode.BUMP_IN_WIRE, pcie_gen=gen)
+        base_config = SystemConfig(
+            mode=Mode.MULTI_AXL, pcie_gen=gen,
+            upstream_lanes=lanes, accelerator_lanes=lanes,
+        )
+        ratios = []
+        for name in benchmark_names():
+            _, base = run_mode(name, n_apps, Mode.MULTI_AXL, config=base_config)
+            _, dmx = run_mode(name, n_apps, Mode.BUMP_IN_WIRE, config=config)
+            ratios.append(base.mean_latency() / dmx.mean_latency())
+        out[gen.name] = geometric_mean(ratios)
+    return out
+
+
+# -- Table I -------------------------------------------------------------------
+
+
+def table1_benchmarks() -> List[Sequence[str]]:
+    """Table I: benchmark inventory with kernels and restructuring ops."""
+    rows = []
+    for name in benchmark_names():
+        chain = build_benchmark_chains(name, 1)[0]
+        kernels = chain.kernel_stages
+        motion = chain.motion_stages[0]
+        rows.append(
+            [
+                name,
+                kernels[0].name,
+                kernels[0].spec.implementation,
+                motion.name,
+                kernels[1].name,
+                kernels[1].spec.implementation,
+                f"{motion.input_bytes / 1e6:.1f} MB",
+            ]
+        )
+    return rows

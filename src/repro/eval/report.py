@@ -1,0 +1,55 @@
+"""Plain-text report formatting for experiment results.
+
+Every experiment driver returns rows of (label, value...) data; this
+module renders them the way the paper's tables/figure captions read, so
+``python -m repro.eval`` output can be compared against the paper
+side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_ratio", "Banner"]
+
+
+def format_ratio(value: float) -> str:
+    """Render a speedup/improvement factor the way the paper does."""
+    return f"{value:.2f}x"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a separator under the header."""
+    rendered_rows: List[List[str]] = [
+        [str(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)
+
+
+class Banner:
+    """Section banner used by the experiment CLI."""
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def __str__(self) -> str:
+        rule = "=" * max(60, len(self.text) + 4)
+        return f"{rule}\n  {self.text}\n{rule}"

@@ -1,0 +1,19 @@
+"""PCIe interconnect substrate: links, fabric topology, DMA engines."""
+
+from .dma import DMACosts, DMAEngine
+from .pcie import GB, KB, MB, LinkConfig, PCIeGen, PCIeLink
+from .topology import SWITCH_PORT_LATENCY_S, Fabric, Node
+
+__all__ = [
+    "DMACosts",
+    "DMAEngine",
+    "GB",
+    "KB",
+    "MB",
+    "LinkConfig",
+    "PCIeGen",
+    "PCIeLink",
+    "SWITCH_PORT_LATENCY_S",
+    "Fabric",
+    "Node",
+]

@@ -1,0 +1,106 @@
+"""DMA engine model and point-to-point DMA setup costs.
+
+Two pieces of software overhead matter to the paper's story:
+
+* Every DMA the *CPU* orchestrates costs driver work (ioctl into the GEM
+  driver, descriptor setup) plus an interrupt (or polled completion) on
+  the way back. In the baseline this happens twice per hop
+  (accelerator → host memory, host memory → next accelerator).
+* With DMX, the CPU still fields the kernel-completion interrupt and
+  configures the point-to-point DMA (Fig. 10 steps 2–4, 8–9), but the
+  payload itself never crosses the host bridge.
+
+:class:`DMAEngine` wraps a fabric transfer with those costs. Interrupt
+delivery/coalescing lives in :mod:`repro.runtime.driver`; here we charge
+only the fixed per-transfer software path lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..sim import Simulator
+from .topology import Fabric
+
+__all__ = ["DMACosts", "DMAEngine"]
+
+
+@dataclass(frozen=True)
+class DMACosts:
+    """Fixed software costs around one DMA transfer (seconds).
+
+    Defaults are representative Linux numbers: a few microseconds for the
+    ioctl + descriptor writes, and an interrupt service path of ~2 us.
+    """
+
+    setup_s: float = 3e-6
+    completion_interrupt_s: float = 2e-6
+    descriptor_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.setup_s < 0 or self.completion_interrupt_s < 0:
+            raise ValueError("DMA cost components must be non-negative")
+
+
+class DMAEngine:
+    """Moves data between fabric endpoints with driver overheads.
+
+    Parameters
+    ----------
+    sim, fabric:
+        Simulation context and the PCIe fabric to move data over.
+    costs:
+        Software overhead parameters.
+    name:
+        Label for tracing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        costs: Optional[DMACosts] = None,
+        name: str = "dma",
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.costs = costs or DMACosts()
+        self.name = name
+        self.transfers_completed = 0
+        self.bytes_transferred = 0
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        charge_setup: bool = True,
+        charge_completion: bool = True,
+    ) -> Generator:
+        """Process: one DMA from ``src`` to ``dst``.
+
+        ``charge_setup`` / ``charge_completion`` let callers batch multiple
+        back-to-back DMAs under a single driver invocation (used by the
+        one-to-many collectives, where descriptors are chained).
+        Returns the elapsed time.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative DMA size: {nbytes}")
+        start = self.sim.now
+        if charge_setup:
+            yield self.sim.timeout(self.costs.setup_s)
+        yield from self.fabric.transfer(src, dst, nbytes)
+        if charge_completion:
+            yield self.sim.timeout(self.costs.completion_interrupt_s)
+        self.transfers_completed += 1
+        self.bytes_transferred += nbytes
+        return self.sim.now - start
+
+    def unloaded_latency(self, src: str, dst: str, nbytes: int) -> float:
+        """Contention-free estimate including software costs."""
+        return (
+            self.costs.setup_s
+            + self.fabric.unloaded_latency(src, dst, nbytes)
+            + self.costs.completion_interrupt_s
+        )

@@ -1,0 +1,150 @@
+"""Audio-domain restructuring: spectrogram and mel-scale transformation.
+
+These are the data-motion ops of the Sound Detection benchmark (Fig. 2):
+the FFT accelerator emits complex spectra per audio frame; before the SVM
+accelerator can consume them, the spectra must become a power
+spectrogram, be projected onto the mel scale ("mel-frequency bins which
+are closer to the human-perceivable scale"), log-compressed, and
+flattened into the SVM feature layout.
+
+The mel filterbank is constructed from scratch (triangular filters on
+the HTK mel scale); no audio library is used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RestructuringOp
+
+__all__ = [
+    "hz_to_mel",
+    "mel_to_hz",
+    "mel_filterbank",
+    "PowerSpectrum",
+    "SpectrogramAssembly",
+    "MelScale",
+    "LogCompress",
+    "FeatureFlatten",
+]
+
+
+def hz_to_mel(hz):
+    """HTK mel scale: ``2595 * log10(1 + hz / 700)``."""
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel):
+    """Inverse HTK mel scale."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    n_mels: int, n_fft_bins: int, sample_rate: float, fmin: float = 0.0,
+    fmax: float = None,
+) -> np.ndarray:
+    """Triangular mel filterbank matrix of shape ``(n_mels, n_fft_bins)``.
+
+    ``n_fft_bins`` is the one-sided spectrum length (``n_fft // 2 + 1``).
+    """
+    if n_mels <= 0 or n_fft_bins <= 1:
+        raise ValueError("need n_mels > 0 and n_fft_bins > 1")
+    fmax = fmax if fmax is not None else sample_rate / 2.0
+    if not 0 <= fmin < fmax <= sample_rate / 2.0:
+        raise ValueError(f"bad frequency range [{fmin}, {fmax}]")
+    mel_points = np.linspace(hz_to_mel(fmin), hz_to_mel(fmax), n_mels + 2)
+    hz_points = mel_to_hz(mel_points)
+    bin_freqs = np.linspace(0.0, sample_rate / 2.0, n_fft_bins)
+    bank = np.zeros((n_mels, n_fft_bins), dtype=np.float32)
+    for m in range(n_mels):
+        left, center, right = hz_points[m], hz_points[m + 1], hz_points[m + 2]
+        rising = (bin_freqs - left) / max(center - left, 1e-12)
+        falling = (right - bin_freqs) / max(right - center, 1e-12)
+        bank[m] = np.maximum(0.0, np.minimum(rising, falling))
+    return bank
+
+
+class PowerSpectrum(RestructuringOp):
+    """Complex FFT frames → power spectrum (|X|^2), one-sided."""
+
+    name = "power-spectrum"
+    ops_per_element = 3.0  # re^2 + im^2 + add
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if not np.iscomplexobj(data):
+            raise ValueError("power spectrum expects complex FFT output")
+        return (data.real.astype(np.float32) ** 2
+                + data.imag.astype(np.float32) ** 2)
+
+
+class SpectrogramAssembly(RestructuringOp):
+    """Stack per-frame spectra into a (bins, frames) spectrogram image.
+
+    The transpose makes frequency the leading axis (the layout the SVM
+    feature extractor expects) and is a gathering access pattern.
+    """
+
+    name = "spectrogram-assembly"
+    ops_per_element = 0.5
+    gather_fraction = 0.85
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.ndim != 2:
+            raise ValueError(f"expected (frames, bins), got shape {data.shape}")
+        return np.ascontiguousarray(data.T)
+
+
+class MelScale(RestructuringOp):
+    """Project a (bins, frames) power spectrogram onto mel bins.
+
+    A dense matmul against the triangular filterbank — the compute-heavy
+    heart of this data-motion step.
+    """
+
+    name = "mel-scale"
+    branch_fraction = 0.02
+
+    def __init__(self, n_mels: int, sample_rate: float):
+        self.n_mels = n_mels
+        self.sample_rate = sample_rate
+        self._bank = None  # built lazily once the bin count is known
+        self._bank_bins = None
+
+    @property
+    def ops_per_element(self) -> float:  # type: ignore[override]
+        # Triangular mel filters have bounded support (~2 x bins/n_mels
+        # each), so a production implementation evaluates the filterbank
+        # sparsely: each mel output reduces only its filter's bins.
+        bins = self._bank_bins or 513
+        return 4.0 * bins / max(1, self.n_mels)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.ndim != 2:
+            raise ValueError(f"expected (bins, frames), got shape {data.shape}")
+        bins = data.shape[0]
+        if self._bank is None or self._bank_bins != bins:
+            self._bank = mel_filterbank(self.n_mels, bins, self.sample_rate)
+            self._bank_bins = bins
+        return (self._bank @ data.astype(np.float32)).astype(np.float32)
+
+
+class LogCompress(RestructuringOp):
+    """log(1 + x) dynamic-range compression of mel energies."""
+
+    name = "log-compress"
+    ops_per_element = 8.0  # log evaluation
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if np.any(data < 0):
+            raise ValueError("log compression expects non-negative energies")
+        return np.log1p(data.astype(np.float32))
+
+
+class FeatureFlatten(RestructuringOp):
+    """(mel, frames) → flat per-snippet feature vectors for the SVM."""
+
+    name = "feature-flatten"
+    ops_per_element = 0.25
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(data).reshape(1, -1).astype(np.float32)

@@ -1,0 +1,120 @@
+"""Base classes for data-restructuring operations.
+
+A restructuring op is the unit of work DRX (or the host CPU, in the
+baseline) performs between two accelerators: it really transforms numpy
+data (*functional* contract) and it prices itself as a
+:class:`~repro.profiles.WorkProfile` (*timing* contract). The two
+contracts are derived from the same invocation, so "what ran" and "what
+was charged" can never drift apart.
+
+Ops compose into a :class:`RestructuringPipeline`, the paper's "data
+restructuring kernel" between two application kernels (e.g. FFT output →
+spectrogram → mel scale → SVM input for Sound Detection).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..profiles import WorkProfile
+
+__all__ = ["RestructuringOp", "RestructuringPipeline"]
+
+
+class RestructuringOp(abc.ABC):
+    """One data-restructuring transformation.
+
+    Subclasses implement :meth:`apply` (the real transformation) and the
+    work-character class attributes used to build profiles:
+
+    * ``ops_per_element`` — arithmetic per output element;
+    * ``branch_fraction`` / ``mispredict_rate`` — control-flow character;
+    * ``vectorizable_fraction`` — how much of it SIMD-izes;
+    * ``gather_fraction`` — non-streaming memory access share.
+    """
+
+    name: str = "restructuring-op"
+    ops_per_element: float = 1.0
+    branch_fraction: float = 0.04
+    mispredict_rate: float = 0.03
+    vectorizable_fraction: float = 1.0
+    gather_fraction: float = 0.0
+
+    @abc.abstractmethod
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        """Transform ``data``; must not mutate the input."""
+
+    def __call__(self, data: np.ndarray) -> np.ndarray:
+        return self.apply(data)
+
+    def profile_for(self, data: np.ndarray, result: np.ndarray) -> WorkProfile:
+        """Build the :class:`WorkProfile` for one concrete invocation."""
+        return WorkProfile(
+            name=self.name,
+            bytes_in=int(data.nbytes),
+            bytes_out=int(result.nbytes),
+            elements=int(result.size),
+            ops_per_element=self.ops_per_element,
+            element_size=max(1, int(result.itemsize)),
+            branch_fraction=self.branch_fraction,
+            mispredict_rate=self.mispredict_rate,
+            vectorizable_fraction=self.vectorizable_fraction,
+            gather_fraction=self.gather_fraction,
+        )
+
+    def run(self, data: np.ndarray) -> Tuple[np.ndarray, WorkProfile]:
+        """Apply and profile in one step."""
+        result = self.apply(data)
+        return result, self.profile_for(data, result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class RestructuringPipeline:
+    """An ordered chain of restructuring ops — one "data motion" step.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.restructuring import Typecast, Normalize
+    >>> pipe = RestructuringPipeline("demo", [Normalize(0.0, 2.0), Typecast(np.float32)])
+    >>> out, profiles = pipe.run(np.ones(8))
+    >>> out.dtype
+    dtype('float32')
+    >>> len(profiles)
+    2
+    """
+
+    def __init__(self, name: str, ops: Sequence[RestructuringOp]):
+        if not ops:
+            raise ValueError(f"pipeline {name!r} has no ops")
+        self.name = name
+        self.ops: List[RestructuringOp] = list(ops)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        """Run the full chain functionally."""
+        for op in self.ops:
+            data = op.apply(data)
+        return data
+
+    def run(self, data: np.ndarray) -> Tuple[np.ndarray, List[WorkProfile]]:
+        """Run the chain, returning the output and per-op profiles."""
+        profiles: List[WorkProfile] = []
+        for op in self.ops:
+            data, profile = op.run(data)
+            profiles.append(profile)
+        return data, profiles
+
+    def profiles(self, data: np.ndarray) -> List[WorkProfile]:
+        """Per-op profiles for an input, discarding the transformed data."""
+        return self.run(data)[1]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RestructuringPipeline({self.name!r}, ops={[op.name for op in self.ops]})"

@@ -1,0 +1,119 @@
+"""Image-domain restructuring: the Video Surveillance data-motion step.
+
+The video-decode accelerator emits NV12 (YUV 4:2:0) frames; the object-
+detection accelerator consumes square, planar, normalized fp32 tensors.
+Between them: chroma upsampling + color conversion, bilinear resize,
+layout change, normalization — all implemented from scratch on numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RestructuringOp
+
+__all__ = ["Nv12ToRgb", "ResizeBilinear", "ImageToTensor"]
+
+# BT.601 full-range YUV -> RGB coefficients.
+_YUV2RGB = np.array(
+    [
+        [1.0, 0.0, 1.402],
+        [1.0, -0.344136, -0.714136],
+        [1.0, 1.772, 0.0],
+    ],
+    dtype=np.float32,
+)
+
+
+class Nv12ToRgb(RestructuringOp):
+    """NV12 (Y plane + interleaved half-res UV plane) → HWC uint8 RGB.
+
+    Input layout: a ``(3*H//2, W)`` uint8 array — the standard NV12
+    memory image a video decoder writes (H rows of Y, then H/2 rows of
+    interleaved UV).
+    """
+
+    name = "nv12-to-rgb"
+    ops_per_element = 6.0  # upsample + 3x3 matrix per pixel
+    gather_fraction = 0.2  # chroma reads are strided but local
+    branch_fraction = 0.05
+
+    def __init__(self, height: int, width: int):
+        if height % 2 or width % 2:
+            raise ValueError("NV12 requires even dimensions")
+        self.height = height
+        self.width = width
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        h, w = self.height, self.width
+        expected = (3 * h // 2, w)
+        if data.shape != expected or data.dtype != np.uint8:
+            raise ValueError(
+                f"expected uint8 NV12 of shape {expected}, got "
+                f"{data.dtype} {data.shape}"
+            )
+        y = data[:h].astype(np.float32)
+        uv = data[h:].reshape(h // 2, w // 2, 2).astype(np.float32)
+        # Nearest-neighbour chroma upsampling (2x in both axes).
+        u = np.repeat(np.repeat(uv[..., 0], 2, axis=0), 2, axis=1) - 128.0
+        v = np.repeat(np.repeat(uv[..., 1], 2, axis=0), 2, axis=1) - 128.0
+        yuv = np.stack([y, u, v], axis=-1)
+        rgb = yuv @ _YUV2RGB.T
+        return np.clip(rgb, 0.0, 255.0).astype(np.uint8)
+
+
+class ResizeBilinear(RestructuringOp):
+    """Bilinear resize of an HWC image to the detector's input size."""
+
+    name = "resize-bilinear"
+    ops_per_element = 6.0  # 4 taps, separable weights precomputed per axis
+    gather_fraction = 0.4
+
+    def __init__(self, out_height: int, out_width: int):
+        if out_height <= 0 or out_width <= 0:
+            raise ValueError("output dimensions must be positive")
+        self.out_height = out_height
+        self.out_width = out_width
+        self.name = f"resize-bilinear-{out_height}x{out_width}"
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.ndim != 3:
+            raise ValueError(f"expected HWC image, got shape {data.shape}")
+        in_h, in_w, channels = data.shape
+        out_h, out_w = self.out_height, self.out_width
+        # Align-corners=False sampling grid.
+        ys = (np.arange(out_h) + 0.5) * in_h / out_h - 0.5
+        xs = (np.arange(out_w) + 0.5) * in_w / out_w - 0.5
+        y0 = np.clip(np.floor(ys).astype(int), 0, in_h - 1)
+        x0 = np.clip(np.floor(xs).astype(int), 0, in_w - 1)
+        y1 = np.clip(y0 + 1, 0, in_h - 1)
+        x1 = np.clip(x0 + 1, 0, in_w - 1)
+        wy = np.clip(ys - y0, 0.0, 1.0)[:, None, None]
+        wx = np.clip(xs - x0, 0.0, 1.0)[None, :, None]
+        img = data.astype(np.float32)
+        top = img[y0][:, x0] * (1 - wx) + img[y0][:, x1] * wx
+        bottom = img[y1][:, x0] * (1 - wx) + img[y1][:, x1] * wx
+        out = top * (1 - wy) + bottom * wy
+        if np.issubdtype(data.dtype, np.integer):
+            return np.clip(np.round(out), 0, 255).astype(data.dtype)
+        return out.astype(data.dtype)
+
+
+class ImageToTensor(RestructuringOp):
+    """HWC uint8 → normalized planar CHW fp32 detector input."""
+
+    name = "image-to-tensor"
+    ops_per_element = 3.0  # convert + scale + store planar
+    gather_fraction = 0.3  # three planar write streams still prefetch
+
+    def __init__(self, mean: float = 127.5, scale: float = 127.5):
+        if scale == 0:
+            raise ValueError("scale must be nonzero")
+        self.mean = float(mean)
+        self.scale = float(scale)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.ndim != 3:
+            raise ValueError(f"expected HWC image, got shape {data.shape}")
+        normalized = (data.astype(np.float32) - self.mean) / self.scale
+        return np.ascontiguousarray(np.moveaxis(normalized, -1, 0))

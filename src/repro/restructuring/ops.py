@@ -1,0 +1,194 @@
+"""Generic restructuring operations: layout, type, and shape changes.
+
+These are the domain-agnostic building blocks ("reshaping and
+typecasting", layout transformation, padding) that appear in every
+benchmark's data-motion step.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .base import RestructuringOp
+
+__all__ = [
+    "Typecast",
+    "Reshape",
+    "TransposeOp",
+    "Normalize",
+    "Quantize",
+    "Dequantize",
+    "Pad",
+    "Crop",
+    "InterleaveToPlanar",
+    "PlanarToInterleave",
+]
+
+
+class Typecast(RestructuringOp):
+    """Convert element dtype (the paper's ubiquitous "typecasting")."""
+
+    name = "typecast"
+    ops_per_element = 1.0
+
+    def __init__(self, dtype: np.dtype):
+        self.dtype = np.dtype(dtype)
+        self.name = f"typecast->{self.dtype.name}"
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        return data.astype(self.dtype)
+
+
+class Reshape(RestructuringOp):
+    """Reinterpret dimensions. Free of arithmetic but not of movement:
+
+    restructuring between accelerators materializes the new layout in the
+    destination buffer, so the copy traffic is real.
+    """
+
+    name = "reshape"
+    ops_per_element = 0.25  # address arithmetic only
+
+    def __init__(self, shape: Tuple[int, ...]):
+        self.shape = tuple(shape)
+        self.name = f"reshape{self.shape}"
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(data).reshape(self.shape).copy()
+
+
+class TransposeOp(RestructuringOp):
+    """Axis permutation — a materialized transpose (gathering access)."""
+
+    name = "transpose"
+    ops_per_element = 0.5
+    gather_fraction = 0.9  # column-major reads defeat streaming prefetch
+
+    def __init__(self, axes: Sequence[int] = None):
+        self.axes = tuple(axes) if axes is not None else None
+        if self.axes is not None:
+            self.name = f"transpose{self.axes}"
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(np.transpose(data, self.axes))
+
+
+class Normalize(RestructuringOp):
+    """Affine normalization ``(x - offset) / scale``."""
+
+    name = "normalize"
+    ops_per_element = 2.0
+
+    def __init__(self, offset: float, scale: float):
+        if scale == 0:
+            raise ValueError("normalize scale must be nonzero")
+        self.offset = float(offset)
+        self.scale = float(scale)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        return ((data.astype(np.float32) - self.offset) / self.scale).astype(
+            np.float32
+        )
+
+
+class Quantize(RestructuringOp):
+    """float → int8 affine quantization (accelerator input formats)."""
+
+    name = "quantize-int8"
+    ops_per_element = 4.0  # scale, round, clip x2
+
+    def __init__(self, scale: float, zero_point: int = 0):
+        if scale <= 0:
+            raise ValueError("quantize scale must be positive")
+        self.scale = float(scale)
+        self.zero_point = int(zero_point)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        q = np.round(data / self.scale) + self.zero_point
+        return np.clip(q, -128, 127).astype(np.int8)
+
+
+class Dequantize(RestructuringOp):
+    """int8 → float32 affine dequantization."""
+
+    name = "dequantize-int8"
+    ops_per_element = 2.0
+
+    def __init__(self, scale: float, zero_point: int = 0):
+        if scale <= 0:
+            raise ValueError("dequantize scale must be positive")
+        self.scale = float(scale)
+        self.zero_point = int(zero_point)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        return ((data.astype(np.float32) - self.zero_point) * self.scale).astype(
+            np.float32
+        )
+
+
+class Pad(RestructuringOp):
+    """Zero-pad the trailing axis to a multiple (accelerator tile sizes)."""
+
+    name = "pad"
+    ops_per_element = 0.25
+    branch_fraction = 0.06
+
+    def __init__(self, multiple: int):
+        if multiple <= 0:
+            raise ValueError("pad multiple must be positive")
+        self.multiple = multiple
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        last = data.shape[-1]
+        target = ((last + self.multiple - 1) // self.multiple) * self.multiple
+        if target == last:
+            return data.copy()
+        pad_width = [(0, 0)] * (data.ndim - 1) + [(0, target - last)]
+        return np.pad(data, pad_width)
+
+
+class Crop(RestructuringOp):
+    """Take a leading slice of the trailing axis."""
+
+    name = "crop"
+    ops_per_element = 0.25
+
+    def __init__(self, length: int):
+        if length <= 0:
+            raise ValueError("crop length must be positive")
+        self.length = length
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.shape[-1] < self.length:
+            raise ValueError(
+                f"crop length {self.length} exceeds axis size {data.shape[-1]}"
+            )
+        return np.ascontiguousarray(data[..., : self.length])
+
+
+class InterleaveToPlanar(RestructuringOp):
+    """HWC → CHW: interleaved channels to planar layout (image pipes)."""
+
+    name = "interleave-to-planar"
+    ops_per_element = 0.5
+    gather_fraction = 0.7
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.ndim < 3:
+            raise ValueError("expected at least 3 dims (H, W, C)")
+        return np.ascontiguousarray(np.moveaxis(data, -1, -3))
+
+
+class PlanarToInterleave(RestructuringOp):
+    """CHW → HWC: planar channels back to interleaved layout."""
+
+    name = "planar-to-interleave"
+    ops_per_element = 0.5
+    gather_fraction = 0.7
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.ndim < 3:
+            raise ValueError("expected at least 3 dims (C, H, W)")
+        return np.ascontiguousarray(np.moveaxis(data, -3, -1))

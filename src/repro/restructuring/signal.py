@@ -1,0 +1,136 @@
+"""Signal-domain restructuring: the Brain Stimulation data-motion step.
+
+The FFT accelerator transforms multi-channel electromagnetic recordings;
+the reinforcement-learning accelerator consumes compact normalized
+observations. In between: per-channel band-power extraction, z-score
+normalization, and observation assembly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .base import RestructuringOp
+
+__all__ = ["SpatialFilter", "BandPower", "ZScoreNormalize",
+           "ObservationAssembly", "EEG_BANDS"]
+
+# Canonical EEG frequency bands (Hz).
+EEG_BANDS: Tuple[Tuple[str, float, float], ...] = (
+    ("delta", 0.5, 4.0),
+    ("theta", 4.0, 8.0),
+    ("alpha", 8.0, 13.0),
+    ("beta", 13.0, 30.0),
+    ("gamma", 30.0, 100.0),
+)
+
+
+class SpatialFilter(RestructuringOp):
+    """Apply a channels x channels spatial filter to per-bin spectra.
+
+    Standard EEG/EM preprocessing (common spatial patterns / surface
+    Laplacian): each output channel is a weighted combination of all
+    input channels, evaluated per frequency bin — a dense per-bin matrix
+    product, the compute-heavy heart of this data-motion step.
+    """
+
+    name = "spatial-filter"
+    branch_fraction = 0.02
+    gather_fraction = 0.35  # neighbour-channel reads against bin-major layout
+
+    NEIGHBOURS = 8  # surface-Laplacian support (8-neighbour montage)
+
+    def __init__(self, n_channels: int, seed: int = 5):
+        if n_channels <= 0:
+            raise ValueError("n_channels must be positive")
+        self.n_channels = n_channels
+        rng = np.random.default_rng(seed)
+        # Sparse Laplacian: each channel re-referenced against its
+        # electrode neighbourhood (identity minus neighbour average).
+        weights = np.eye(n_channels, dtype=np.float32)
+        support = min(self.NEIGHBOURS, n_channels - 1)
+        for channel in range(n_channels):
+            neighbours = rng.choice(
+                [c for c in range(n_channels) if c != channel],
+                size=support, replace=False,
+            )
+            weights[channel, neighbours] = -0.5 / support
+        self.weights = weights
+
+    @property
+    def ops_per_element(self) -> float:  # type: ignore[override]
+        # Each output element reduces its sparse neighbourhood (complex:
+        # 4 real ops per complex MAC).
+        return 4.0 * (min(self.NEIGHBOURS, self.n_channels - 1) + 1)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.ndim != 2 or data.shape[0] != self.n_channels:
+            raise ValueError(
+                f"expected ({self.n_channels}, bins) spectra, got {data.shape}"
+            )
+        return (self.weights @ data).astype(data.dtype)
+
+
+class BandPower(RestructuringOp):
+    """(channels, bins) complex spectra → (channels, bands) mean power.
+
+    Reduces each channel's spectrum into canonical band energies — a
+    reduction with strided bin selection.
+    """
+
+    name = "band-power"
+    ops_per_element = 0.0  # set dynamically below (depends on bins/band)
+    gather_fraction = 0.3
+
+    def __init__(self, sample_rate: float, bands=EEG_BANDS):
+        if sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        self.sample_rate = sample_rate
+        self.bands = tuple(bands)
+        self._bins_per_band = 64.0  # refined on first apply
+
+    @property
+    def ops_per_element(self) -> float:  # type: ignore[override]
+        # Each output band element reduces ~bins_per_band inputs: |x|^2 + add.
+        return 4.0 * self._bins_per_band
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.ndim != 2 or not np.iscomplexobj(data):
+            raise ValueError("expected (channels, bins) complex spectra")
+        channels, bins = data.shape
+        freqs = np.linspace(0.0, self.sample_rate / 2.0, bins)
+        power = data.real.astype(np.float32) ** 2 + data.imag.astype(np.float32) ** 2
+        out = np.zeros((channels, len(self.bands)), dtype=np.float32)
+        total_bins = 0
+        for band_index, (_name, lo, hi) in enumerate(self.bands):
+            mask = (freqs >= lo) & (freqs < hi)
+            total_bins += int(mask.sum())
+            if mask.any():
+                out[:, band_index] = power[:, mask].mean(axis=1)
+        self._bins_per_band = max(1.0, total_bins / len(self.bands))
+        return out
+
+
+class ZScoreNormalize(RestructuringOp):
+    """Normalize features to zero mean / unit variance along the last axis."""
+
+    name = "zscore-normalize"
+    ops_per_element = 6.0  # two passes + divide
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        x = data.astype(np.float32)
+        mean = x.mean(axis=-1, keepdims=True)
+        std = x.std(axis=-1, keepdims=True)
+        return ((x - mean) / np.maximum(std, 1e-6)).astype(np.float32)
+
+
+class ObservationAssembly(RestructuringOp):
+    """(channels, bands) features → flat fp32 RL observation vector."""
+
+    name = "observation-assembly"
+    ops_per_element = 0.5
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(data, dtype=np.float32).reshape(1, -1)

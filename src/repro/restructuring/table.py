@@ -1,0 +1,126 @@
+"""Table-domain restructuring: the Database Hash Join data-motion step.
+
+The decompression accelerator emits a row-major byte image of a table
+(fixed-width records); the hash-join accelerator wants columnar int32
+arrays, hash-partitioned on the join key. Row→column pivot, dictionary
+encoding, and radix partitioning are the restructuring ops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .base import RestructuringOp
+
+__all__ = ["RowsToColumnar", "DictionaryEncode", "HashPartition", "fnv1a32"]
+
+
+def fnv1a32(values: np.ndarray) -> np.ndarray:
+    """Vectorized FNV-1a over int32 values (4 bytes each)."""
+    h = np.full(values.shape, 2166136261, dtype=np.uint64)
+    v = values.astype(np.uint32).astype(np.uint64)
+    for shift in (0, 8, 16, 24):
+        byte = (v >> shift) & 0xFF
+        h = ((h ^ byte) * 16777619) & 0xFFFFFFFF
+    return h.astype(np.uint32)
+
+
+class RowsToColumnar(RestructuringOp):
+    """(n_rows, row_bytes) uint8 rows → (n_cols, n_rows) int32 columns.
+
+    Each row holds ``n_cols`` little-endian int32 fields. The pivot is a
+    strided gather — the classic row-store to column-store shuffle.
+    """
+
+    name = "rows-to-columnar"
+    ops_per_element = 1.5
+    # The pivot reads rows sequentially and writes one stream per column;
+    # a handful of write streams still prefetch, so only a modest share
+    # of accesses behave as gathers.
+    gather_fraction = 0.25
+
+    def __init__(self, n_cols: int):
+        if n_cols <= 0:
+            raise ValueError("n_cols must be positive")
+        self.n_cols = n_cols
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.dtype != np.uint8 or data.ndim != 2:
+            raise ValueError("expected (n_rows, row_bytes) uint8")
+        row_bytes = data.shape[1]
+        if row_bytes != self.n_cols * 4:
+            raise ValueError(
+                f"row width {row_bytes} does not hold {self.n_cols} int32 fields"
+            )
+        rows = data.reshape(data.shape[0], self.n_cols, 4)
+        as_int = rows.view("<i4").reshape(data.shape[0], self.n_cols)
+        return np.ascontiguousarray(as_int.T)
+
+
+class DictionaryEncode(RestructuringOp):
+    """Encode one column's values as indices into its sorted unique set.
+
+    Input ``(n_cols, n_rows)`` int32 columnar block; output has the coded
+    column substituted. The dictionary itself is retained on the op.
+    """
+
+    name = "dictionary-encode"
+    ops_per_element = 6.0  # hash/probe per value
+    gather_fraction = 0.3
+    branch_fraction = 0.08
+    vectorizable_fraction = 0.7
+
+    def __init__(self, column: int):
+        if column < 0:
+            raise ValueError("column index must be non-negative")
+        self.column = column
+        self.dictionary: np.ndarray = np.empty(0, dtype=np.int32)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.ndim != 2 or data.dtype != np.int32:
+            raise ValueError("expected (n_cols, n_rows) int32 columnar block")
+        if self.column >= data.shape[0]:
+            raise ValueError(f"column {self.column} out of range")
+        out = data.copy()
+        values = data[self.column]
+        self.dictionary, codes = np.unique(values, return_inverse=True)
+        out[self.column] = codes.astype(np.int32)
+        return out
+
+
+class HashPartition(RestructuringOp):
+    """Order rows by hash(key) % n_partitions (radix partitioning).
+
+    Produces a columnar block whose rows are grouped by partition, with
+    partition boundaries recorded on the op — the layout a partitioned
+    hash join consumes.
+    """
+
+    name = "hash-partition"
+    ops_per_element = 8.0  # hash + scatter
+    # Radix partitioning writes one sequential stream per partition.
+    gather_fraction = 0.2
+    branch_fraction = 0.06
+
+    def __init__(self, key_column: int, n_partitions: int):
+        if n_partitions <= 0:
+            raise ValueError("n_partitions must be positive")
+        if key_column < 0:
+            raise ValueError("key_column must be non-negative")
+        self.key_column = key_column
+        self.n_partitions = n_partitions
+        self.boundaries: List[int] = []
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.ndim != 2 or data.dtype != np.int32:
+            raise ValueError("expected (n_cols, n_rows) int32 columnar block")
+        if self.key_column >= data.shape[0]:
+            raise ValueError(f"key column {self.key_column} out of range")
+        keys = data[self.key_column]
+        partitions = fnv1a32(keys) % np.uint32(self.n_partitions)
+        order = np.argsort(partitions, kind="stable")
+        counts = np.bincount(partitions, minlength=self.n_partitions)
+        self.boundaries = np.concatenate([[0], np.cumsum(counts)]).tolist()
+        return np.ascontiguousarray(data[:, order])

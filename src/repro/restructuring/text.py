@@ -1,0 +1,128 @@
+"""Text-domain restructuring: Personal Information Redaction data motion.
+
+Between the AES-GCM decrypt accelerator and the regex accelerator, the
+plaintext byte stream must become fixed-width records the regex engine
+scans (with record padding and a validity mask); between regex/redaction
+and the NER Transformer (Fig. 16 extension), text must be tokenized into
+padded int32 id sequences ("reshaping and typecasting").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import RestructuringOp
+
+__all__ = ["BytesToRecords", "RecordsToBytes", "TokenizeForNER"]
+
+PAD_BYTE = 0x00
+
+
+class BytesToRecords(RestructuringOp):
+    """Byte stream → (n_records, record_len) fixed-width uint8 records.
+
+    Records split on newline (0x0A); long lines wrap across records. The
+    per-byte scan is branchy, scalar-flavoured work — exactly the kind of
+    restructuring the paper observes performing poorly on CPUs.
+    """
+
+    name = "bytes-to-records"
+    ops_per_element = 12.0  # scan, classify, wrap, copy, pad per byte
+    branch_fraction = 0.12
+    mispredict_rate = 0.06
+    vectorizable_fraction = 0.85  # SIMD newline scan + prefix-sum scatter
+    gather_fraction = 0.4  # scattered record writes across the output image
+
+    def __init__(self, record_len: int):
+        if record_len <= 0:
+            raise ValueError("record_len must be positive")
+        self.record_len = record_len
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.dtype != np.uint8 or data.ndim != 1:
+            raise ValueError("expected a flat uint8 byte stream")
+        stream = data.tobytes()
+        records = []
+        for line in stream.split(b"\n"):
+            if not line:
+                continue
+            for start in range(0, len(line), self.record_len):
+                chunk = line[start : start + self.record_len]
+                records.append(chunk.ljust(self.record_len, bytes([PAD_BYTE])))
+        if not records:
+            records.append(bytes(self.record_len))
+        return np.frombuffer(b"".join(records), dtype=np.uint8).reshape(
+            len(records), self.record_len
+        )
+
+
+class RecordsToBytes(RestructuringOp):
+    """(n_records, record_len) records → a flat byte stream (pads dropped)."""
+
+    name = "records-to-bytes"
+    ops_per_element = 1.5
+    branch_fraction = 0.1
+    vectorizable_fraction = 0.7
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.dtype != np.uint8 or data.ndim != 2:
+            raise ValueError("expected (n_records, record_len) uint8")
+        pieces = []
+        for row in data:
+            raw = row.tobytes().rstrip(bytes([PAD_BYTE]))
+            if raw:
+                pieces.append(raw)
+        joined = b"\n".join(pieces)
+        return np.frombuffer(joined, dtype=np.uint8).copy()
+
+
+class TokenizeForNER(RestructuringOp):
+    """Byte stream → (n_seqs, seq_len) int32 token ids for the NER model.
+
+    Whitespace tokenization with a deterministic hash vocabulary — the
+    restructuring is the interesting part (scan, bucket, pad, typecast),
+    not the linguistics.
+    """
+
+    name = "tokenize-for-ner"
+    ops_per_element = 4.0
+    branch_fraction = 0.12
+    mispredict_rate = 0.06
+    vectorizable_fraction = 0.5
+    gather_fraction = 0.2
+
+    CLS_ID = 1
+    SEP_ID = 2
+    PAD_ID = 0
+    FIRST_WORD_ID = 3
+
+    def __init__(self, seq_len: int, vocab_size: int = 30_000):
+        if seq_len < 3:
+            raise ValueError("seq_len must allow CLS/SEP plus content")
+        if vocab_size <= self.FIRST_WORD_ID:
+            raise ValueError("vocab_size too small")
+        self.seq_len = seq_len
+        self.vocab_size = vocab_size
+
+    def token_id(self, word: bytes) -> int:
+        """Deterministic FNV-1a hash of the word into the vocab range."""
+        h = 2166136261
+        for byte in word:
+            h = ((h ^ byte) * 16777619) & 0xFFFFFFFF
+        span = self.vocab_size - self.FIRST_WORD_ID
+        return self.FIRST_WORD_ID + (h % span)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        if data.dtype != np.uint8 or data.ndim != 1:
+            raise ValueError("expected a flat uint8 byte stream")
+        words = data.tobytes().split()
+        content = self.seq_len - 2  # room for CLS and SEP
+        sequences = []
+        for start in range(0, max(len(words), 1), content):
+            chunk = words[start : start + content]
+            ids = [self.CLS_ID] + [self.token_id(w) for w in chunk] + [self.SEP_ID]
+            ids += [self.PAD_ID] * (self.seq_len - len(ids))
+            sequences.append(ids)
+        return np.asarray(sequences, dtype=np.int32)

@@ -1,0 +1,27 @@
+"""System integration: host API, drivers, enumeration (Sec. V)."""
+
+from .driver import DriverStats, NotificationCosts, NotificationModel
+from .enumeration import EnumeratedDevice, SystemInventory, enumerate_fabric
+from .opencl import (
+    CLBuffer,
+    CLError,
+    CLEvent,
+    CommandQueue,
+    Context,
+    DeviceHandle,
+)
+
+__all__ = [
+    "DriverStats",
+    "NotificationCosts",
+    "NotificationModel",
+    "EnumeratedDevice",
+    "SystemInventory",
+    "enumerate_fabric",
+    "CLBuffer",
+    "CLError",
+    "CLEvent",
+    "CommandQueue",
+    "Context",
+    "DeviceHandle",
+]

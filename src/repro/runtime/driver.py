@@ -1,0 +1,136 @@
+"""Driver model: interrupts, coalescing, and the NAPI-style polling switch.
+
+Sec. V: "By default, we operate accelerators and DRXs in interrupt mode
+for sending notifications to the CPU. The interrupt handling of the
+drivers utilizes interrupt coalescing for the bursty arrival of
+interrupts. If the arrival rate of interrupts exceeds a certain
+threshold, the drivers switch to polling. This design is similar to
+Linux NAPI."
+
+:class:`NotificationModel` tracks a recent-arrival-rate estimate per
+device and prices each completion notification accordingly:
+
+* interrupt mode — full ISR cost on a CPU core, minus coalescing
+  savings when several completions land inside one coalescing window;
+* polling mode — a cheaper amortized per-completion cost (no context
+  switch), entered when the rate crosses ``polling_threshold_hz`` and
+  left when it falls below half of it (hysteresis).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Generator
+
+from ..cpu import HostCPU
+from ..sim import Simulator
+
+__all__ = ["NotificationCosts", "NotificationModel", "DriverStats"]
+
+
+@dataclass(frozen=True)
+class NotificationCosts:
+    """Software path lengths for completion notifications (seconds)."""
+
+    interrupt_s: float = 2.0e-6  # ISR + context switch + driver bottom half
+    coalesced_s: float = 0.4e-6  # extra completion inside one ISR window
+    poll_s: float = 0.5e-6  # amortized polled-completion handling
+    coalesce_window_s: float = 20e-6
+    polling_threshold_hz: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if min(self.interrupt_s, self.coalesced_s, self.poll_s) < 0:
+            raise ValueError("notification costs must be non-negative")
+        if self.coalesce_window_s <= 0 or self.polling_threshold_hz <= 0:
+            raise ValueError("window and threshold must be positive")
+
+
+@dataclass
+class DriverStats:
+    """Counters for reporting."""
+
+    interrupts: int = 0
+    coalesced: int = 0
+    polled: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.interrupts + self.coalesced + self.polled
+
+
+class NotificationModel:
+    """Prices device-completion notifications on the host CPU."""
+
+    _RATE_WINDOW = 32  # arrivals kept for rate estimation
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: HostCPU,
+        costs: NotificationCosts = NotificationCosts(),
+    ):
+        self.sim = sim
+        self.cpu = cpu
+        self.costs = costs
+        self.stats = DriverStats()
+        self._arrivals: Dict[str, Deque[float]] = {}
+        self._polling: Dict[str, bool] = {}
+        self._last_isr: Dict[str, float] = {}
+
+    def _arrival_rate(self, device: str) -> float:
+        history = self._arrivals.get(device)
+        if not history or len(history) < 2:
+            return 0.0
+        span = history[-1] - history[0]
+        if span <= 0:
+            return float("inf")
+        return (len(history) - 1) / span
+
+    def is_polling(self, device: str) -> bool:
+        return self._polling.get(device, False)
+
+    _MIN_HISTORY = 8  # sustained arrivals required before mode switches
+
+    def _update_mode(self, device: str) -> None:
+        history = self._arrivals.get(device, ())
+        if len(history) < self._MIN_HISTORY:
+            return  # NAPI-style: only a *sustained* rate flips the mode
+        rate = self._arrival_rate(device)
+        threshold = self.costs.polling_threshold_hz
+        if self._polling.get(device, False):
+            if rate < threshold / 2:  # hysteresis
+                self._polling[device] = False
+        elif rate > threshold:
+            self._polling[device] = True
+
+    def notify(self, device: str) -> Generator:
+        """Process: deliver one completion notification to the host.
+
+        Returns the CPU cost charged.
+        """
+        now = self.sim.now
+        history = self._arrivals.setdefault(
+            device, deque(maxlen=self._RATE_WINDOW)
+        )
+        history.append(now)
+        self._update_mode(device)
+
+        if self._polling.get(device, False):
+            cost = self.costs.poll_s
+            self.stats.polled += 1
+        else:
+            last = self._last_isr.get(device)
+            if last is not None and now - last < self.costs.coalesce_window_s:
+                cost = self.costs.coalesced_s
+                self.stats.coalesced += 1
+            else:
+                cost = self.costs.interrupt_s
+                self.stats.interrupts += 1
+            self._last_isr[device] = now
+        # ISRs preempt whatever the cores are doing, so the notification
+        # costs wall time and CPU energy but does not queue behind bulk
+        # restructuring chunks.
+        yield self.sim.timeout(cost)
+        self.cpu.busy_seconds += cost
+        return cost

@@ -1,0 +1,104 @@
+"""PCIe enumeration: device discovery and DRX queue provisioning.
+
+Sec. V: "The number of accelerators is determined at PCIe enumeration
+time when it discovers connected accelerators that need data
+restructuring." Enumeration walks the fabric tree, assigns
+bus/device/function-style addresses, classifies endpoints by naming
+convention, and carves each DRX's RX/TX queue partition for all peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..drx.queues import MAX_ACCELERATORS, QueuePartition
+from ..interconnect import Fabric, Node
+
+__all__ = ["EnumeratedDevice", "SystemInventory", "enumerate_fabric"]
+
+
+@dataclass(frozen=True)
+class EnumeratedDevice:
+    """One discovered PCIe function."""
+
+    name: str
+    kind: str  # "accelerator" | "drx"
+    bus: int
+    device: int
+
+    @property
+    def bdf(self) -> str:
+        return f"{self.bus:02x}:{self.device:02x}.0"
+
+
+@dataclass
+class SystemInventory:
+    """Result of enumeration: devices plus per-DRX queue partitions."""
+
+    devices: List[EnumeratedDevice]
+    partitions: Dict[str, QueuePartition]
+
+    @property
+    def accelerators(self) -> List[EnumeratedDevice]:
+        return [d for d in self.devices if d.kind == "accelerator"]
+
+    @property
+    def drxs(self) -> List[EnumeratedDevice]:
+        return [d for d in self.devices if d.kind == "drx"]
+
+    def find(self, name: str) -> EnumeratedDevice:
+        for dev in self.devices:
+            if dev.name == name:
+                return dev
+        raise KeyError(f"no enumerated device named {name!r}")
+
+
+def _classify(name: str) -> str:
+    return "drx" if "drx" in name.lower() else "accelerator"
+
+
+def enumerate_fabric(fabric: Fabric) -> SystemInventory:
+    """Walk the fabric tree and provision DRX data queues.
+
+    Bus numbers follow switches (depth-first), device numbers follow
+    port order — close enough to real enumeration for the model's needs.
+    """
+    devices: List[EnumeratedDevice] = []
+    bus_counter = [0]
+
+    def walk(node: Node, bus: int) -> None:
+        device_counter = 0
+        for child in node.children:
+            if child.kind == "switch":
+                bus_counter[0] += 1
+                walk(child, bus_counter[0])
+            else:
+                devices.append(
+                    EnumeratedDevice(
+                        name=child.name,
+                        kind=_classify(child.name),
+                        bus=bus,
+                        device=device_counter,
+                    )
+                )
+                device_counter += 1
+
+    walk(fabric.root, 0)
+
+    accel_names = [d.name for d in devices if d.kind == "accelerator"]
+    drx_names = [d.name for d in devices if d.kind == "drx"]
+    if len(accel_names) > MAX_ACCELERATORS:
+        raise MemoryError(
+            f"{len(accel_names)} accelerators exceed the {MAX_ACCELERATORS}-"
+            "accelerator queue provisioning limit"
+        )
+    partitions = {
+        drx: QueuePartition(
+            drx,
+            accelerator_peers=accel_names,
+            drx_peers=[d for d in drx_names if d != drx],
+        )
+        for drx in drx_names
+    }
+    return SystemInventory(devices=devices, partitions=partitions)

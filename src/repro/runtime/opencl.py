@@ -1,0 +1,205 @@
+"""OpenCL-style host programming model (Sec. V).
+
+DMX keeps the control plane on the CPU behind a familiar host API: the
+host program creates an execution **context** naming the devices,
+kernels, and per-device **command queues**; commands (kernel launches,
+buffer copies) are enqueued blocking or non-blocking with explicit
+**event** dependencies; in-order queues execute commands in enqueue
+order.
+
+This module implements that API *functionally*: enqueued kernels really
+run (on the functional accelerator/DRX implementations) the moment
+their dependencies resolve, and the dependency graph is checked for
+cycles and cross-context use. The DES timing path lives in
+:mod:`repro.core`; examples and correctness tests drive this layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["CLError", "DeviceHandle", "CLBuffer", "CLEvent", "CommandQueue",
+           "Context"]
+
+
+class CLError(RuntimeError):
+    """Raised for host-API misuse."""
+
+
+class DeviceHandle:
+    """A device visible to the context: accelerator, DRX, or the host CPU."""
+
+    _ids = itertools.count()
+
+    def __init__(self, name: str, kind: str, executor: Any = None):
+        if kind not in ("accelerator", "drx", "cpu"):
+            raise CLError(f"unknown device kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.executor = executor  # functional object (Accelerator, ...)
+        self.device_id = next(self._ids)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DeviceHandle({self.name!r}, {self.kind})"
+
+
+class CLBuffer:
+    """A named host-visible buffer object."""
+
+    def __init__(self, context: "Context", name: str, data: Any = None):
+        self.context = context
+        self.name = name
+        self.data = data
+        self.version = 0
+
+    def write(self, data: Any) -> None:
+        """Host-side buffer update."""
+        self.data = data
+        self.version += 1
+
+    def read(self) -> Any:
+        if self.data is None:
+            raise CLError(f"buffer {self.name!r} read before any write")
+        return self.data
+
+
+class CLEvent:
+    """Completion token for one enqueued command."""
+
+    _ids = itertools.count()
+
+    def __init__(self, command: str):
+        self.command = command
+        self.event_id = next(self._ids)
+        self.complete = False
+        self.result: Any = None
+
+    def wait(self) -> Any:
+        if not self.complete:
+            raise CLError(
+                f"event {self.event_id} ({self.command}) awaited before "
+                "completion — missing queue.finish()?"
+            )
+        return self.result
+
+
+class CommandQueue:
+    """An in-order command queue bound to one device.
+
+    Commands execute in enqueue order. Non-blocking enqueues defer
+    execution until :meth:`finish` (or a blocking enqueue) drains the
+    queue; dependencies across queues are expressed with ``wait_for``
+    event lists, exactly as in OpenCL.
+    """
+
+    def __init__(self, context: "Context", device: DeviceHandle):
+        self.context = context
+        self.device = device
+        self._pending: List[tuple] = []
+        self.commands_executed = 0
+
+    def enqueue_kernel(
+        self,
+        fn: Callable[..., Any],
+        inputs: Sequence[CLBuffer],
+        output: CLBuffer,
+        wait_for: Optional[Sequence[CLEvent]] = None,
+        blocking: bool = False,
+    ) -> CLEvent:
+        """Enqueue ``output.data = fn(*[b.data for b in inputs])``."""
+        for buffer in list(inputs) + [output]:
+            if buffer.context is not self.context:
+                raise CLError("buffer belongs to a different context")
+        event = CLEvent(f"kernel:{getattr(fn, '__name__', 'fn')}@{self.device.name}")
+        self._pending.append(("kernel", fn, list(inputs), output,
+                              list(wait_for or []), event))
+        if blocking:
+            self.finish()
+        return event
+
+    def enqueue_copy(
+        self,
+        src: CLBuffer,
+        dst: CLBuffer,
+        wait_for: Optional[Sequence[CLEvent]] = None,
+        blocking: bool = False,
+    ) -> CLEvent:
+        """Enqueue a buffer-to-buffer transfer."""
+        event = CLEvent(f"copy:{src.name}->{dst.name}")
+        self._pending.append(("copy", None, [src], dst,
+                              list(wait_for or []), event))
+        if blocking:
+            self.finish()
+        return event
+
+    def finish(self) -> None:
+        """Drain the queue in order, honoring cross-queue dependencies.
+
+        A dependency on an incomplete cross-queue event raises without
+        consuming the command, so finishing the producer queue and
+        retrying succeeds.
+        """
+        while self._pending:
+            kind, fn, inputs, output, waits, event = self._pending[0]
+            for dep in waits:
+                if not dep.complete:
+                    raise CLError(
+                        f"command {event.command!r} depends on incomplete "
+                        f"event {dep.command!r}; finish that queue first"
+                    )
+            self._pending.pop(0)
+            if kind == "kernel":
+                args = [b.read() for b in inputs]
+                result = fn(*args)
+                output.write(result)
+                event.result = result
+            else:  # copy
+                output.write(inputs[0].read())
+                event.result = output.data
+            event.complete = True
+            self.commands_executed += 1
+
+
+class Context:
+    """Execution context: devices, buffers, and command queues.
+
+    Mirrors the paper's description: one context per application
+    instance, holding (1) the hardware involved, (2) the kernels, and
+    (3) a per-device command queue.
+    """
+
+    def __init__(self, devices: Sequence[DeviceHandle]):
+        if not devices:
+            raise CLError("context requires at least one device")
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise CLError("duplicate device names in context")
+        self.devices: Dict[str, DeviceHandle] = {d.name: d for d in devices}
+        self.buffers: Dict[str, CLBuffer] = {}
+        self.queues: Dict[str, CommandQueue] = {}
+
+    def device(self, name: str) -> DeviceHandle:
+        if name not in self.devices:
+            raise CLError(f"no device {name!r} in context")
+        return self.devices[name]
+
+    def create_buffer(self, name: str, data: Any = None) -> CLBuffer:
+        if name in self.buffers:
+            raise CLError(f"buffer {name!r} already exists")
+        buffer = CLBuffer(self, name, data)
+        self.buffers[name] = buffer
+        return buffer
+
+    def create_queue(self, device_name: str) -> CommandQueue:
+        """One in-order queue per device (per the paper's model)."""
+        if device_name in self.queues:
+            raise CLError(f"device {device_name!r} already has a queue")
+        queue = CommandQueue(self, self.device(device_name))
+        self.queues[device_name] = queue
+        return queue
+
+    def finish_all(self) -> None:
+        """Drain every queue (a global barrier)."""
+        for queue in self.queues.values():
+            queue.finish()

@@ -1,0 +1,41 @@
+"""Discrete-event simulation engine used by all timing models."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import PriorityResource, Request, Resource, Server, Store
+from .tracing import (
+    Interval,
+    PhaseAccumulator,
+    Trace,
+    geometric_mean,
+    summarize_latencies,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "PriorityResource",
+    "Request",
+    "Resource",
+    "Server",
+    "Store",
+    "Interval",
+    "PhaseAccumulator",
+    "Trace",
+    "geometric_mean",
+    "summarize_latencies",
+]

@@ -1,0 +1,348 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free process-based DES core in the style of SimPy.
+Processes are Python generators that ``yield`` :class:`Event` objects; the
+:class:`Simulator` advances virtual time, fires events, and resumes the
+processes waiting on them.
+
+The engine is deliberately minimal but complete enough for the DMX system
+model: timeouts, process joining, event composition (:class:`AllOf` /
+:class:`AnyOf`), and interruption.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(sim):
+...     yield sim.timeout(5.0)
+...     log.append(sim.now)
+>>> _ = sim.spawn(proc(sim))
+>>> sim.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (double-trigger, bad yields)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    Events start *pending*, become *triggered* when given a value (or an
+    exception), and are *processed* once the simulator has run their
+    callbacks. Processes wait on events by yielding them.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value or an exception."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the simulator has fired this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (no exception)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event triggered with.
+
+        Raises :class:`SimulationError` when the event is still pending.
+        """
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have the exception thrown into them.
+        """
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._queue_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self._triggered = True
+        self._value = value
+        sim._queue_event(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers when it returns.
+
+    The process event's value is the generator's return value; if the
+    generator raises, waiting processes observe the exception.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the process at the current time.
+        bootstrap = Event(sim)
+        bootstrap._triggered = True
+        bootstrap.add_callback(self._resume)
+        sim._queue_event(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self._waiting_on is not None:
+            target = self._waiting_on
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup._triggered = True
+        wakeup._exception = Interrupt(cause)
+        wakeup.add_callback(self._resume)
+        self.sim._queue_event(wakeup)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event._exception is not None:
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt kills the process but is not an error
+            # of the simulation itself.
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if self.sim.strict:
+                raise
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("yielded event belongs to another simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composition events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events: List[Event] = list(events)
+        self._pending = 0
+        for event in self.events:
+            if event.sim is not self.sim:
+                raise SimulationError("cannot combine events across simulators")
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            self._pending += 1
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value for ev in self.events if ev.processed and ev.ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every component event has triggered."""
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any component event triggers."""
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, tiebreak, event).
+
+    Parameters
+    ----------
+    strict:
+        When True (default) exceptions escaping a process propagate out of
+        :meth:`run`; when False they fail the process event instead so
+        joiners can observe them.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.now: float = 0.0
+        self.strict = strict
+        self._heap: List = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator`` at the current time."""
+        return Process(self, generator, name=name)
+
+    # Alias mirroring SimPy naming, some callers read better with it.
+    process = spawn
+
+    # -- scheduling core ----------------------------------------------------
+
+    def _queue_event(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._counter), event))
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback()`` after ``delay``; returns the underlying event."""
+        event = Timeout(self, delay)
+        event.add_callback(lambda _ev: callback())
+        return event
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _tie, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event scheduled in the past")
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or virtual time reaches ``until``."""
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            if until is not None and self.peek() > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until

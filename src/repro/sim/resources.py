@@ -1,0 +1,238 @@
+"""Shared resources for the DES engine.
+
+Three resource flavours cover everything the DMX model needs:
+
+* :class:`Resource` — a counted resource with a FIFO wait queue (CPU cores,
+  DRX units, DMA engines).
+* :class:`Server` — a capacity-1 (or N) resource where each job occupies it
+  for a caller-computed service time; used for PCIe links, memory channels,
+  and anything whose contention is "one transfer at a time".
+* :class:`Store` — an unbounded FIFO of items with blocking ``get`` (command
+  queues, interrupt queues).
+
+All acquisitions are events, so processes compose them with timeouts and
+conditions freely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Request", "Resource", "Server", "Store", "PriorityResource"]
+
+
+class Request(Event):
+    """The event returned by :meth:`Resource.request`.
+
+    Triggers when the slot is granted. Use as a context token: pass it back
+    to :meth:`Resource.release` when done.
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """A counted resource with FIFO (or priority) granting.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Number of slots that may be held simultaneously.
+    name:
+        Optional label used in error messages and tracing.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+        # Statistics for utilization reporting.
+        self.total_wait_time = 0.0
+        self.granted_count = 0
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held slots."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def busy_time(self) -> float:
+        """Integrated (slots-held x time), for utilization accounting."""
+        return self._busy_time + self.in_use * (self.sim.now - self._last_change)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self, priority: int = 0) -> Request:
+        """Ask for a slot; the returned event triggers when granted."""
+        req = Request(self, priority)
+        req._requested_at = self.sim.now
+        if self.in_use < self.capacity and not self._queue:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        if request not in self._users:
+            raise SimulationError(
+                f"release of a request not holding {self.name or 'resource'}"
+            )
+        self._account()
+        self._users.remove(request)
+        self._grant_waiters()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a request that has not been granted yet."""
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            raise SimulationError("cancel of a request that is not queued")
+
+    def _grant(self, request: Request) -> None:
+        self._account()
+        self._users.append(request)
+        self.granted_count += 1
+        self.total_wait_time += self.sim.now - request._requested_at
+        request.succeed(request)
+
+    def _select_next(self) -> Request:
+        return self._queue.popleft()
+
+    def _grant_waiters(self) -> None:
+        while self._queue and self.in_use < self.capacity:
+            self._grant(self._select_next())
+
+    def acquire(self) -> Generator:
+        """Process helper: ``req = yield from res.acquire()``."""
+        req = self.request()
+        yield req
+        return req
+
+    def use(self, duration: float) -> Generator:
+        """Process helper: hold one slot for ``duration`` time units."""
+        req = self.request()
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(req)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` that grants the lowest-priority-number first.
+
+    Ties break FIFO. Useful for modeling interrupt handling preempting
+    batch restructuring work on CPU cores.
+    """
+
+    def _select_next(self) -> Request:
+        best_index = 0
+        best = self._queue[0]
+        for index, req in enumerate(self._queue):
+            if req.priority < best.priority:
+                best, best_index = req, index
+        del self._queue[best_index]
+        return best
+
+
+class Server:
+    """A resource where each job's occupancy time is known on entry.
+
+    ``transfer(duration)`` is a process helper that waits for a free slot,
+    occupies it for ``duration``, then releases — exactly the store-and-
+    forward contention model used for PCIe links and DRAM channels.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._resource = Resource(sim, capacity=capacity, name=name)
+        self.total_service_time = 0.0
+        self.jobs_served = 0
+
+    @property
+    def queue_length(self) -> int:
+        return self._resource.queue_length
+
+    @property
+    def in_use(self) -> int:
+        return self._resource.in_use
+
+    def busy_time(self) -> float:
+        return self._resource.busy_time()
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the server was busy (capacity-1 view)."""
+        if self.sim.now == 0:
+            return 0.0
+        return self.busy_time() / (self.sim.now * self._resource.capacity)
+
+    def transfer(self, duration: float) -> Generator:
+        """Occupy one slot for ``duration``; yields until complete."""
+        if duration < 0:
+            raise ValueError(f"negative service time: {duration}")
+        req = self._resource.request()
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+            self.total_service_time += duration
+            self.jobs_served += 1
+        finally:
+            self._resource.release(req)
+
+
+class Store:
+    """Unbounded FIFO with blocking ``get`` for producer/consumer processes."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.put_count = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add an item; wakes the oldest waiting getter, if any."""
+        self.put_count += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event triggering with the next item (immediately if available)."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_all(self) -> List[Any]:
+        """Snapshot of queued items (does not consume)."""
+        return list(self._items)

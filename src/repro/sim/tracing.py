@@ -1,0 +1,141 @@
+"""Lightweight tracing/metrics for simulation runs.
+
+The DMX experiments need three aggregates per run: per-request latency
+broken into phases (kernel / restructuring / movement), per-resource busy
+time, and per-device energy integrals. :class:`Trace` collects interval
+records; :class:`PhaseAccumulator` sums phase durations; both are cheap
+enough to leave always-on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Interval", "Trace", "PhaseAccumulator", "summarize_latencies"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One traced span of simulated time."""
+
+    start: float
+    end: float
+    actor: str
+    phase: str
+    request_id: int = -1
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Append-only list of :class:`Interval` with simple queries."""
+
+    def __init__(self) -> None:
+        self.intervals: List[Interval] = []
+
+    def record(
+        self,
+        start: float,
+        end: float,
+        actor: str,
+        phase: str,
+        request_id: int = -1,
+    ) -> None:
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start}..{end}")
+        self.intervals.append(Interval(start, end, actor, phase, request_id))
+
+    def total(self, phase: Optional[str] = None, actor: Optional[str] = None) -> float:
+        """Summed duration of intervals matching the filters."""
+        return sum(
+            iv.duration
+            for iv in self.intervals
+            if (phase is None or iv.phase == phase)
+            and (actor is None or iv.actor == actor)
+        )
+
+    def phases(self) -> Dict[str, float]:
+        """Total duration keyed by phase name."""
+        out: Dict[str, float] = {}
+        for iv in self.intervals:
+            out[iv.phase] = out.get(iv.phase, 0.0) + iv.duration
+        return out
+
+    def for_request(self, request_id: int) -> List[Interval]:
+        return [iv for iv in self.intervals if iv.request_id == request_id]
+
+
+class PhaseAccumulator:
+    """Sums time per phase; the unit the breakdown figures are built from."""
+
+    def __init__(self, phases: Iterable[str] = ()) -> None:
+        self.totals: Dict[str, float] = {p: 0.0 for p in phases}
+
+    def add(self, phase: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative phase duration: {duration}")
+        self.totals[phase] = self.totals.get(phase, 0.0) + duration
+
+    def merge(self, other: "PhaseAccumulator") -> "PhaseAccumulator":
+        merged = PhaseAccumulator(self.totals)
+        for phase, duration in self.totals.items():
+            merged.totals[phase] = duration
+        for phase, duration in other.totals.items():
+            merged.totals[phase] = merged.totals.get(phase, 0.0) + duration
+        return merged
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Phase shares of the total (empty dict when total is zero)."""
+        total = self.total
+        if total <= 0:
+            return {}
+        return {phase: duration / total for phase, duration in self.totals.items()}
+
+
+def summarize_latencies(latencies: List[float]) -> Dict[str, float]:
+    """Mean / p50 / p99 / min / max summary of a latency sample."""
+    if not latencies:
+        raise ValueError("no latencies to summarize")
+    ordered = sorted(latencies)
+    n = len(ordered)
+
+    def percentile(p: float) -> float:
+        if n == 1:
+            return ordered[0]
+        rank = p * (n - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    return {
+        "mean": sum(ordered) / n,
+        "p50": percentile(0.50),
+        "p99": percentile(0.99),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "count": float(n),
+    }
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports geomeans across benchmarks."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+__all__.append("geometric_mean")

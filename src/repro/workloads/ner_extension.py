@@ -1,0 +1,107 @@
+"""PIR + NER: the three-kernel extension of Fig. 16.
+
+Sec. VII-C: a Transformer fine-tuned for Named Entity Recognition is
+appended to Personal Info Redaction, "along with its additional data
+restructuring kernel consisting of reshaping and typecasting" —
+tokenization into padded int32 sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..accelerators import NERAccelerator, RegexAccelerator, TransformerEncoder
+from ..core.chain import AppChain
+from ..restructuring import (
+    RecordsToBytes,
+    RestructuringPipeline,
+    TokenizeForNER,
+)
+from .base import kernel_stage_from_profile, motion_stage_from_profiles
+from .generators import make_pii_document
+from .pii_redaction import RECORD_LEN, TARGET_BYTES, build_chain as build_pir
+
+__all__ = ["build_chain", "run_functional_demo", "SEQ_LEN", "NER_FRACTION"]
+
+SEQ_LEN = 128
+# Only sequences the regex stage flagged as PII-bearing are routed to
+# the Transformer (NER "identifies personal and sensitive information
+# ... which is hard to capture for regular expression"): the heavyweight
+# model reviews the suspicious subset, not the full corpus.
+NER_FRACTION = 0.01
+
+
+def build_chain(instance: int = 0) -> AppChain:
+    """The two PIR stages plus tokenization motion and the NER kernel."""
+    base = build_pir(instance)
+    ner = NERAccelerator()
+    regex = RegexAccelerator()
+
+    # Functional sample for the added motion + kernel.
+    document = make_pii_document(400, seed=23)
+    from ..restructuring import BytesToRecords
+
+    records = BytesToRecords(RECORD_LEN).apply(
+        np.frombuffer(document, dtype=np.uint8).copy()
+    )
+    redacted = regex.run(records)
+
+    motion = RestructuringPipeline(
+        "ner-motion", [RecordsToBytes(), TokenizeForNER(SEQ_LEN)]
+    )
+    token_ids, motion_profiles = motion.run(redacted)
+    ner_profile = ner.work_profile(token_ids)
+
+    from ..profiles import scale_profile
+
+    scale = TARGET_BYTES / len(document)
+    ner_scale = scale * NER_FRACTION
+    tokens_bytes_target = max(1, int(token_ids.nbytes * ner_scale))
+    chain = AppChain(
+        name=f"pii-ner-{instance}",
+        stages=list(base.stages) + [
+            motion_stage_from_profiles(
+                "ner-motion",
+                [scale_profile(p, ner_scale) for p in motion_profiles],
+                input_bytes_target=int(redacted.nbytes * scale),
+                output_bytes_target=tokens_bytes_target,
+            ),
+            kernel_stage_from_profile(
+                "ner-transformer", ner.spec, ner_profile,
+                output_bytes_target=tokens_bytes_target,
+                volume_scale=ner_scale,
+            ),
+        ],
+    )
+    return chain
+
+
+def run_functional_demo(seed: int = 0) -> dict:
+    """Regex-redact then NER-tag a small document, end to end."""
+    from ..accelerators import AesGcmAccelerator
+    from ..restructuring import BytesToRecords
+    from .generators import encrypt_document
+
+    decryptor = AesGcmAccelerator()
+    regex = RegexAccelerator()
+    encoder = TransformerEncoder(
+        vocab_size=30_000, d_model=32, n_heads=2, n_layers=1, d_ff=64,
+        max_len=SEQ_LEN,
+    )
+    ner = NERAccelerator(encoder)
+
+    document = make_pii_document(30, pii_density=0.5, seed=seed)
+    payload = encrypt_document(document, key=decryptor.key)
+    plaintext = decryptor.run(payload)
+    records = BytesToRecords(RECORD_LEN).apply(plaintext)
+    redacted = regex.run(records)
+    motion = RestructuringPipeline(
+        "ner-motion", [RecordsToBytes(), TokenizeForNER(SEQ_LEN)]
+    )
+    token_ids = motion.apply(redacted)
+    labels = ner.run(token_ids)
+    return {
+        "pii_redacted": regex.matches_found,
+        "n_sequences": token_ids.shape[0],
+        "label_shape": labels.shape,
+    }

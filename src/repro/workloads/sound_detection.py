@@ -1,0 +1,106 @@
+"""Sound Detection: FFT → [power, spectrogram, mel, log, flatten] → SVM.
+
+Table I row 2 and the paper's running example (Fig. 2): short-time
+Fourier transform of audio snippets, mel-scale spectrogram assembly as
+the data-motion step, and an SVM genre classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..accelerators import FFTAccelerator, SVMAccelerator
+from ..core.chain import AppChain
+from ..restructuring import (
+    FeatureFlatten,
+    LogCompress,
+    MelScale,
+    PowerSpectrum,
+    RestructuringPipeline,
+    SpectrogramAssembly,
+)
+from .base import kernel_stage_from_profile, motion_stage_from_profiles
+from .generators import make_audio_snippet
+
+__all__ = ["build_chain", "run_functional_demo", "SAMPLE_RATE", "N_MELS"]
+
+SAMPLE_RATE = 22_050.0
+FRAME_LEN, HOP = 1024, 512
+N_MELS = 128
+SAMPLE_DURATION_S = 1.0
+# Production batch: 8 snippets of 10 s each (≈14 MB of spectra).
+TARGET_SNIPPETS, TARGET_DURATION_S = 8, 10.0
+
+
+def build_chain(instance: int = 0) -> AppChain:
+    fft = FFTAccelerator(frame_len=FRAME_LEN, hop=HOP)
+    audio = make_audio_snippet(SAMPLE_DURATION_S, SAMPLE_RATE, seed=11)
+
+    fft_profile = fft.work_profile(audio)
+    spectra = fft.run(audio)
+
+    motion = RestructuringPipeline(
+        "sound-motion",
+        [
+            PowerSpectrum(),
+            SpectrogramAssembly(),
+            MelScale(N_MELS, SAMPLE_RATE),
+            LogCompress(),
+            FeatureFlatten(),
+        ],
+    )
+    features, motion_profiles = motion.run(spectra)
+    # The SVM consumes the flattened mel features of each snippet.
+    svm = SVMAccelerator(n_classes=10, n_features=features.shape[1])
+    svm_profile = svm.work_profile(features)
+
+    from ..profiles import scale_profile
+
+    scale = (TARGET_DURATION_S / SAMPLE_DURATION_S) * TARGET_SNIPPETS
+    spectra_bytes_target = int(spectra.nbytes * scale)
+    features_bytes_target = int(features.nbytes * scale)
+    return AppChain(
+        name=f"sound-detection-{instance}",
+        stages=[
+            kernel_stage_from_profile(
+                "stft", fft.spec, fft_profile,
+                output_bytes_target=spectra_bytes_target, volume_scale=scale,
+            ),
+            motion_stage_from_profiles(
+                "sound-motion",
+                [scale_profile(p, scale) for p in motion_profiles],
+                input_bytes_target=spectra_bytes_target,
+                output_bytes_target=features_bytes_target,
+            ),
+            kernel_stage_from_profile(
+                "svm-classify", svm.spec, svm_profile,
+                output_bytes_target=1024, volume_scale=scale,
+            ),
+        ],
+    )
+
+
+def run_functional_demo(seed: int = 0) -> dict:
+    fft = FFTAccelerator(frame_len=FRAME_LEN, hop=HOP)
+    audio = make_audio_snippet(SAMPLE_DURATION_S, SAMPLE_RATE,
+                               genre=seed % 5, seed=seed)
+    spectra = fft.run(audio)
+    motion = RestructuringPipeline(
+        "sound-motion",
+        [
+            PowerSpectrum(),
+            SpectrogramAssembly(),
+            MelScale(N_MELS, SAMPLE_RATE),
+            LogCompress(),
+        ],
+    )
+    mel = motion.apply(spectra)
+    # Per-snippet feature: mean mel energy per bin.
+    features = mel.mean(axis=1, keepdims=True).T.astype(np.float32)
+    svm = SVMAccelerator(n_classes=10, n_features=N_MELS)
+    genre = svm.run(features)
+    return {
+        "spectra_shape": spectra.shape,
+        "mel_shape": mel.shape,
+        "genre": int(genre[0]),
+    }

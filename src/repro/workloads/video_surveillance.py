@@ -1,0 +1,113 @@
+"""Video Surveillance: video decode → [NV12→RGB, resize, tensorize] → detection.
+
+Table I row 1: the decode kernel (hard-IP on the paper's VT1 instance)
+emits NV12 frames; the object-detection kernel consumes 416x416 planar
+fp32 tensors; the data-motion step is color conversion + bilinear resize
++ layout/normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..accelerators import ObjectDetectionAccelerator, VideoDecodeAccelerator
+from ..core.chain import AppChain
+from ..restructuring import ImageToTensor, Nv12ToRgb, ResizeBilinear, RestructuringPipeline
+from .base import kernel_stage_from_profile, motion_stage_from_profiles
+from .generators import make_video_bitstream
+
+__all__ = ["build_chain", "run_functional_demo", "SAMPLE_HEIGHT", "SAMPLE_WIDTH"]
+
+# Functional sample: one small frame; production batch: 4 frames of 1080p.
+SAMPLE_HEIGHT, SAMPLE_WIDTH = 144, 256
+TARGET_HEIGHT, TARGET_WIDTH, TARGET_FRAMES = 1080, 1920, 4
+DETECTOR_SIZE = 416
+
+
+def _volume_scale() -> float:
+    sample_pixels = SAMPLE_HEIGHT * SAMPLE_WIDTH * 1.5
+    target_pixels = TARGET_HEIGHT * TARGET_WIDTH * 1.5 * TARGET_FRAMES
+    return target_pixels / sample_pixels
+
+
+def build_chain(instance: int = 0) -> AppChain:
+    """Build the Video Surveillance chain from a functional sample run."""
+    decoder = VideoDecodeAccelerator()
+    detector = ObjectDetectionAccelerator(input_size=DETECTOR_SIZE)
+    bitstream = make_video_bitstream(
+        SAMPLE_HEIGHT, SAMPLE_WIDTH, n_frames=1, seed=7
+    )[0]
+
+    decode_profile = decoder.work_profile(bitstream)
+    frame = decoder.run(bitstream)
+
+    motion = RestructuringPipeline(
+        "video-motion",
+        [
+            Nv12ToRgb(SAMPLE_HEIGHT, SAMPLE_WIDTH),
+            ResizeBilinear(DETECTOR_SIZE, DETECTOR_SIZE),
+            ImageToTensor(),
+        ],
+    )
+    tensor, motion_profiles = motion.run(frame)
+    detect_profile = detector.work_profile(
+        np.zeros((3, DETECTOR_SIZE, DETECTOR_SIZE), dtype=np.float32)
+    )
+
+    from ..profiles import scale_profile
+
+    pixel_scale = _volume_scale()
+    frame_scale = float(TARGET_FRAMES)
+    # The NV12→RGB conversion scales with decoded pixels; the resize and
+    # tensorization outputs are fixed per frame, so they scale with the
+    # batch's frame count only.
+    nv12_profile, resize_profile, tensor_profile = motion_profiles
+    scaled_motion = [
+        scale_profile(nv12_profile, pixel_scale),
+        scale_profile(resize_profile, frame_scale),
+        scale_profile(tensor_profile, frame_scale),
+    ]
+    frame_bytes_target = int(frame.nbytes * pixel_scale)
+    tensor_bytes_target = int(tensor.nbytes * frame_scale)
+    return AppChain(
+        name=f"video-surveillance-{instance}",
+        stages=[
+            kernel_stage_from_profile(
+                "video-decode", decoder.spec, decode_profile,
+                output_bytes_target=frame_bytes_target,
+                volume_scale=pixel_scale,
+            ),
+            motion_stage_from_profiles(
+                "video-motion", scaled_motion,
+                input_bytes_target=frame_bytes_target,
+                output_bytes_target=tensor_bytes_target,
+            ),
+            kernel_stage_from_profile(
+                "object-detection", detector.spec, detect_profile,
+                output_bytes_target=4096, volume_scale=frame_scale,
+            ),
+        ],
+    )
+
+
+def run_functional_demo(seed: int = 0) -> dict:
+    """End-to-end functional run on the sample size (for examples/tests)."""
+    decoder = VideoDecodeAccelerator()
+    small_detector = ObjectDetectionAccelerator(input_size=64, threshold=0.3)
+    bitstream = make_video_bitstream(SAMPLE_HEIGHT, SAMPLE_WIDTH, 1, seed)[0]
+    frame = decoder.run(bitstream)
+    motion = RestructuringPipeline(
+        "video-motion",
+        [
+            Nv12ToRgb(SAMPLE_HEIGHT, SAMPLE_WIDTH),
+            ResizeBilinear(64, 64),
+            ImageToTensor(),
+        ],
+    )
+    tensor = motion.apply(frame)
+    detections = small_detector.run(tensor)
+    return {
+        "frame_shape": frame.shape,
+        "tensor_shape": tensor.shape,
+        "detections": detections,
+    }

@@ -1,0 +1,66 @@
+"""Tests for accelerator base classes and device occupancy."""
+
+import pytest
+
+from repro.accelerators import AcceleratorDevice, AcceleratorSpec
+from repro.sim import Simulator
+
+
+def make_spec(**overrides):
+    base = dict(name="test", domain="d", speedup_vs_cpu=5.0)
+    base.update(overrides)
+    return AcceleratorSpec(**base)
+
+
+def test_spec_defaults_match_paper_clocks():
+    spec = make_spec()
+    assert spec.fpga_clock_hz == pytest.approx(250e6)
+    assert spec.asic_clock_hz == pytest.approx(1e9)
+    assert spec.asic_scaling == pytest.approx(4.0)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        make_spec(speedup_vs_cpu=0)
+    with pytest.raises(ValueError):
+        make_spec(implementation="asic")
+    with pytest.raises(ValueError):
+        make_spec(power_w=-1)
+    with pytest.raises(ValueError):
+        make_spec(fpga_clock_hz=0)
+
+
+def test_device_serializes_kernel_invocations():
+    sim = Simulator()
+    device = AcceleratorDevice(sim, make_spec(), kernel_time_s=1e-3)
+    ends = []
+
+    def invoke(sim):
+        yield from device.execute()
+        ends.append(sim.now)
+
+    for _ in range(3):
+        sim.spawn(invoke(sim))
+    sim.run()
+    assert ends == pytest.approx([1e-3, 2e-3, 3e-3])
+    assert device.invocations == 3
+    assert device.busy_seconds == pytest.approx(3e-3)
+
+
+def test_device_utilization():
+    sim = Simulator()
+    device = AcceleratorDevice(sim, make_spec(), kernel_time_s=1.0)
+
+    def invoke(sim):
+        yield from device.execute()
+        yield sim.timeout(1.0)
+
+    sim.spawn(invoke(sim))
+    sim.run()
+    assert device.utilization() == pytest.approx(0.5)
+
+
+def test_device_rejects_negative_kernel_time():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        AcceleratorDevice(sim, make_spec(), kernel_time_s=-1.0)

@@ -1,0 +1,168 @@
+"""Tests for the LZ77 codec and the hash-join kernel."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    CorruptStreamError,
+    DecompressionAccelerator,
+    HashJoinAccelerator,
+    hash_join,
+    lz77_compress,
+    lz77_decompress,
+)
+
+
+# -- LZ77 -------------------------------------------------------------------
+
+
+def test_roundtrip_simple():
+    data = b"hello hello hello world"
+    assert lz77_decompress(lz77_compress(data)) == data
+
+
+def test_roundtrip_empty():
+    assert lz77_decompress(lz77_compress(b"")) == b""
+
+
+def test_roundtrip_incompressible_random():
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, 10_000).astype(np.uint8).tobytes()
+    assert lz77_decompress(lz77_compress(data)) == data
+
+
+def test_roundtrip_repetitive_achieves_compression():
+    data = b"abcd" * 10_000
+    compressed = lz77_compress(data)
+    assert lz77_decompress(compressed) == data
+    assert len(compressed) < len(data) / 10
+
+
+def test_roundtrip_overlapping_match_rle_style():
+    data = b"a" * 1000  # forces distance-1 overlapping copies
+    compressed = lz77_compress(data)
+    assert lz77_decompress(compressed) == data
+
+
+def test_roundtrip_table_like_data():
+    rows = np.arange(50_000, dtype="<i4").tobytes()
+    assert lz77_decompress(lz77_compress(rows)) == rows
+
+
+def test_corrupt_tag_rejected():
+    compressed = lz77_compress(b"hello world")
+    corrupted = bytes([0x77]) + compressed[1:]
+    with pytest.raises(CorruptStreamError):
+        lz77_decompress(corrupted)
+
+
+def test_truncated_stream_rejected():
+    compressed = lz77_compress(b"hello hello hello")
+    with pytest.raises(CorruptStreamError):
+        lz77_decompress(compressed[:-2])
+
+
+def test_bad_match_distance_rejected():
+    # A match token referencing history that does not exist.
+    import struct
+
+    stream = struct.pack("<BHH", 0x01, 100, 4)
+    with pytest.raises(CorruptStreamError):
+        lz77_decompress(stream)
+
+
+def test_decompression_accelerator_returns_uint8():
+    data = b"table,rows,go,here\n" * 100
+    out = DecompressionAccelerator().run(lz77_compress(data))
+    assert out.dtype == np.uint8
+    assert out.tobytes() == data
+
+
+def test_decompression_work_profile_uses_output_size():
+    data = b"x" * 10_000
+    compressed = lz77_compress(data)
+    profile = DecompressionAccelerator().work_profile(compressed)
+    assert profile.bytes_in == len(compressed)
+    assert profile.bytes_out == 10_000
+
+
+# -- hash join ----------------------------------------------------------------
+
+
+def nested_loop_join(build, probe, bk=0, pk=0):
+    """Oracle: all matching (probe_row, build_row) pairs."""
+    pairs = []
+    for p in range(probe.shape[1]):
+        for b in range(build.shape[1]):
+            if probe[pk, p] == build[bk, b]:
+                pairs.append((p, b))
+    return pairs
+
+
+def test_join_matches_nested_loop_oracle():
+    rng = np.random.default_rng(1)
+    build = np.stack(
+        [rng.integers(0, 50, 200), rng.integers(0, 1000, 200)]
+    ).astype(np.int32)
+    probe = np.stack(
+        [rng.integers(0, 50, 300), np.arange(300)]
+    ).astype(np.int32)
+    result = hash_join(build, probe)
+    oracle = nested_loop_join(build, probe)
+    assert result.shape[1] == len(oracle)
+    got_pairs = set()
+    for i in range(result.shape[1]):
+        got_pairs.add((int(result[0, i]), int(result[1, i]), int(result[2, i])))
+    expected_pairs = {
+        (int(probe[0, p]), int(probe[1, p]), int(build[1, b]))
+        for p, b in oracle
+    }
+    assert got_pairs == expected_pairs
+
+
+def test_join_handles_duplicate_build_keys():
+    build = np.array([[7, 7, 8], [100, 200, 300]], dtype=np.int32)
+    probe = np.array([[7], [1]], dtype=np.int32)
+    result = hash_join(build, probe)
+    assert result.shape[1] == 2  # both build rows with key 7 match
+    assert sorted(result[2].tolist()) == [100, 200]
+
+
+def test_join_no_matches_returns_empty():
+    build = np.array([[1], [10]], dtype=np.int32)
+    probe = np.array([[2], [20]], dtype=np.int32)
+    result = hash_join(build, probe)
+    assert result.shape == (3, 0)
+
+
+def test_join_validates_inputs():
+    with pytest.raises(ValueError):
+        hash_join(np.zeros((2, 2)), np.zeros((2, 2), dtype=np.int32))
+    with pytest.raises(ValueError):
+        hash_join(
+            np.zeros((2, 2), dtype=np.int32),
+            np.zeros((2, 2), dtype=np.int32),
+            build_key=5,
+        )
+
+
+def test_join_with_negative_keys():
+    build = np.array([[-5, 3], [1, 2]], dtype=np.int32)
+    probe = np.array([[-5], [9]], dtype=np.int32)
+    result = hash_join(build, probe)
+    assert result.shape[1] == 1
+    assert result[0, 0] == -5 and result[2, 0] == 1
+
+
+def test_accelerator_runs_table_pair():
+    rng = np.random.default_rng(2)
+    build = np.stack([np.arange(100), rng.integers(0, 9, 100)]).astype(np.int32)
+    probe = np.stack(
+        [rng.integers(0, 100, 500), np.arange(500)]
+    ).astype(np.int32)
+    accel = HashJoinAccelerator()
+    result = accel.run((build, probe))
+    # Every probe key exists in build exactly once.
+    assert result.shape[1] == 500
+    profile = accel.work_profile((build, probe))
+    assert profile.total_ops > 0

@@ -1,0 +1,113 @@
+"""Tests for the from-scratch AES-128-GCM implementation."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    AES128,
+    AesGcmAccelerator,
+    AuthenticationError,
+    aes_gcm_decrypt,
+    aes_gcm_encrypt,
+)
+from repro.accelerators.crypto import SBOX
+
+
+def test_sbox_known_values():
+    # Canonical AES S-box entries.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_sbox_is_a_permutation():
+    assert sorted(SBOX.tolist()) == list(range(256))
+
+
+def test_aes128_fips197_vector():
+    """FIPS-197 Appendix C.1 known-answer test."""
+    key = bytes(range(16))
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    blocks = np.frombuffer(plaintext, dtype=np.uint8).reshape(1, 16)
+    ciphertext = AES128(key).encrypt_blocks(blocks).tobytes()
+    assert ciphertext.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+def test_aes128_batch_encryption_consistent():
+    key = b"0123456789abcdef"
+    rng = np.random.default_rng(0)
+    blocks = rng.integers(0, 256, (10, 16)).astype(np.uint8)
+    batch = AES128(key).encrypt_blocks(blocks)
+    singles = np.vstack(
+        [AES128(key).encrypt_blocks(blocks[i : i + 1]) for i in range(10)]
+    )
+    np.testing.assert_array_equal(batch, singles)
+
+
+def test_aes128_key_length_validation():
+    with pytest.raises(ValueError):
+        AES128(b"short")
+
+
+def test_gcm_nist_empty_vector():
+    """NIST GCM test: zero key, zero IV, empty plaintext."""
+    ciphertext, tag = aes_gcm_encrypt(bytes(16), bytes(12), b"")
+    assert ciphertext == b""
+    assert tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+
+def test_gcm_nist_single_block_vector():
+    """NIST GCM test case 2: zero key/IV, 16 zero bytes of plaintext."""
+    ciphertext, tag = aes_gcm_encrypt(bytes(16), bytes(12), bytes(16))
+    assert ciphertext.hex() == "0388dace60b6a392f328c2b971b2fe78"
+    assert tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+
+def test_gcm_roundtrip_with_aad():
+    key, iv = b"k" * 16, b"n" * 12
+    plaintext = b"the quick brown fox jumps over the lazy dog" * 10
+    ciphertext, tag = aes_gcm_encrypt(key, iv, plaintext, aad=b"header")
+    assert aes_gcm_decrypt(key, iv, ciphertext, tag, aad=b"header") == plaintext
+
+
+def test_gcm_detects_tampered_ciphertext():
+    key, iv = b"k" * 16, b"n" * 12
+    ciphertext, tag = aes_gcm_encrypt(key, iv, b"attack at dawn")
+    tampered = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+    with pytest.raises(AuthenticationError):
+        aes_gcm_decrypt(key, iv, tampered, tag)
+
+
+def test_gcm_detects_wrong_aad():
+    key, iv = b"k" * 16, b"n" * 12
+    ciphertext, tag = aes_gcm_encrypt(key, iv, b"secret", aad=b"good")
+    with pytest.raises(AuthenticationError):
+        aes_gcm_decrypt(key, iv, ciphertext, tag, aad=b"evil")
+
+
+def test_gcm_iv_validation():
+    with pytest.raises(ValueError):
+        aes_gcm_encrypt(bytes(16), bytes(11), b"x")
+
+
+def test_gcm_ciphertext_differs_from_plaintext():
+    ciphertext, _tag = aes_gcm_encrypt(b"k" * 16, b"n" * 12, b"hello world!!")
+    assert ciphertext != b"hello world!!"
+
+
+def test_accelerator_decrypts_payload():
+    accel = AesGcmAccelerator()
+    plaintext = b"ssn 123-45-6789 lives here"
+    ciphertext, tag = aes_gcm_encrypt(accel.key, b"iv-12-bytes!", plaintext)
+    out = accel.run({"ciphertext": ciphertext, "iv": b"iv-12-bytes!", "tag": tag})
+    assert out.tobytes() == plaintext
+
+
+def test_accelerator_work_profile_scales_with_size():
+    accel = AesGcmAccelerator()
+    small, tag_s = aes_gcm_encrypt(accel.key, b"iv-12-bytes!", b"x" * 100)
+    large, tag_l = aes_gcm_encrypt(accel.key, b"iv-12-bytes!", b"x" * 10_000)
+    p_small = accel.work_profile({"ciphertext": small, "iv": b"", "tag": tag_s})
+    p_large = accel.work_profile({"ciphertext": large, "iv": b"", "tag": tag_l})
+    assert p_large.total_ops == pytest.approx(100 * p_small.total_ops)

@@ -1,0 +1,118 @@
+"""Tests for the from-scratch FFT and the FFT accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    FFTAccelerator,
+    fft_radix2,
+    frame_signal,
+    hann_window,
+    rfft_frames,
+)
+
+
+def test_fft_matches_numpy_on_random_input():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+    np.testing.assert_allclose(fft_radix2(x), np.fft.fft(x), atol=1e-9)
+
+
+def test_fft_matches_numpy_batched():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((5, 128))
+    np.testing.assert_allclose(
+        fft_radix2(x.astype(np.complex128)), np.fft.fft(x, axis=-1), atol=1e-9
+    )
+
+
+def test_fft_impulse_gives_flat_spectrum():
+    x = np.zeros(64, dtype=np.complex128)
+    x[0] = 1.0
+    np.testing.assert_allclose(fft_radix2(x), np.ones(64), atol=1e-12)
+
+
+def test_fft_pure_tone_peaks_at_bin():
+    n = 128
+    tone = np.exp(2j * np.pi * 5 * np.arange(n) / n)
+    spectrum = np.abs(fft_radix2(tone))
+    assert spectrum.argmax() == 5
+
+
+def test_fft_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        fft_radix2(np.zeros(100))
+
+
+def test_fft_linearity():
+    rng = np.random.default_rng(2)
+    a = rng.standard_normal(64).astype(np.complex128)
+    b = rng.standard_normal(64).astype(np.complex128)
+    np.testing.assert_allclose(
+        fft_radix2(2 * a + 3 * b),
+        2 * fft_radix2(a) + 3 * fft_radix2(b),
+        atol=1e-9,
+    )
+
+
+def test_hann_window_properties():
+    w = hann_window(512)
+    assert w[0] == pytest.approx(0.0)
+    assert w.max() == pytest.approx(1.0, abs=1e-4)
+    assert len(w) == 512
+    with pytest.raises(ValueError):
+        hann_window(0)
+
+
+def test_frame_signal_shapes_and_content():
+    signal = np.arange(100.0)
+    frames = frame_signal(signal, frame_len=32, hop=16)
+    assert frames.shape == (5, 32)
+    np.testing.assert_array_equal(frames[1], np.arange(16.0, 48.0))
+
+
+def test_frame_signal_validation():
+    with pytest.raises(ValueError):
+        frame_signal(np.arange(10.0), 32, 16)
+    with pytest.raises(ValueError):
+        frame_signal(np.ones((2, 10)), 4, 2)
+
+
+def test_rfft_frames_one_sided_length():
+    frames = np.random.default_rng(3).standard_normal((4, 256))
+    spectra = rfft_frames(frames)
+    assert spectra.shape == (4, 129)
+    assert spectra.dtype == np.complex64
+    np.testing.assert_allclose(
+        spectra, np.fft.rfft(frames, axis=-1).astype(np.complex64),
+        atol=1e-3,
+    )
+
+
+def test_accelerator_runs_audio_snippet():
+    accel = FFTAccelerator(frame_len=512, hop=256)
+    rng = np.random.default_rng(4)
+    audio = rng.standard_normal(44_100)
+    out = accel.run(audio)
+    assert out.ndim == 2
+    assert out.shape[1] == 257
+
+
+def test_accelerator_runs_multichannel_em_signal():
+    accel = FFTAccelerator()
+    signals = np.random.default_rng(5).standard_normal((8, 4096))
+    out = accel.run(signals)
+    assert out.shape == (8, 2049)
+
+
+def test_accelerator_work_profile_positive():
+    accel = FFTAccelerator(frame_len=512, hop=256)
+    audio = np.random.default_rng(6).standard_normal(22_050)
+    profile = accel.work_profile(audio)
+    assert profile.total_ops > 0
+    assert profile.bytes_in == audio.nbytes
+
+
+def test_accelerator_rejects_3d_input():
+    with pytest.raises(ValueError):
+        FFTAccelerator().run(np.zeros((2, 2, 2)))

@@ -1,0 +1,120 @@
+"""Tests for the from-scratch Thompson-NFA regex engine."""
+
+import re as stdlib_re
+
+import numpy as np
+import pytest
+
+from repro.accelerators import PII_PATTERNS, Regex, RegexAccelerator
+
+
+@pytest.mark.parametrize(
+    "pattern,text,expected",
+    [
+        ("abc", "abc", True),
+        ("abc", "abd", False),
+        ("a*", "", True),
+        ("a*", "aaaa", True),
+        ("a+", "", False),
+        ("a+", "aaa", True),
+        ("a?b", "b", True),
+        ("a?b", "ab", True),
+        ("a?b", "aab", False),
+        ("a|b", "a", True),
+        ("a|b", "b", True),
+        ("a|b", "c", False),
+        ("(ab)+", "ababab", True),
+        ("(ab)+", "aba", False),
+        (".", "x", True),
+        (".", "", False),
+        ("[0-9]+", "12345", True),
+        ("[0-9]+", "12a45", False),
+        ("[^0-9]+", "abc", True),
+        ("[^0-9]+", "a1c", False),
+        (r"\d{3}", "123", True),
+        (r"\d{3}", "12", False),
+        (r"\d{2,4}", "123", True),
+        (r"\d{2,4}", "12345", False),
+        (r"\w+@\w+", "user@host", True),
+        (r"a\.b", "a.b", True),
+        (r"a\.b", "axb", False),
+    ],
+)
+def test_fullmatch_matrix(pattern, text, expected):
+    assert Regex(pattern).fullmatch(text) is expected
+
+
+@pytest.mark.parametrize(
+    "pattern",
+    ["a{3,1}", "(ab", "ab)", "*a", "[abc", "a{,3}", "a{x}"],
+)
+def test_invalid_patterns_rejected(pattern):
+    with pytest.raises(ValueError):
+        Regex(pattern)
+
+
+def test_finditer_matches_stdlib_on_pii_text():
+    text = (
+        "John's ssn is 123-45-6789 and his backup is 987-65-4321. "
+        "Email: jdoe@example.com; phone (858) 555-1234."
+    )
+    ours = Regex(PII_PATTERNS["ssn"]).finditer(text)
+    theirs = [m.span() for m in stdlib_re.finditer(r"\d{3}-\d{2}-\d{4}", text)]
+    assert ours == theirs
+
+
+def test_finditer_is_leftmost_longest():
+    spans = Regex("a+").finditer("baaab")
+    assert spans == [(1, 4)]
+
+
+def test_finditer_non_overlapping():
+    spans = Regex(r"\d\d").finditer("123456")
+    assert spans == [(0, 2), (2, 4), (4, 6)]
+
+
+def test_pii_patterns_all_compile_and_match_samples():
+    samples = {
+        "ssn": "123-45-6789",
+        "email": "alice.smith@corp.example.org",
+        "phone": "(619) 555-0000",
+        "credit_card": "4111 1111 1111 1111",
+    }
+    for name, sample in samples.items():
+        assert Regex(PII_PATTERNS[name]).fullmatch(sample), name
+
+
+def test_accelerator_redacts_all_pii_kinds():
+    text = (
+        b"ssn 123-45-6789 email a@b.co card 4111 1111 1111 1111 "
+        b"phone 619-555-0000 end"
+    )
+    records = np.frombuffer(text.ljust(128, b" "), dtype=np.uint8).reshape(1, -1)
+    out = RegexAccelerator().run(records.copy())
+    redacted = out.tobytes().decode()
+    assert "123-45-6789" not in redacted
+    assert "a@b.co" not in redacted
+    assert "4111 1111 1111 1111" not in redacted
+    assert "619-555-0000" not in redacted
+    assert "end" in redacted  # non-PII text survives
+
+
+def test_accelerator_counts_matches():
+    accel = RegexAccelerator()
+    text = b"123-45-6789 and 987-65-4321"
+    records = np.frombuffer(text.ljust(32, b" "), dtype=np.uint8).reshape(1, -1)
+    accel.run(records.copy())
+    assert accel.matches_found == 2
+
+
+def test_accelerator_validates_input():
+    with pytest.raises(ValueError):
+        RegexAccelerator().run(np.zeros(10, dtype=np.uint8))
+
+
+def test_accelerator_preserves_shape_and_dtype():
+    records = np.full((4, 64), ord("x"), dtype=np.uint8)
+    out = RegexAccelerator().run(records)
+    assert out.shape == records.shape
+    assert out.dtype == np.uint8
+    np.testing.assert_array_equal(out, records)  # nothing to redact

@@ -1,0 +1,191 @@
+"""Tests for the SVM, RL policy, and Transformer NER kernels."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    LinearSVM,
+    MLPPolicy,
+    NERAccelerator,
+    RLPolicyAccelerator,
+    SVMAccelerator,
+    TransformerEncoder,
+    gelu,
+    layer_norm,
+    ppo_update,
+    softmax,
+)
+
+
+# -- SVM -------------------------------------------------------------------
+
+
+def test_svm_learns_linearly_separable_data():
+    rng = np.random.default_rng(0)
+    n_per_class, dim = 100, 20
+    centers = np.array([[3.0] + [0.0] * (dim - 1), [-3.0] + [0.0] * (dim - 1)])
+    features = np.vstack(
+        [rng.normal(centers[c], 1.0, (n_per_class, dim)) for c in (0, 1)]
+    ).astype(np.float32)
+    labels = np.repeat([0, 1], n_per_class)
+    model = LinearSVM(n_classes=2, n_features=dim).fit(features, labels, epochs=10)
+    accuracy = (model.predict(features) == labels).mean()
+    assert accuracy > 0.95
+
+
+def test_svm_multiclass_predicts_all_classes():
+    rng = np.random.default_rng(1)
+    dim = 8
+    features, labels = [], []
+    for cls in range(3):
+        center = np.zeros(dim)
+        center[cls] = 5.0
+        features.append(rng.normal(center, 0.5, (50, dim)))
+        labels += [cls] * 50
+    features = np.vstack(features).astype(np.float32)
+    labels = np.asarray(labels)
+    model = LinearSVM(3, dim).fit(features, labels, epochs=15)
+    assert (model.predict(features) == labels).mean() > 0.9
+
+
+def test_svm_validation():
+    with pytest.raises(ValueError):
+        LinearSVM(1, 10)
+    with pytest.raises(ValueError):
+        LinearSVM(2, 0)
+    model = LinearSVM(2, 4)
+    with pytest.raises(ValueError):
+        model.decision_function(np.zeros((3, 5), dtype=np.float32))
+    with pytest.raises(ValueError):
+        model.fit(np.zeros((3, 4), dtype=np.float32), np.zeros(2))
+
+
+def test_svm_accelerator_end_to_end():
+    accel = SVMAccelerator(n_classes=5, n_features=100)
+    features = np.random.default_rng(2).standard_normal((4, 100)).astype(np.float32)
+    labels = accel.run(features)
+    assert labels.shape == (4,)
+    assert np.all((labels >= 0) & (labels < 5))
+    profile = accel.work_profile(features)
+    assert profile.total_ops == pytest.approx(2 * 4 * 5 * 100)
+
+
+# -- RL / PPO -----------------------------------------------------------------
+
+
+def test_policy_forward_shapes():
+    policy = MLPPolicy(obs_dim=10, action_dim=3)
+    obs = np.random.default_rng(3).standard_normal((5, 10)).astype(np.float32)
+    mean, value = policy.forward(obs)
+    assert mean.shape == (5, 3)
+    assert value.shape == (5,)
+
+
+def test_policy_deterministic_act_is_repeatable():
+    policy = MLPPolicy(4, 2)
+    obs = np.ones((1, 4), dtype=np.float32)
+    np.testing.assert_array_equal(policy.act(obs), policy.act(obs))
+
+
+def test_policy_stochastic_act_differs():
+    policy = MLPPolicy(4, 2)
+    obs = np.ones((1, 4), dtype=np.float32)
+    rng = np.random.default_rng(4)
+    a = policy.act(obs, deterministic=False, rng=rng)
+    b = policy.act(obs, deterministic=False, rng=rng)
+    assert not np.array_equal(a, b)
+
+
+def test_policy_log_prob_peaks_at_mean():
+    policy = MLPPolicy(4, 2)
+    obs = np.ones((1, 4), dtype=np.float32)
+    mean, _ = policy.forward(obs)
+    lp_mean = policy.log_prob(obs, mean)
+    lp_off = policy.log_prob(obs, mean + 1.0)
+    assert lp_mean > lp_off
+
+
+def test_ppo_update_improves_objective_for_positive_advantage():
+    policy = MLPPolicy(6, 2, seed=11)
+    rng = np.random.default_rng(5)
+    obs = rng.standard_normal((64, 6)).astype(np.float32)
+    actions = policy.act(obs, deterministic=False, rng=rng)
+    old_lp = policy.log_prob(obs, actions)
+    advantages = np.ones(64, dtype=np.float32)
+    first = ppo_update(policy, obs, actions, advantages, old_lp)
+    second = ppo_update(policy, obs, actions, advantages, old_lp)
+    # Moving the mean toward positively-advantaged actions raises the ratio.
+    assert second["ratio_mean"] >= first["ratio_mean"]
+
+
+def test_ppo_update_validates_clip():
+    policy = MLPPolicy(4, 2)
+    with pytest.raises(ValueError):
+        ppo_update(policy, np.zeros((1, 4)), np.zeros((1, 2)),
+                   np.zeros(1), np.zeros(1), clip=1.5)
+
+
+def test_rl_accelerator_maps_observation_to_action():
+    accel = RLPolicyAccelerator(obs_dim=320, action_dim=8)
+    obs = np.random.default_rng(6).standard_normal((1, 320)).astype(np.float32)
+    action = accel.run(obs)
+    assert action.shape == (1, 8)
+    assert np.all(np.isfinite(action))
+
+
+# -- Transformer NER -------------------------------------------------------------
+
+
+def test_layer_norm_moments():
+    x = np.random.default_rng(7).standard_normal((4, 32)) * 5 + 3
+    out = layer_norm(x)
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+    np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+
+def test_gelu_properties():
+    assert gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+    assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+    assert gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-3)
+
+
+def test_softmax_sums_to_one_and_stable():
+    x = np.array([[1000.0, 1000.0, 999.0]])
+    out = softmax(x)
+    assert np.all(np.isfinite(out))
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+
+
+def test_encoder_output_shape():
+    encoder = TransformerEncoder(vocab_size=100, d_model=32, n_heads=2,
+                                 n_layers=1, d_ff=64, max_len=16)
+    ids = np.array([[1, 5, 9, 2, 0, 0, 0, 0]], dtype=np.int32)
+    logits = encoder.forward(ids)
+    assert logits.shape == (1, 8, 9)
+
+
+def test_encoder_padding_predicted_as_outside():
+    encoder = TransformerEncoder(vocab_size=100, d_model=32, n_heads=2,
+                                 n_layers=1, d_ff=64, max_len=16)
+    ids = np.array([[1, 5, 2, 0, 0, 0, 0, 0]], dtype=np.int32)
+    labels = encoder.predict(ids)
+    assert np.all(labels[ids == 0] == 0)
+
+
+def test_encoder_validation():
+    with pytest.raises(ValueError):
+        TransformerEncoder(d_model=30, n_heads=4)
+    encoder = TransformerEncoder(max_len=8, d_model=32, n_heads=2, n_layers=1)
+    with pytest.raises(ValueError):
+        encoder.forward(np.zeros((1, 16), dtype=np.int32))
+
+
+def test_ner_accelerator_end_to_end():
+    accel = NERAccelerator(TransformerEncoder(
+        vocab_size=1000, d_model=32, n_heads=2, n_layers=1, d_ff=64, max_len=32
+    ))
+    ids = np.random.default_rng(8).integers(1, 1000, (2, 16)).astype(np.int32)
+    labels = accel.run(ids)
+    assert labels.shape == (2, 16)
+    profile = accel.work_profile(ids)
+    assert profile.total_ops > 0

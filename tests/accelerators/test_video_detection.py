@@ -1,0 +1,188 @@
+"""Tests for the video codec and the CNN detector."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    BitstreamError,
+    ObjectDetectionAccelerator,
+    VideoDecodeAccelerator,
+    conv2d,
+    decode_frame,
+    encode_frame,
+    max_pool2d,
+    relu,
+)
+
+
+def make_nv12(h, w, seed=0):
+    rng = np.random.default_rng(seed)
+    # Smooth content compresses like real video: low-frequency blobs.
+    yy, xx = np.mgrid[0 : 3 * h // 2, 0:w]
+    base = 128 + 60 * np.sin(yy / 17.0) * np.cos(xx / 23.0)
+    noise = rng.normal(0, 4, (3 * h // 2, w))
+    return np.clip(base + noise, 0, 255).astype(np.uint8)
+
+
+# -- codec ------------------------------------------------------------------
+
+
+def test_roundtrip_is_close_lossy():
+    frame = make_nv12(64, 64)
+    decoded = decode_frame(encode_frame(frame, 64, 64))
+    assert decoded.shape == frame.shape
+    assert decoded.dtype == np.uint8
+    # Lossy, but close: quantization error is bounded.
+    error = np.abs(decoded.astype(int) - frame.astype(int))
+    assert error.mean() < 10
+    assert error.max() < 80
+
+
+def test_flat_frame_roundtrips_nearly_exactly():
+    frame = np.full((96, 64), 120, dtype=np.uint8)
+    decoded = decode_frame(encode_frame(frame, 64, 64))
+    assert np.abs(decoded.astype(int) - 120).max() <= 2
+
+
+def test_smooth_content_compresses():
+    frame = make_nv12(128, 128)
+    bitstream = encode_frame(frame, 128, 128)
+    assert len(bitstream) < frame.nbytes
+
+
+def test_decode_rejects_bad_magic():
+    with pytest.raises(BitstreamError):
+        decode_frame(b"XXXX" + bytes(100))
+
+
+def test_decode_rejects_truncated_stream():
+    frame = make_nv12(32, 32)
+    bitstream = encode_frame(frame, 32, 32)
+    with pytest.raises(BitstreamError):
+        decode_frame(bitstream[: len(bitstream) // 2])
+
+
+def test_encode_validates_shape():
+    with pytest.raises(ValueError):
+        encode_frame(np.zeros((10, 10), dtype=np.uint8), 32, 32)
+
+
+def test_accelerator_decodes_to_nv12():
+    frame = make_nv12(64, 128)
+    accel = VideoDecodeAccelerator()
+    out = accel.run(encode_frame(frame, 64, 128))
+    assert out.shape == (96, 128)
+    profile = accel.work_profile(encode_frame(frame, 64, 128))
+    assert profile.elements == out.size
+
+
+def test_video_has_lowest_speedup_in_suite():
+    """The paper: Video Surveillance's accelerator gains least."""
+    from repro.accelerators import (
+        AesGcmAccelerator,
+        DecompressionAccelerator,
+        FFTAccelerator,
+        HashJoinAccelerator,
+        SVMAccelerator,
+    )
+
+    video = VideoDecodeAccelerator().spec.speedup_vs_cpu
+    others = [
+        FFTAccelerator().spec.speedup_vs_cpu,
+        SVMAccelerator().spec.speedup_vs_cpu,
+        AesGcmAccelerator().spec.speedup_vs_cpu,
+        DecompressionAccelerator().spec.speedup_vs_cpu,
+        HashJoinAccelerator().spec.speedup_vs_cpu,
+    ]
+    assert video < min(others)
+
+
+# -- CNN primitives ------------------------------------------------------------
+
+
+def test_conv2d_identity_kernel():
+    x = np.random.default_rng(0).standard_normal((1, 5, 5)).astype(np.float32)
+    w = np.zeros((1, 1, 3, 3), dtype=np.float32)
+    w[0, 0, 1, 1] = 1.0  # identity tap
+    out = conv2d(x, w, np.zeros(1, dtype=np.float32))
+    np.testing.assert_allclose(out, x, atol=1e-6)
+
+
+def test_conv2d_matches_manual_computation():
+    x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+    w = np.ones((1, 1, 3, 3), dtype=np.float32)
+    out = conv2d(x, w, np.zeros(1, dtype=np.float32), padding=0)
+    # Center 2x2: each is the sum of its 3x3 neighbourhood.
+    assert out.shape == (1, 2, 2)
+    assert out[0, 0, 0] == pytest.approx(x[0, :3, :3].sum())
+
+
+def test_conv2d_shape_validation():
+    with pytest.raises(ValueError):
+        conv2d(
+            np.zeros((3, 8, 8), dtype=np.float32),
+            np.zeros((4, 2, 3, 3), dtype=np.float32),
+            np.zeros(4, dtype=np.float32),
+        )
+
+
+def test_relu_clamps_negatives():
+    np.testing.assert_array_equal(
+        relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+    )
+
+
+def test_max_pool_takes_block_maxima():
+    x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+    out = max_pool2d(x)
+    np.testing.assert_array_equal(out[0], [[5, 7], [13, 15]])
+    with pytest.raises(ValueError):
+        max_pool2d(np.zeros((1, 5, 5)))
+
+
+# -- detector -----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return ObjectDetectionAccelerator(input_size=64)
+
+
+def test_detector_head_shape(detector):
+    tensor = np.zeros((3, 64, 64), dtype=np.float32)
+    head = detector.forward(tensor)
+    assert head.shape == (5, 8, 8)
+
+
+def test_detector_is_deterministic(detector):
+    rng = np.random.default_rng(1)
+    tensor = rng.standard_normal((3, 64, 64)).astype(np.float32)
+    a = detector.forward(tensor)
+    b = detector.forward(tensor)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_detector_boxes_are_normalized(detector):
+    rng = np.random.default_rng(2)
+    low_threshold = ObjectDetectionAccelerator(input_size=64, threshold=0.05)
+    tensor = rng.standard_normal((3, 64, 64)).astype(np.float32)
+    detections = low_threshold.run(tensor)
+    assert detections, "low threshold should yield detections"
+    for det in detections:
+        assert 0.0 <= det.x <= 1.0
+        assert 0.0 <= det.y <= 1.0
+        assert det.confidence >= 0.05
+
+
+def test_detector_input_validation(detector):
+    with pytest.raises(ValueError):
+        detector.run(np.zeros((3, 32, 32), dtype=np.float32))
+    with pytest.raises(ValueError):
+        ObjectDetectionAccelerator(input_size=30)
+
+
+def test_detector_work_profile_counts_convolution_macs(detector):
+    tensor = np.zeros((3, 64, 64), dtype=np.float32)
+    profile = detector.work_profile(tensor)
+    # First layer alone: 64*64*16*3*9 MACs; total must exceed 2x that.
+    assert profile.total_ops > 2 * 2 * 64 * 64 * 16 * 3 * 9

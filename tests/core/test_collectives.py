@@ -1,0 +1,90 @@
+"""Tests for one-to-many / many-to-one data movement (Fig. 17 substrate)."""
+
+import pytest
+
+from repro.core import (
+    CollectiveSystem,
+    Mode,
+    SystemConfig,
+    collective_profile,
+    reduction_profile,
+)
+
+MB = 1024 * 1024
+
+
+def run(operation, mode, n, nbytes=4 * MB):
+    system = CollectiveSystem(n, SystemConfig(mode=mode))
+    return system.run(operation, nbytes)
+
+
+def test_collective_profile_volume():
+    p = collective_profile(8 * MB)
+    assert p.bytes_in == 8 * MB and p.bytes_out == 8 * MB
+    assert p.total_ops > 0
+
+
+def test_reduction_profile_scales_with_sources():
+    p4 = reduction_profile(MB, 4)
+    p8 = reduction_profile(MB, 8)
+    assert p8.bytes_in == 2 * p4.bytes_in
+    assert p8.total_ops == pytest.approx(2 * p4.total_ops)
+
+
+def test_system_validation():
+    with pytest.raises(ValueError):
+        CollectiveSystem(1, SystemConfig(mode=Mode.MULTI_AXL))
+    with pytest.raises(ValueError):
+        CollectiveSystem(4, SystemConfig(mode=Mode.INTEGRATED))
+    system = CollectiveSystem(4, SystemConfig(mode=Mode.MULTI_AXL))
+    with pytest.raises(ValueError):
+        system.run("gather", MB)
+
+
+def test_groups_follow_switch_fanout():
+    system = CollectiveSystem(
+        20, SystemConfig(mode=Mode.BUMP_IN_WIRE, accelerators_per_switch=8)
+    )
+    assert [len(g) for g in system.groups] == [8, 8, 4]
+
+
+@pytest.mark.parametrize("operation", ["broadcast", "allreduce"])
+def test_dmx_beats_baseline(operation):
+    base = run(operation, Mode.MULTI_AXL, 8)
+    dmx = run(operation, Mode.BUMP_IN_WIRE, 8)
+    assert base.latency_s > dmx.latency_s
+
+
+@pytest.mark.parametrize("operation", ["broadcast", "allreduce"])
+def test_speedup_grows_with_fanout(operation):
+    def speedup(n):
+        base = run(operation, Mode.MULTI_AXL, n)
+        dmx = run(operation, Mode.BUMP_IN_WIRE, n)
+        return base.latency_s / dmx.latency_s
+
+    assert speedup(32) > speedup(4)
+
+
+def test_allreduce_gains_more_than_broadcast():
+    """Paper: all-reduce involves more DMA + restructuring, so DMX helps
+    it more."""
+    def speedup(operation, n):
+        base = run(operation, Mode.MULTI_AXL, n)
+        dmx = run(operation, Mode.BUMP_IN_WIRE, n)
+        return base.latency_s / dmx.latency_s
+
+    for n in (8, 16, 32):
+        assert speedup("allreduce", n) > speedup("broadcast", n)
+
+
+def test_latency_scales_with_payload():
+    small = run("broadcast", Mode.BUMP_IN_WIRE, 8, nbytes=MB)
+    large = run("broadcast", Mode.BUMP_IN_WIRE, 8, nbytes=8 * MB)
+    assert large.latency_s > small.latency_s
+
+
+def test_result_metadata():
+    result = run("allreduce", Mode.MULTI_AXL, 4)
+    assert result.operation == "allreduce"
+    assert result.mode == Mode.MULTI_AXL
+    assert result.n_accelerators == 4

@@ -1,0 +1,158 @@
+"""Tests for the cache model and top-down attribution (Fig. 5 ranges)."""
+
+import pytest
+
+from repro.cpu import CacheModel, TopDownModel, XEON_8260L
+from repro.profiles import WorkProfile
+
+MB = 1024 * 1024
+
+
+def streaming_profile(**overrides):
+    """A representative restructuring op: 12 MB streamed, moderate compute."""
+    base = dict(
+        name="mel_scale",
+        bytes_in=8 * MB,
+        bytes_out=4 * MB,
+        elements=2_000_000,
+        ops_per_element=12.0,
+        element_size=4,
+        branch_fraction=0.04,
+        mispredict_rate=0.03,
+        vectorizable_fraction=1.0,
+    )
+    base.update(overrides)
+    return WorkProfile(**base)
+
+
+@pytest.fixture
+def cache_model():
+    return CacheModel(XEON_8260L)
+
+
+@pytest.fixture
+def topdown():
+    return TopDownModel(XEON_8260L)
+
+
+def test_streaming_op_l1d_mpki_in_paper_range(cache_model):
+    # Paper: 50-215 L1D MPKI across restructuring ops.
+    low_intensity = streaming_profile(ops_per_element=2.0, element_size=1,
+                                      elements=8_000_000)
+    high_intensity = streaming_profile(ops_per_element=12.0)
+    for profile in (low_intensity, high_intensity):
+        mpki = cache_model.behaviour(profile).l1d_mpki
+        assert 20 < mpki < 250, f"{profile.name}: {mpki}"
+
+
+def test_streaming_op_l2_mpki_below_l1d(cache_model):
+    b = cache_model.behaviour(streaming_profile())
+    assert b.l2_mpki < b.l1d_mpki
+    # Paper: 25-109 L2 MPKI.
+    assert 10 < b.l2_mpki < 120
+
+
+def test_l1i_mpki_is_small(cache_model):
+    # Paper: average 2.3 L1I MPKI, far below CloudSuite's 7.8 — the
+    # instruction working set fits in L1I.
+    b = cache_model.behaviour(streaming_profile())
+    assert b.l1i_mpki < 7.8
+
+
+def test_small_working_set_has_no_data_misses(cache_model):
+    tiny = streaming_profile(bytes_in=8 * 1024, bytes_out=4 * 1024,
+                             elements=2048)
+    b = cache_model.behaviour(tiny)
+    assert b.l1d_mpki == 0.0
+    assert b.l2_mpki == 0.0
+
+
+def test_gathers_increase_misses(cache_model):
+    seq = streaming_profile()
+    gathered = streaming_profile(gather_fraction=0.5)
+    assert (
+        cache_model.behaviour(gathered).l1d_mpki
+        > cache_model.behaviour(seq).l1d_mpki
+    )
+
+
+def test_llc_captures_datasets_smaller_than_llc(cache_model):
+    p = streaming_profile()  # 12 MB < 36 MB LLC
+    assert cache_model.llc_misses(p) == 0.0
+    big = streaming_profile(bytes_in=60 * MB, bytes_out=20 * MB,
+                            elements=15_000_000)
+    assert cache_model.llc_misses(big) > 0.0
+
+
+def test_prefetch_coverage_bounds():
+    with pytest.raises(ValueError):
+        CacheModel(XEON_8260L, prefetch_coverage=1.5)
+
+
+def test_topdown_fractions_sum_to_one(topdown):
+    b = topdown.analyze(streaming_profile())
+    total = (
+        b.retiring
+        + b.front_end_bound
+        + b.bad_speculation
+        + b.backend_core_bound
+        + b.backend_memory_bound
+    )
+    assert total == pytest.approx(1.0)
+
+
+def test_topdown_backend_bound_in_paper_range(topdown):
+    # Paper: back-end bound 53%-77.6% across restructuring ops.
+    for profile in (
+        streaming_profile(ops_per_element=4.0),
+        streaming_profile(ops_per_element=12.0),
+        streaming_profile(ops_per_element=24.0),
+    ):
+        b = topdown.analyze(profile)
+        assert 0.45 <= b.back_end_bound <= 0.85, (
+            f"{profile.ops_per_element}: {b.back_end_bound}"
+        )
+
+
+def test_topdown_memory_dominates_core_for_low_intensity_streaming(topdown):
+    # At low arithmetic intensity the cache misses dominate; at high
+    # intensity the vector ports do. (Paper: memory-bound ~2x core-bound
+    # on average across restructuring ops.)
+    low = topdown.analyze(streaming_profile(ops_per_element=2.0))
+    high = topdown.analyze(streaming_profile(ops_per_element=40.0))
+    assert low.backend_memory_bound > low.backend_core_bound
+    assert high.backend_core_bound > high.backend_memory_bound
+
+
+def test_topdown_bad_speculation_small_but_grows_with_branches(topdown):
+    calm = topdown.analyze(streaming_profile(branch_fraction=0.02))
+    branchy = topdown.analyze(
+        streaming_profile(branch_fraction=0.12, mispredict_rate=0.05)
+    )
+    assert calm.bad_speculation < branchy.bad_speculation
+    # Paper: at most 12.5% bad speculation.
+    assert branchy.bad_speculation <= 0.15
+
+
+def test_topdown_frontend_small(topdown):
+    b = topdown.analyze(streaming_profile())
+    # Paper: at most 14% front-end bound.
+    assert b.front_end_bound <= 0.14
+
+
+def test_runtime_positive_and_scales_with_volume(topdown):
+    small = streaming_profile()
+    big = streaming_profile(
+        bytes_in=16 * MB, bytes_out=8 * MB, elements=4_000_000
+    )
+    t_small = topdown.runtime_seconds(small)
+    t_big = topdown.runtime_seconds(big)
+    assert 0 < t_small < t_big
+    assert t_big == pytest.approx(2 * t_small, rel=0.05)
+
+
+def test_topdown_parameter_validation():
+    with pytest.raises(ValueError):
+        TopDownModel(XEON_8260L, mlp_overlap=1.0)
+    with pytest.raises(ValueError):
+        TopDownModel(XEON_8260L, core_pressure=-0.1)

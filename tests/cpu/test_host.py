@@ -1,0 +1,168 @@
+"""Tests for the HostCPU DES device."""
+
+import pytest
+
+from repro.cpu import HostCPU, XEON_8260L
+from repro.profiles import WorkProfile
+from repro.sim import Simulator
+
+MB = 1024 * 1024
+
+
+def profile():
+    return WorkProfile(
+        name="restructure",
+        bytes_in=8 * MB,
+        bytes_out=4 * MB,
+        elements=2_000_000,
+        ops_per_element=10.0,
+    )
+
+
+def test_parallel_time_faster_than_serial():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    p = profile()
+    assert cpu.parallel_time(p, 8) < cpu.serial_time(p)
+
+
+def test_parallel_time_has_diminishing_returns():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    p = profile()
+    t8 = cpu.parallel_time(p, 8)
+    t16 = cpu.parallel_time(p, 16)
+    # Still faster, but not 2x faster.
+    assert t16 < t8
+    assert t8 / t16 < 2.0
+
+
+def test_parallel_time_clamps_to_max_threads():
+    sim = Simulator()
+    cpu = HostCPU(sim, max_threads=4)
+    p = profile()
+    assert cpu.parallel_time(p, 100) == pytest.approx(cpu.parallel_time(p, 4))
+
+
+def test_restructure_single_job_latency_matches_parallel_time():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    p = profile()
+    results = []
+
+    def job(sim):
+        t = yield from cpu.restructure(p, threads=8)
+        results.append(t)
+
+    sim.spawn(job(sim))
+    sim.run()
+    assert results[0] == pytest.approx(cpu.parallel_time(p, 8))
+
+
+def test_concurrent_jobs_contend_for_cores():
+    """Many jobs, each wanting all 16 cores: latency grows with load."""
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    p = profile()
+    latencies = []
+
+    def job(sim):
+        t = yield from cpu.restructure(p, threads=16)
+        latencies.append(t)
+
+    for _ in range(4):
+        sim.spawn(job(sim))
+    sim.run()
+    solo = cpu.parallel_time(p, 16)
+    # Four full-width jobs over one core pool serialize roughly 4x.
+    assert max(latencies) > 3.0 * solo
+    assert cpu.restructure_jobs == 4
+
+
+def test_single_thread_restructure_uses_serial_time():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    p = profile()
+    out = []
+
+    def job(sim):
+        t = yield from cpu.restructure(p, threads=1)
+        out.append(t)
+
+    sim.spawn(job(sim))
+    sim.run()
+    assert out[0] == pytest.approx(cpu.serial_time(p))
+
+
+def test_run_kernel_occupies_cores_for_duration():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    out = []
+
+    def job(sim):
+        t = yield from cpu.run_kernel(0.5, threads=2)
+        out.append(t)
+
+    sim.spawn(job(sim))
+    sim.run()
+    assert out[0] == pytest.approx(0.5)
+    assert cpu.busy_seconds == pytest.approx(1.0)  # 2 cores x 0.5 s
+
+
+def test_run_kernel_rejects_negative_duration():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+
+    def job(sim):
+        yield from cpu.run_kernel(-1.0)
+
+    sim.spawn(job(sim))
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_interrupt_service_preempts_queue_order():
+    """An interrupt arriving while bulk work is queued is served first."""
+    sim = Simulator()
+    cpu = HostCPU(sim, spec=XEON_8260L)
+    order = []
+
+    def hog(sim):
+        # Fill all 16 cores for a long time, then queue one more bulk job.
+        yield from cpu.run_kernel(1.0, threads=16)
+
+    def bulk(sim):
+        yield sim.timeout(0.1)
+        yield from cpu.run_kernel(0.5, threads=1)
+        order.append(("bulk", sim.now))
+
+    def irq(sim):
+        yield sim.timeout(0.2)
+        yield from cpu.service_interrupt(1e-6)
+        order.append(("irq", sim.now))
+
+    sim.spawn(hog(sim))
+    sim.spawn(bulk(sim))
+    sim.spawn(irq(sim))
+    sim.run()
+    assert order[0][0] == "irq"
+
+
+def test_utilization_reflects_busy_cores():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+
+    def job(sim):
+        yield from cpu.run_kernel(1.0, threads=8)
+        yield sim.timeout(1.0)
+
+    sim.spawn(job(sim))
+    sim.run()
+    # 8 of 16 cores busy for half the elapsed 2 s => 25%.
+    assert cpu.utilization() == pytest.approx(0.25, rel=0.01)
+
+
+def test_negative_parallel_overhead_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        HostCPU(sim, parallel_overhead=-0.1)

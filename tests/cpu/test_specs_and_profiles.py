@@ -1,0 +1,93 @@
+"""Tests for CPU specs and shared work profiles."""
+
+import pytest
+
+from repro.cpu import XEON_8260L, CacheLevel, CPUSpec
+from repro.profiles import WorkProfile, scale_profile
+
+
+def make_profile(**overrides):
+    base = dict(
+        name="test-op",
+        bytes_in=8 * 1024 * 1024,
+        bytes_out=4 * 1024 * 1024,
+        elements=2_000_000,
+        ops_per_element=10.0,
+    )
+    base.update(overrides)
+    return WorkProfile(**base)
+
+
+def test_default_spec_matches_testbed():
+    assert XEON_8260L.cores == 16
+    assert XEON_8260L.frequency_hz == pytest.approx(2.4e9)
+    assert XEON_8260L.vector_width_bits == 256
+
+
+def test_vector_lanes_by_element_size():
+    assert XEON_8260L.vector_lanes(4) == 8  # fp32 in AVX-256
+    assert XEON_8260L.vector_lanes(1) == 32
+    assert XEON_8260L.vector_lanes(8) == 4
+
+
+def test_vector_lanes_rejects_bad_element_size():
+    with pytest.raises(ValueError):
+        XEON_8260L.vector_lanes(0)
+
+
+def test_cache_level_validation():
+    with pytest.raises(ValueError):
+        CacheLevel("bad", 0, 64, 4)
+    with pytest.raises(ValueError):
+        CacheLevel("bad", 1024, 64, -1)
+
+
+def test_cpu_spec_validation():
+    with pytest.raises(ValueError):
+        CPUSpec(
+            name="bad",
+            cores=0,
+            frequency_hz=1e9,
+            vector_width_bits=256,
+            vector_ports=2,
+            l1i=XEON_8260L.l1i,
+            l1d=XEON_8260L.l1d,
+            l2=XEON_8260L.l2,
+            llc=XEON_8260L.llc,
+            dram_latency_cycles=200,
+            core_stream_bandwidth=1e9,
+            socket_stream_bandwidth=1e10,
+        )
+
+
+def test_work_profile_totals():
+    p = make_profile()
+    assert p.total_ops == pytest.approx(20_000_000)
+    assert p.total_bytes == 12 * 1024 * 1024
+    assert p.arithmetic_intensity == pytest.approx(
+        20_000_000 / (12 * 1024 * 1024)
+    )
+
+
+def test_work_profile_validation():
+    with pytest.raises(ValueError):
+        make_profile(bytes_in=-1)
+    with pytest.raises(ValueError):
+        make_profile(branch_fraction=1.5)
+    with pytest.raises(ValueError):
+        make_profile(element_size=0)
+    with pytest.raises(ValueError):
+        make_profile(ops_per_element=-1.0)
+
+
+def test_scale_profile_scales_volume_only():
+    p = make_profile(branch_fraction=0.07)
+    doubled = scale_profile(p, 2.0)
+    assert doubled.bytes_in == 2 * p.bytes_in
+    assert doubled.elements == 2 * p.elements
+    assert doubled.branch_fraction == p.branch_fraction
+
+
+def test_scale_profile_rejects_negative():
+    with pytest.raises(ValueError):
+        scale_profile(make_profile(), -1.0)

@@ -1,0 +1,307 @@
+"""Tests for the DRX compiler: IR validation, tiling, CPU/DRX equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.drx import (
+    BufferDecl,
+    Cast,
+    DRXCompiler,
+    DRXConfig,
+    DRXMemory,
+    Elementwise,
+    ElementwiseBinary,
+    FunctionalDRX,
+    IRError,
+    Kernel,
+    MatMul,
+    Primitive,
+    Transpose2D,
+    choose_tile,
+    log_compress_kernel,
+    mel_projection_kernel,
+    normalize_kernel,
+    power_spectrum_kernel,
+    quantize_kernel,
+    sound_motion_kernel,
+    transpose_kernel,
+    typecast_kernel,
+)
+from repro.restructuring import (
+    LogCompress,
+    MelScale,
+    Normalize,
+    PowerSpectrum,
+    Quantize,
+    SpectrogramAssembly,
+    mel_filterbank,
+)
+
+
+def execute(kernel, inputs, outputs, config=None):
+    """Compile + run a kernel; returns the memory image."""
+    compiler = DRXCompiler(config or DRXConfig())
+    program = compiler.compile(kernel)
+    mem = DRXMemory()
+    for name, data in inputs.items():
+        mem.bind(name, data)
+    for name, (n, dtype) in outputs.items():
+        mem.allocate(name, n, dtype)
+    drx = FunctionalDRX(
+        mem,
+        n_banks=(config or DRXConfig()).n_banks,
+        scratchpad_bytes=(config or DRXConfig()).scratchpad_bytes,
+    )
+    drx.execute(program)
+    return mem, program
+
+
+# -- IR validation -----------------------------------------------------------
+
+
+def test_ir_rejects_unknown_primitive():
+    with pytest.raises(IRError):
+        Primitive("frobnicate")
+
+
+def test_ir_rejects_missing_immediate():
+    with pytest.raises(IRError):
+        Primitive("add")
+    with pytest.raises(IRError):
+        Primitive("sqrt", imm=1.0)
+
+
+def test_kernel_validates_buffer_references():
+    kernel = Kernel(
+        name="bad",
+        buffers=[BufferDecl("in", 8)],
+        statements=[Elementwise("in", "missing")],
+    )
+    with pytest.raises(IRError, match="no buffer"):
+        kernel.validate()
+
+
+def test_kernel_validates_size_agreement():
+    kernel = Kernel(
+        name="bad",
+        buffers=[BufferDecl("a", 8), BufferDecl("b", 9)],
+        statements=[Elementwise("a", "b")],
+    )
+    with pytest.raises(IRError, match="sizes differ"):
+        kernel.validate()
+
+
+def test_matmul_dimension_validation():
+    with pytest.raises(IRError):
+        MatMul("a", "b", "c", m=0, k=4, n=4)
+    kernel = Kernel(
+        name="bad",
+        buffers=[BufferDecl("a", 10), BufferDecl("b", 16), BufferDecl("c", 8)],
+        statements=[MatMul("a", "b", "c", m=2, k=4, n=4)],
+    )
+    with pytest.raises(IRError, match="A size"):
+        kernel.validate()
+
+
+def test_choose_tile_lane_aligned_and_bounded():
+    config = DRXConfig(lanes=128, scratchpad_bytes=64 * 1024)
+    tile = choose_tile(1_000_000, 4, config, live_tiles=2)
+    assert tile % 128 == 0
+    assert tile * 4 * 2 <= config.scratchpad_bytes
+    # Small problems are not over-tiled.
+    assert choose_tile(100, 4, config) == 100
+
+
+# -- compiled-kernel equivalence with numpy restructuring ops ------------------
+
+
+def test_normalize_matches_numpy_op():
+    rng = np.random.default_rng(0)
+    x = (rng.random(10_000) * 100).astype(np.float32)
+    mem, _ = execute(
+        normalize_kernel(10_000, offset=12.5, scale=3.0),
+        {"in": x},
+        {"out": (10_000, np.float32)},
+    )
+    expected = Normalize(12.5, 3.0).apply(x)
+    np.testing.assert_allclose(mem.read("out"), expected, rtol=1e-6)
+
+
+def test_quantize_matches_numpy_op():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(5000).astype(np.float32)
+    mem, _ = execute(
+        quantize_kernel(5000, scale=1 / 127),
+        {"in": x},
+        {"scaled": (5000, np.float32), "out": (5000, np.int8)},
+    )
+    expected = Quantize(1 / 127).apply(x)
+    np.testing.assert_array_equal(mem.read("out"), expected)
+
+
+def test_typecast_matches_numpy():
+    x = np.arange(1000, dtype=np.int32)
+    mem, _ = execute(
+        typecast_kernel(1000, "int32", "float32"),
+        {"in": x},
+        {"out": (1000, np.float32)},
+    )
+    np.testing.assert_array_equal(mem.read("out"), x.astype(np.float32))
+
+
+def test_power_spectrum_matches_numpy_op():
+    rng = np.random.default_rng(2)
+    z = (rng.standard_normal(4096) + 1j * rng.standard_normal(4096)).astype(
+        np.complex64
+    )
+    mem, _ = execute(
+        power_spectrum_kernel(4096),
+        {"re": z.real.copy(), "im": z.imag.copy()},
+        {
+            "re2": (4096, np.float32),
+            "im2": (4096, np.float32),
+            "out": (4096, np.float32),
+        },
+    )
+    expected = PowerSpectrum().apply(z.reshape(1, -1)).reshape(-1)
+    np.testing.assert_allclose(mem.read("out"), expected, rtol=1e-5)
+
+
+def test_log_compress_matches_numpy_op():
+    x = np.abs(np.random.default_rng(3).standard_normal(2000)).astype(np.float32)
+    mem, _ = execute(
+        log_compress_kernel(2000), {"in": x}, {"out": (2000, np.float32)}
+    )
+    np.testing.assert_allclose(
+        mem.read("out"), LogCompress().apply(x), rtol=1e-6
+    )
+
+
+@pytest.mark.parametrize("rows,cols", [(8, 8), (37, 53), (128, 65), (3, 500)])
+def test_transpose_matches_numpy(rows, cols):
+    rng = np.random.default_rng(4)
+    x = rng.random((rows, cols)).astype(np.float32)
+    mem, _ = execute(
+        transpose_kernel(rows, cols),
+        {"in": x},
+        {"out": (rows * cols, np.float32)},
+    )
+    np.testing.assert_array_equal(mem.read("out").reshape(cols, rows), x.T)
+
+
+@pytest.mark.parametrize("m,k,n", [(4, 8, 16), (8, 33, 21), (16, 65, 12)])
+def test_matmul_matches_numpy(m, k, n):
+    rng = np.random.default_rng(5)
+    a = rng.random((m, k)).astype(np.float32)
+    b = rng.random((k, n)).astype(np.float32)
+    mem, _ = execute(
+        mel_projection_kernel(m, k, n),
+        {"bank": a, "spec": b},
+        {"out": (m * n, np.float32)},
+    )
+    np.testing.assert_allclose(
+        mem.read("out").reshape(m, n), a @ b, rtol=1e-4
+    )
+
+
+def test_full_sound_motion_kernel_matches_cpu_pipeline():
+    """The core DMX invariant: DRX-restructured data == CPU-restructured."""
+    rng = np.random.default_rng(6)
+    n_frames, n_bins, n_mels = 10, 33, 8
+    fft = (
+        rng.standard_normal((n_frames, n_bins))
+        + 1j * rng.standard_normal((n_frames, n_bins))
+    ).astype(np.complex64)
+
+    mel_op = MelScale(n_mels, 16000.0)
+    cpu_result = LogCompress().apply(
+        mel_op.apply(SpectrogramAssembly().apply(PowerSpectrum().apply(fft)))
+    )
+
+    n = n_frames * n_bins
+    mem, program = execute(
+        sound_motion_kernel(n_frames, n_bins, n_mels),
+        {
+            "re": fft.real.astype(np.float32),
+            "im": fft.imag.astype(np.float32),
+            "bank": mel_filterbank(n_mels, n_bins, 16000.0),
+        },
+        {
+            "re2": (n, np.float32),
+            "im2": (n, np.float32),
+            "power": (n, np.float32),
+            "spectrogram": (n, np.float32),
+            "mel": (n_mels * n_frames, np.float32),
+            "out": (n_mels * n_frames, np.float32),
+        },
+    )
+    drx_result = mem.read("out").reshape(n_mels, n_frames)
+    np.testing.assert_allclose(drx_result, cpu_result, rtol=1e-4)
+    # Compiled code uses hardware loops, not branches: every instruction is
+    # loop/memory/compute/sync.
+    counts = program.counts()
+    assert counts["other"] == 0
+    assert counts["loop"] > 0
+
+
+def test_compiler_respects_small_scratchpad():
+    """Tiny scratchpad forces more, smaller tiles — result unchanged."""
+    config = DRXConfig(lanes=16, scratchpad_bytes=2048)
+    x = np.arange(4096, dtype=np.float32)
+    mem, program = execute(
+        normalize_kernel(4096, 0.0, 2.0),
+        {"in": x},
+        {"out": (4096, np.float32)},
+        config=config,
+    )
+    np.testing.assert_allclose(mem.read("out"), x / 2)
+    # More loop iterations than the default config would need.
+    loop_counts = [
+        i.count for i in program.instructions if i.opcode.value == "LOOP"
+    ]
+    assert max(loop_counts) >= 16
+
+
+def test_image_tensor_kernel_matches_numpy_op():
+    """DRX image-to-tensor == the CPU ImageToTensor restructuring op."""
+    from repro.drx import image_tensor_kernel
+    from repro.restructuring import ImageToTensor
+
+    rng = np.random.default_rng(8)
+    h, w = 24, 32
+    image = rng.integers(0, 255, (h, w, 3)).astype(np.uint8)
+    mem, _ = execute(
+        image_tensor_kernel(h, w),
+        {"in": image},
+        {
+            "as_float": (h * w * 3, np.float32),
+            "normalized": (h * w * 3, np.float32),
+            "out": (h * w * 3, np.float32),
+        },
+    )
+    expected = ImageToTensor().apply(image)  # (3, h, w) planar fp32
+    np.testing.assert_allclose(
+        mem.read("out").reshape(3, h, w), expected, rtol=1e-6
+    )
+
+
+def test_columnar_pivot_kernel_matches_numpy_op():
+    """DRX columnar pivot == the CPU RowsToColumnar restructuring op."""
+    from repro.drx import columnar_pivot_kernel
+    from repro.restructuring import RowsToColumnar
+
+    rng = np.random.default_rng(9)
+    n_rows, n_cols = 200, 4
+    values = rng.integers(-(2**31), 2**31 - 1, (n_rows, n_cols),
+                          dtype=np.int64).astype(np.int32)
+    rows_bytes = values.view(np.uint8).reshape(n_rows, n_cols * 4)
+    expected = RowsToColumnar(n_cols).apply(rows_bytes)
+
+    mem, _ = execute(
+        columnar_pivot_kernel(n_rows, n_cols),
+        {"in": values},
+        {"out": (n_rows * n_cols, np.int32)},
+    )
+    np.testing.assert_array_equal(
+        mem.read("out").reshape(n_cols, n_rows), expected
+    )

@@ -1,0 +1,238 @@
+"""Tests for the functional DRX simulator."""
+
+import numpy as np
+import pytest
+
+from repro.drx import (
+    AddressExpr,
+    DRXMemory,
+    FunctionalDRX,
+    Instruction,
+    Opcode,
+    Program,
+    ProgramError,
+    assemble,
+)
+
+
+def run(text, buffers, outputs):
+    mem = DRXMemory()
+    for name, data in buffers.items():
+        mem.bind(name, data)
+    for name, (n, dtype) in outputs.items():
+        mem.allocate(name, n, dtype)
+    drx = FunctionalDRX(mem)
+    stats = drx.execute(assemble(text))
+    return mem, stats
+
+
+def test_simple_scale_program():
+    x = np.arange(64, dtype=np.float32)
+    mem, stats = run(
+        """
+        SYNC.START
+        LD v0, in[0], 64
+        VMULI v1, v0, 2.0
+        ST out[0], v1, 64
+        SYNC.END
+        """,
+        {"in": x},
+        {"out": (64, np.float32)},
+    )
+    np.testing.assert_array_equal(mem.read("out"), x * 2)
+    assert stats.bytes_loaded == 256
+    assert stats.bytes_stored == 256
+    assert stats.vector_ops == 64
+
+
+def test_loop_with_strided_addresses():
+    x = np.arange(100, dtype=np.float32)
+    mem, stats = run(
+        """
+        SYNC.START
+        LOOP 10
+          LD v0, in[0,+10], 10
+          VADDI v1, v0, 1.0
+          ST out[0,+10], v1, 10
+        ENDLOOP
+        SYNC.END
+        """,
+        {"in": x},
+        {"out": (100, np.float32)},
+    )
+    np.testing.assert_array_equal(mem.read("out"), x + 1)
+    assert stats.loop_iterations == 10
+
+
+def test_nested_loops_resolve_both_indices():
+    x = np.arange(24, dtype=np.float32).reshape(4, 6)
+    mem, _ = run(
+        """
+        SYNC.START
+        LOOP 4
+          LOOP 6
+            LD v0, in[0,+6,+1], 1
+            VMULI v1, v0, 10.0
+            ST out[0,+6,+1], v1, 1
+          ENDLOOP
+        ENDLOOP
+        SYNC.END
+        """,
+        {"in": x},
+        {"out": (24, np.float32)},
+    )
+    np.testing.assert_array_equal(mem.read("out").reshape(4, 6), x * 10)
+
+
+def test_binary_ops_between_banks():
+    a = np.arange(16, dtype=np.float32)
+    b = np.full(16, 3.0, dtype=np.float32)
+    mem, _ = run(
+        """
+        SYNC.START
+        LD v0, a[0], 16
+        LD v1, b[0], 16
+        VMUL v2, v0, v1
+        VADD v3, v2, v1
+        ST out[0], v3, 16
+        SYNC.END
+        """,
+        {"a": a, "b": b},
+        {"out": (16, np.float32)},
+    )
+    np.testing.assert_array_equal(mem.read("out"), a * 3 + 3)
+
+
+def test_vmac_accumulates():
+    mem, _ = run(
+        """
+        SYNC.START
+        VSET v0, 1.0, 8
+        VSET v1, 2.0, 8
+        VSET v2, 10.0, 8
+        VMAC v2, v0, v1
+        ST out[0], v2, 8
+        SYNC.END
+        """,
+        {},
+        {"out": (8, np.float32)},
+    )
+    np.testing.assert_array_equal(mem.read("out"), np.full(8, 12.0))
+
+
+def test_vred_sum():
+    x = np.arange(10, dtype=np.float32)
+    mem, _ = run(
+        """
+        SYNC.START
+        LD v0, in[0], 10
+        VRED v1, v0, sum
+        ST out[0], v1, 1
+        SYNC.END
+        """,
+        {"in": x},
+        {"out": (1, np.float32)},
+    )
+    assert mem.read("out")[0] == pytest.approx(45.0)
+
+
+def test_vcvt_changes_dtype():
+    x = np.array([1.7, -2.3, 100.9], dtype=np.float32)
+    mem, _ = run(
+        """
+        SYNC.START
+        LD v0, in[0], 3
+        VROUND v1, v0
+        VCVT v2, v1, int32
+        ST out[0], v2, 3
+        SYNC.END
+        """,
+        {"in": x},
+        {"out": (3, np.int32)},
+    )
+    np.testing.assert_array_equal(mem.read("out"), [2, -2, 101])
+
+
+def test_transpose_engine():
+    x = np.arange(12, dtype=np.float32)
+    mem, stats = run(
+        """
+        SYNC.START
+        LD v0, in[0], 12
+        TRANS v1, v0, 3, 4
+        ST out[0], v1, 12
+        SYNC.END
+        """,
+        {"in": x},
+        {"out": (12, np.float32)},
+    )
+    np.testing.assert_array_equal(
+        mem.read("out").reshape(4, 3), x.reshape(3, 4).T
+    )
+    assert stats.transpose_elements == 12
+
+
+def test_st_bank_slice():
+    x = np.arange(8, dtype=np.float32)
+    mem, _ = run(
+        """
+        SYNC.START
+        LD v0, in[0], 8
+        LOOP 2
+          ST out[0,+4], v0[4,+0], 4
+        ENDLOOP
+        SYNC.END
+        """,
+        {"in": x},
+        {"out": (8, np.float32)},
+    )
+    # Bank slice [4:8] stored twice at offsets 0 and 4.
+    np.testing.assert_array_equal(mem.read("out"), [4, 5, 6, 7, 4, 5, 6, 7])
+
+
+def test_out_of_bounds_load_raises():
+    with pytest.raises(ProgramError, match="out of bounds"):
+        run(
+            "SYNC.START\nLD v0, in[0], 100\nSYNC.END",
+            {"in": np.zeros(10, dtype=np.float32)},
+            {},
+        )
+
+
+def test_uninitialized_bank_read_raises():
+    with pytest.raises(ProgramError, match="uninitialized"):
+        run(
+            "SYNC.START\nVADDI v1, v0, 1.0\nSYNC.END",
+            {},
+            {},
+        )
+
+
+def test_scratchpad_overflow_raises():
+    mem = DRXMemory()
+    mem.bind("in", np.zeros(100_000, dtype=np.float32))
+    drx = FunctionalDRX(mem, scratchpad_bytes=1024)
+    prog = assemble("SYNC.START\nLD v0, in[0], 100000\nSYNC.END")
+    with pytest.raises(ProgramError, match="scratchpad overflow"):
+        drx.execute(prog)
+
+
+def test_dram_capacity_enforced():
+    mem = DRXMemory(capacity_bytes=1000)
+    with pytest.raises(MemoryError):
+        mem.bind("big", np.zeros(1000, dtype=np.float32))
+
+
+def test_tile_length_mismatch_raises():
+    with pytest.raises(ProgramError, match="mismatch"):
+        run(
+            """
+            SYNC.START
+            VSET v0, 1.0, 8
+            VSET v1, 1.0, 4
+            VADD v2, v0, v1
+            SYNC.END
+            """,
+            {},
+            {},
+        )

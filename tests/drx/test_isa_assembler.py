@@ -1,0 +1,190 @@
+"""Tests for the DRX ISA definitions and the assembler."""
+
+import pytest
+
+from repro.drx import (
+    AddressExpr,
+    Instruction,
+    Opcode,
+    Program,
+    ProgramError,
+    assemble,
+    disassemble,
+)
+
+
+def wrap(*instrs):
+    return Program(
+        instructions=[Instruction(Opcode.SYNC_START), *instrs,
+                      Instruction(Opcode.SYNC_END)],
+        name="test",
+    )
+
+
+# -- AddressExpr ---------------------------------------------------------------
+
+
+def test_address_resolve_affine():
+    addr = AddressExpr("buf", base=10, strides=(100, 1))
+    assert addr.resolve([2, 5]) == 10 + 200 + 5
+
+
+def test_address_resolve_fewer_strides_than_loops():
+    addr = AddressExpr("buf", base=0, strides=(8,))
+    assert addr.resolve([3, 9]) == 24  # inner loop unused
+
+
+def test_address_too_many_strides_rejected():
+    addr = AddressExpr("buf", strides=(1, 2, 3))
+    with pytest.raises(ProgramError):
+        addr.resolve([0])
+
+
+def test_address_validation():
+    with pytest.raises(ProgramError):
+        AddressExpr("", base=0)
+    with pytest.raises(ProgramError):
+        AddressExpr("buf", base=-1)
+
+
+# -- Program validation -----------------------------------------------------------
+
+
+def test_program_requires_sync_bracketing():
+    with pytest.raises(ProgramError, match="SYNC.START"):
+        Program([Instruction(Opcode.HALT)], name="p").validate()
+    with pytest.raises(ProgramError, match="SYNC.END"):
+        Program(
+            [Instruction(Opcode.SYNC_START), Instruction(Opcode.HALT)],
+            name="p",
+        ).validate()
+
+
+def test_program_rejects_unbalanced_loops():
+    prog = wrap(Instruction(Opcode.LOOP, count=2))
+    with pytest.raises(ProgramError, match="unterminated"):
+        prog.validate()
+    prog = wrap(Instruction(Opcode.ENDLOOP))
+    with pytest.raises(ProgramError, match="unbalanced"):
+        prog.validate()
+
+
+def test_program_rejects_empty():
+    with pytest.raises(ProgramError):
+        Program([], name="empty").validate()
+
+
+def test_instruction_operand_validation():
+    with pytest.raises(ProgramError):
+        Instruction(Opcode.LOOP, count=0).validate(16)
+    with pytest.raises(ProgramError):
+        Instruction(Opcode.VADD, dst=0, src=1).validate(16)  # missing src2
+    with pytest.raises(ProgramError):
+        Instruction(Opcode.VADD, dst=99, src=0, src2=1).validate(16)
+    with pytest.raises(ProgramError):
+        Instruction(Opcode.LD, dst=0, count=8).validate(16)  # missing addr
+    with pytest.raises(ProgramError):
+        Instruction(Opcode.VRED, dst=0, src=1, reduce_op="xor").validate(16)
+    with pytest.raises(ProgramError):
+        Instruction(Opcode.TRANS, dst=0, src=1, rows=0, cols=4).validate(16)
+    with pytest.raises(ProgramError):
+        Instruction(Opcode.VBCAST, dst=0, src=1, count=0).validate(16)
+
+
+def test_program_counts_histogram():
+    prog = wrap(
+        Instruction(Opcode.LOOP, count=4),
+        Instruction(Opcode.LD, dst=0,
+                    addr=AddressExpr("in", strides=(8,)), count=8),
+        Instruction(Opcode.VADDI, dst=1, src=0, imm=1.0),
+        Instruction(Opcode.ST, addr=AddressExpr("out", strides=(8,)),
+                    src=1, count=8),
+        Instruction(Opcode.ENDLOOP),
+    )
+    counts = prog.counts()
+    assert counts == {"loop": 2, "memory": 2, "compute": 1, "sync": 2,
+                      "other": 0}
+
+
+# -- assembler ---------------------------------------------------------------
+
+
+EXAMPLE = """
+; scale a buffer by 0.5, tile of 512
+SYNC.START
+LOOP 16
+  LD    v0, in[0,+512], 512
+  VMULI v1, v0, 0.5
+  ST    out[0,+512], v1, 512
+ENDLOOP
+SYNC.END
+"""
+
+
+def test_assemble_example_program():
+    prog = assemble(EXAMPLE)
+    assert len(prog) == 7
+    assert prog.instructions[1].opcode == Opcode.LOOP
+    ld = prog.instructions[2]
+    assert ld.opcode == Opcode.LD
+    assert ld.addr.buffer == "in"
+    assert ld.addr.strides == (512,)
+    assert ld.count == 512
+
+
+def test_assemble_disassemble_roundtrip():
+    prog = assemble(EXAMPLE)
+    text = disassemble(prog)
+    prog2 = assemble(text)
+    assert len(prog2) == len(prog)
+    for a, b in zip(prog.instructions, prog2.instructions):
+        assert a == b
+
+
+def test_assemble_st_with_bank_slice():
+    text = """
+    SYNC.START
+    LOOP 4
+      LD v0, in[0,+32], 32
+      TRANS v1, v0, 4, 8
+      LOOP 8
+        ST out[0,+4,+16], v1[0,+0,+4], 4
+      ENDLOOP
+    ENDLOOP
+    SYNC.END
+    """
+    prog = assemble(text)
+    st = prog.instructions[5]
+    assert st.opcode == Opcode.ST
+    assert st.bank_addr is not None
+    assert st.bank_addr.strides == (0, 4)
+    # Round-trips through disassembly.
+    assert assemble(disassemble(prog)).instructions[5] == st
+
+
+def test_assemble_reports_line_numbers():
+    bad = "SYNC.START\nBOGUS v0\nSYNC.END"
+    with pytest.raises(ProgramError, match="line 2"):
+        assemble(bad)
+
+
+def test_assemble_rejects_malformed_operands():
+    with pytest.raises(ProgramError):
+        assemble("SYNC.START\nLD v0, noaddr, 8\nSYNC.END")
+    with pytest.raises(ProgramError):
+        assemble("SYNC.START\nVADD v0, v1\nSYNC.END")
+    with pytest.raises(ProgramError):
+        assemble("SYNC.START\nLOOP 2, 3\nSYNC.END")
+
+
+def test_assemble_vset_and_vbcast():
+    text = """
+    SYNC.START
+    VSET v0, 1.5, 64
+    VBCAST v1, v0, 32
+    SYNC.END
+    """
+    prog = assemble(text)
+    assert prog.instructions[1].count == 64
+    assert prog.instructions[2].opcode == Opcode.VBCAST
+    assert assemble(disassemble(prog)).instructions == prog.instructions

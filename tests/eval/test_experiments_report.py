@@ -1,0 +1,113 @@
+"""Tests for the experiment harness and report formatting."""
+
+import pytest
+
+from repro.core import Mode
+from repro.eval import (
+    Banner,
+    fig3b_motivation_speedup,
+    fig5_topdown,
+    fig11_speedup,
+    fig12_breakdown,
+    fig17_collectives,
+    fig18_lane_sweep,
+    format_ratio,
+    format_table,
+    run_mode,
+    table1_benchmarks,
+)
+
+
+def test_format_ratio():
+    assert format_ratio(3.456) == "3.46x"
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1], ["longer", 22]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("name")
+    assert "----" in lines[2]
+    assert len(lines) == 5
+
+
+def test_banner_renders():
+    text = str(Banner("hello"))
+    assert "hello" in text
+    assert text.startswith("=")
+
+
+def test_run_mode_returns_system_and_result():
+    system, result = run_mode("sound-detection", 1, Mode.MULTI_AXL)
+    assert result.mean_latency() > 0
+    assert system.sim.now > 0
+
+
+def test_run_mode_throughput_mode():
+    _, result = run_mode("sound-detection", 1, Mode.BUMP_IN_WIRE,
+                         throughput=True)
+    assert result.throughput() > 0
+
+
+def test_table1_lists_five_benchmarks():
+    rows = table1_benchmarks()
+    assert len(rows) == 5
+    assert all(len(row) == 7 for row in rows)
+
+
+def test_fig11_small_sweep_structure():
+    result = fig11_speedup(levels=(1,))
+    assert set(result.per_benchmark) == {
+        "video-surveillance", "sound-detection", "brain-stimulation",
+        "pii-redaction", "db-hash-join",
+    }
+    assert result.geomean(1) > 1.0
+    rows = result.rows()
+    assert rows[-1][0] == "GEOMEAN"
+
+
+def test_fig12_breakdown_fractions_normalized():
+    results = fig12_breakdown(levels=(1,))
+    for label, breakdown in results.items():
+        total = sum(breakdown.fractions[1].values())
+        assert total == pytest.approx(1.0)
+        assert breakdown.rows()[0][0] == 1
+
+
+def test_fig3b_reports_both_levels():
+    result = fig3b_motivation_speedup(levels=(1,))
+    assert 1 in result.end_to_end
+    assert result.per_kernel_geomean > 1.0
+
+
+def test_fig5_has_row_per_benchmark():
+    result = fig5_topdown()
+    assert len(result.rows_by_benchmark) == 5
+    assert len(result.rows()) == 5
+
+
+def test_fig17_small_fanout():
+    results = fig17_collectives(fan_outs=(4,), payload_bytes=1024 * 1024)
+    assert set(results) == {"broadcast", "allreduce"}
+    assert results["broadcast"].speedups[4] > 0
+
+
+def test_fig18_small_sweep():
+    sweep = fig18_lane_sweep(lanes=(32, 128), n_apps=1)
+    assert sweep[128] >= sweep[32]
+
+
+def test_eval_cli_rejects_unknown_experiment():
+    from repro.eval.__main__ import main
+
+    assert main(["not-a-figure"]) == 2
+
+
+def test_eval_cli_runs_selected(capsys):
+    from repro.eval.__main__ import main
+
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "db-hash-join" in out

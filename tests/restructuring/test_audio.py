@@ -1,0 +1,127 @@
+"""Tests for audio restructuring: spectrogram + mel-scale transformation."""
+
+import numpy as np
+import pytest
+
+from repro.restructuring import (
+    FeatureFlatten,
+    LogCompress,
+    MelScale,
+    PowerSpectrum,
+    RestructuringPipeline,
+    SpectrogramAssembly,
+    hz_to_mel,
+    mel_filterbank,
+    mel_to_hz,
+)
+
+
+def test_mel_scale_roundtrip():
+    hz = np.array([100.0, 440.0, 4000.0])
+    np.testing.assert_allclose(mel_to_hz(hz_to_mel(hz)), hz, rtol=1e-9)
+
+
+def test_mel_scale_is_monotonic():
+    hz = np.linspace(0, 8000, 100)
+    mel = hz_to_mel(hz)
+    assert np.all(np.diff(mel) > 0)
+
+
+def test_mel_filterbank_shape_and_nonnegative():
+    bank = mel_filterbank(40, 513, 16000.0)
+    assert bank.shape == (40, 513)
+    assert np.all(bank >= 0)
+
+
+def test_mel_filterbank_filters_are_triangular_with_single_peak():
+    bank = mel_filterbank(10, 257, 16000.0)
+    for row in bank:
+        peak = row.argmax()
+        assert row[peak] > 0
+        # Nondecreasing up to the peak, nonincreasing after.
+        assert np.all(np.diff(row[: peak + 1]) >= -1e-6)
+        assert np.all(np.diff(row[peak:]) <= 1e-6)
+
+
+def test_mel_filterbank_covers_spectrum():
+    bank = mel_filterbank(64, 513, 16000.0)
+    coverage = bank.sum(axis=0)
+    # Interior bins are covered by at least one filter.
+    assert np.all(coverage[5:-5] > 0)
+
+
+def test_mel_filterbank_validation():
+    with pytest.raises(ValueError):
+        mel_filterbank(0, 513, 16000.0)
+    with pytest.raises(ValueError):
+        mel_filterbank(10, 513, 16000.0, fmin=9000.0, fmax=8000.0)
+
+
+def test_power_spectrum_is_squared_magnitude():
+    spectrum = np.array([[3 + 4j, 1 + 0j]], dtype=np.complex64)
+    out = PowerSpectrum().apply(spectrum)
+    np.testing.assert_allclose(out, [[25.0, 1.0]])
+    assert out.dtype == np.float32
+
+
+def test_power_spectrum_rejects_real_input():
+    with pytest.raises(ValueError):
+        PowerSpectrum().apply(np.ones((2, 2)))
+
+
+def test_spectrogram_assembly_transposes_to_bins_major():
+    frames = np.arange(6, dtype=np.float32).reshape(2, 3)  # (frames, bins)
+    out = SpectrogramAssembly().apply(frames)
+    assert out.shape == (3, 2)
+    np.testing.assert_array_equal(out, frames.T)
+
+
+def test_mel_scale_op_projects_to_n_mels():
+    rng = np.random.default_rng(1)
+    spectrogram = rng.random((513, 20)).astype(np.float32)  # (bins, frames)
+    op = MelScale(n_mels=64, sample_rate=16000.0)
+    out = op.apply(spectrogram)
+    assert out.shape == (64, 20)
+    # Energy conservation-ish: outputs are nonnegative combinations.
+    assert np.all(out >= 0)
+
+
+def test_mel_scale_ops_per_element_tracks_filter_support():
+    # Sparse filterbank evaluation: cost per mel output scales with the
+    # average triangular-filter support (~2 x bins / n_mels).
+    op = MelScale(n_mels=64, sample_rate=16000.0)
+    op.apply(np.ones((257, 4), dtype=np.float32))
+    assert op.ops_per_element == pytest.approx(4.0 * 257 / 64)
+
+
+def test_log_compress_monotonic_and_validated():
+    data = np.array([0.0, 1.0, 10.0], dtype=np.float32)
+    out = LogCompress().apply(data)
+    assert np.all(np.diff(out) > 0)
+    with pytest.raises(ValueError):
+        LogCompress().apply(np.array([-1.0]))
+
+
+def test_full_sound_detection_restructuring_pipeline():
+    """FFT frames -> SVM features, the Fig. 2 data-motion step end to end."""
+    rng = np.random.default_rng(7)
+    n_frames, n_bins = 62, 513
+    fft_out = (rng.standard_normal((n_frames, n_bins))
+               + 1j * rng.standard_normal((n_frames, n_bins))).astype(np.complex64)
+    pipe = RestructuringPipeline(
+        "sound-detection-motion",
+        [
+            PowerSpectrum(),
+            SpectrogramAssembly(),
+            MelScale(n_mels=128, sample_rate=22050.0),
+            LogCompress(),
+            FeatureFlatten(),
+        ],
+    )
+    features, profiles = pipe.run(fft_out)
+    assert features.shape == (1, 128 * n_frames)
+    assert features.dtype == np.float32
+    assert len(profiles) == 5
+    # The mel projection dominates the arithmetic.
+    mel_profile = profiles[2]
+    assert mel_profile.total_ops == max(p.total_ops for p in profiles)

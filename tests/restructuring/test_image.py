@@ -1,0 +1,99 @@
+"""Tests for image restructuring: NV12 conversion, resize, tensorization."""
+
+import numpy as np
+import pytest
+
+from repro.restructuring import ImageToTensor, Nv12ToRgb, ResizeBilinear
+
+
+def make_nv12(h, w, y_val=128, u_val=128, v_val=128):
+    frame = np.zeros((3 * h // 2, w), dtype=np.uint8)
+    frame[:h] = y_val
+    uv = frame[h:].reshape(h // 2, w // 2, 2)
+    uv[..., 0] = u_val
+    uv[..., 1] = v_val
+    return frame
+
+
+def test_nv12_grey_maps_to_grey_rgb():
+    out = Nv12ToRgb(8, 8).apply(make_nv12(8, 8, y_val=100))
+    assert out.shape == (8, 8, 3)
+    # Neutral chroma (128) leaves R=G=B=Y.
+    assert np.all(out == 100)
+
+
+def test_nv12_red_chroma_raises_red_channel():
+    out = Nv12ToRgb(8, 8).apply(make_nv12(8, 8, y_val=100, v_val=200))
+    r, g, b = out[0, 0]
+    assert r > 100
+    assert g < 100
+    assert b == 100
+
+
+def test_nv12_rejects_odd_dims_and_bad_shape():
+    with pytest.raises(ValueError):
+        Nv12ToRgb(7, 8)
+    with pytest.raises(ValueError):
+        Nv12ToRgb(8, 8).apply(np.zeros((8, 8), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        Nv12ToRgb(8, 8).apply(np.zeros((12, 8), dtype=np.float32))
+
+
+def test_resize_identity_when_sizes_match():
+    rng = np.random.default_rng(3)
+    img = rng.integers(0, 255, (16, 16, 3)).astype(np.uint8)
+    out = ResizeBilinear(16, 16).apply(img)
+    np.testing.assert_array_equal(out, img)
+
+
+def test_resize_constant_image_stays_constant():
+    img = np.full((32, 48, 3), 77, dtype=np.uint8)
+    out = ResizeBilinear(16, 20).apply(img)
+    assert out.shape == (16, 20, 3)
+    assert np.all(out == 77)
+
+
+def test_resize_preserves_smooth_gradient():
+    ramp = np.tile(np.linspace(0, 255, 64, dtype=np.float32)[None, :, None],
+                   (8, 1, 1))
+    out = ResizeBilinear(8, 32).apply(ramp)
+    # Downsampled ramp should still be monotonically increasing.
+    row = out[0, :, 0]
+    assert np.all(np.diff(row) > 0)
+
+
+def test_resize_validation():
+    with pytest.raises(ValueError):
+        ResizeBilinear(0, 10)
+    with pytest.raises(ValueError):
+        ResizeBilinear(4, 4).apply(np.ones((8, 8)))
+
+
+def test_image_to_tensor_layout_and_normalization():
+    img = np.full((4, 6, 3), 255, dtype=np.uint8)
+    out = ImageToTensor(mean=127.5, scale=127.5).apply(img)
+    assert out.shape == (3, 4, 6)
+    assert out.dtype == np.float32
+    np.testing.assert_allclose(out, 1.0)
+
+
+def test_image_to_tensor_zero_maps_to_minus_one():
+    img = np.zeros((2, 2, 3), dtype=np.uint8)
+    out = ImageToTensor().apply(img)
+    np.testing.assert_allclose(out, -1.0)
+
+
+def test_video_surveillance_motion_pipeline_shapes():
+    """NV12 1080p frame -> 416x416 planar fp32 detector tensor."""
+    from repro.restructuring import RestructuringPipeline
+
+    h, w = 1080, 1920
+    frame = make_nv12(h, w, y_val=90)
+    pipe = RestructuringPipeline(
+        "video-surveillance-motion",
+        [Nv12ToRgb(h, w), ResizeBilinear(416, 416), ImageToTensor()],
+    )
+    tensor, profiles = pipe.run(frame)
+    assert tensor.shape == (3, 416, 416)
+    assert tensor.dtype == np.float32
+    assert profiles[0].bytes_in == frame.nbytes

@@ -1,0 +1,149 @@
+"""Tests for generic restructuring ops and the pipeline container."""
+
+import numpy as np
+import pytest
+
+from repro.restructuring import (
+    Crop,
+    Dequantize,
+    InterleaveToPlanar,
+    Normalize,
+    Pad,
+    PlanarToInterleave,
+    Quantize,
+    Reshape,
+    RestructuringPipeline,
+    TransposeOp,
+    Typecast,
+)
+
+
+def test_typecast_converts_dtype():
+    out = Typecast(np.float32).apply(np.arange(10, dtype=np.int32))
+    assert out.dtype == np.float32
+    np.testing.assert_array_equal(out, np.arange(10, dtype=np.float32))
+
+
+def test_typecast_profile_reflects_sizes():
+    data = np.zeros(1000, dtype=np.int8)
+    op = Typecast(np.float32)
+    out, profile = op.run(data)
+    assert profile.bytes_in == 1000
+    assert profile.bytes_out == 4000
+    assert profile.elements == 1000
+    assert profile.element_size == 4
+
+
+def test_reshape_produces_contiguous_copy():
+    data = np.arange(12)
+    out = Reshape((3, 4)).apply(data)
+    assert out.shape == (3, 4)
+    assert out.flags["C_CONTIGUOUS"]
+    out[0, 0] = 99
+    assert data[0] == 0  # input untouched
+
+
+def test_transpose_matches_numpy():
+    data = np.arange(24).reshape(2, 3, 4)
+    out = TransposeOp((2, 0, 1)).apply(data)
+    np.testing.assert_array_equal(out, np.transpose(data, (2, 0, 1)))
+    assert out.flags["C_CONTIGUOUS"]
+
+
+def test_transpose_is_gather_heavy():
+    assert TransposeOp().gather_fraction > 0.5
+
+
+def test_normalize_applies_affine():
+    data = np.array([10.0, 20.0], dtype=np.float64)
+    out = Normalize(offset=10.0, scale=5.0).apply(data)
+    np.testing.assert_allclose(out, [0.0, 2.0])
+    assert out.dtype == np.float32
+
+
+def test_normalize_rejects_zero_scale():
+    with pytest.raises(ValueError):
+        Normalize(0.0, 0.0)
+
+
+def test_quantize_dequantize_roundtrip():
+    data = np.linspace(-1.0, 1.0, 64, dtype=np.float32)
+    q = Quantize(scale=1 / 127)
+    d = Dequantize(scale=1 / 127)
+    restored = d.apply(q.apply(data))
+    np.testing.assert_allclose(restored, data, atol=1 / 127)
+
+
+def test_quantize_clips_to_int8_range():
+    out = Quantize(scale=0.001).apply(np.array([10.0, -10.0]))
+    assert out.dtype == np.int8
+    assert out[0] == 127 and out[1] == -128
+
+
+def test_pad_to_multiple():
+    out = Pad(8).apply(np.ones((2, 5)))
+    assert out.shape == (2, 8)
+    assert np.all(out[:, 5:] == 0)
+
+
+def test_pad_noop_when_aligned():
+    data = np.ones((2, 8))
+    out = Pad(8).apply(data)
+    np.testing.assert_array_equal(out, data)
+    assert out is not data  # still a copy
+
+
+def test_crop_takes_prefix():
+    out = Crop(3).apply(np.arange(10))
+    np.testing.assert_array_equal(out, [0, 1, 2])
+
+
+def test_crop_rejects_short_axis():
+    with pytest.raises(ValueError):
+        Crop(20).apply(np.arange(10))
+
+
+def test_interleave_planar_roundtrip():
+    hwc = np.random.default_rng(0).integers(0, 255, (4, 6, 3)).astype(np.uint8)
+    chw = InterleaveToPlanar().apply(hwc)
+    assert chw.shape == (3, 4, 6)
+    back = PlanarToInterleave().apply(chw)
+    np.testing.assert_array_equal(back, hwc)
+
+
+def test_interleave_requires_3d():
+    with pytest.raises(ValueError):
+        InterleaveToPlanar().apply(np.ones((4, 4)))
+
+
+def test_pipeline_chains_ops_in_order():
+    pipe = RestructuringPipeline(
+        "demo", [Normalize(0.0, 2.0), Typecast(np.float16)]
+    )
+    out = pipe.apply(np.full(4, 8.0))
+    assert out.dtype == np.float16
+    np.testing.assert_allclose(out, np.full(4, 4.0))
+
+
+def test_pipeline_run_returns_per_op_profiles():
+    pipe = RestructuringPipeline(
+        "demo", [Normalize(0.0, 2.0), Typecast(np.float16)]
+    )
+    out, profiles = pipe.run(np.full(1024, 8.0, dtype=np.float32))
+    assert len(profiles) == 2
+    assert profiles[0].name == "normalize"
+    assert profiles[1].bytes_out == out.nbytes
+
+
+def test_pipeline_rejects_empty():
+    with pytest.raises(ValueError):
+        RestructuringPipeline("empty", [])
+
+
+def test_ops_do_not_mutate_input():
+    data = np.arange(16, dtype=np.float32)
+    snapshot = data.copy()
+    for op in (Normalize(1.0, 2.0), Typecast(np.int32), Reshape((4, 4)),
+               Pad(5), Quantize(0.1)):
+        op.apply(data)
+        np.testing.assert_array_equal(data, snapshot)

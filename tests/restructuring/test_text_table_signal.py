@@ -1,0 +1,182 @@
+"""Tests for text, table, and signal restructuring ops."""
+
+import numpy as np
+import pytest
+
+from repro.restructuring import (
+    BandPower,
+    BytesToRecords,
+    DictionaryEncode,
+    HashPartition,
+    ObservationAssembly,
+    RecordsToBytes,
+    RowsToColumnar,
+    TokenizeForNER,
+    ZScoreNormalize,
+    fnv1a32,
+)
+
+
+def to_bytes(text):
+    return np.frombuffer(text.encode(), dtype=np.uint8).copy()
+
+
+# -- text -----------------------------------------------------------------
+
+
+def test_bytes_to_records_splits_lines():
+    data = to_bytes("alpha\nbeta\n")
+    records = BytesToRecords(8).apply(data)
+    assert records.shape == (2, 8)
+    assert records[0].tobytes().rstrip(b"\x00") == b"alpha"
+    assert records[1].tobytes().rstrip(b"\x00") == b"beta"
+
+
+def test_bytes_to_records_wraps_long_lines():
+    data = to_bytes("abcdefghij\n")
+    records = BytesToRecords(4).apply(data)
+    assert records.shape == (3, 4)
+    assert records[0].tobytes() == b"abcd"
+    assert records[2].tobytes().rstrip(b"\x00") == b"ij"
+
+
+def test_records_roundtrip():
+    text = "ssn 123-45-6789\nemail a@b.com\nplain line"
+    data = to_bytes(text)
+    records = BytesToRecords(32).apply(data)
+    back = RecordsToBytes().apply(records)
+    assert back.tobytes().decode() == text
+
+
+def test_bytes_to_records_validates_input():
+    with pytest.raises(ValueError):
+        BytesToRecords(8).apply(np.zeros((2, 2), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        BytesToRecords(0)
+
+
+def test_tokenize_for_ner_structure():
+    op = TokenizeForNER(seq_len=8)
+    ids = op.apply(to_bytes("alice works at acme corp in berlin"))
+    assert ids.dtype == np.int32
+    assert ids.shape[1] == 8
+    assert ids[0, 0] == op.CLS_ID
+    assert op.SEP_ID in ids[0]
+
+
+def test_tokenize_is_deterministic():
+    op = TokenizeForNER(seq_len=16)
+    a = op.apply(to_bytes("hello world"))
+    b = op.apply(to_bytes("hello world"))
+    np.testing.assert_array_equal(a, b)
+    assert op.token_id(b"hello") == op.token_id(b"hello")
+    assert op.token_id(b"hello") != op.token_id(b"world")
+
+
+def test_tokenize_splits_long_text_into_sequences():
+    words = " ".join(f"w{i}" for i in range(100))
+    ids = TokenizeForNER(seq_len=16).apply(to_bytes(words))
+    assert ids.shape[0] == np.ceil(100 / 14)
+
+
+# -- table ----------------------------------------------------------------
+
+
+def make_rows(values):
+    """Build a (n_rows, n_cols*4) uint8 row image from an int32 2D array."""
+    arr = np.asarray(values, dtype="<i4")
+    return arr.view(np.uint8).reshape(arr.shape[0], arr.shape[1] * 4)
+
+
+def test_rows_to_columnar_pivots():
+    rows = make_rows([[1, 10], [2, 20], [3, 30]])
+    cols = RowsToColumnar(2).apply(rows)
+    np.testing.assert_array_equal(cols, [[1, 2, 3], [10, 20, 30]])
+
+
+def test_rows_to_columnar_validates_width():
+    with pytest.raises(ValueError):
+        RowsToColumnar(3).apply(make_rows([[1, 2]]))
+
+
+def test_dictionary_encode_codes_against_sorted_uniques():
+    cols = np.array([[5, 7, 5, 9], [1, 2, 3, 4]], dtype=np.int32)
+    op = DictionaryEncode(column=0)
+    out = op.apply(cols)
+    np.testing.assert_array_equal(op.dictionary, [5, 7, 9])
+    np.testing.assert_array_equal(out[0], [0, 1, 0, 2])
+    np.testing.assert_array_equal(out[1], cols[1])  # other columns intact
+
+
+def test_hash_partition_groups_rows_by_partition():
+    rng = np.random.default_rng(11)
+    keys = rng.integers(0, 1000, 256).astype(np.int32)
+    payload = np.arange(256, dtype=np.int32)
+    block = np.stack([keys, payload])
+    op = HashPartition(key_column=0, n_partitions=4)
+    out = op.apply(block)
+    parts = fnv1a32(out[0]) % np.uint32(4)
+    assert np.all(np.diff(parts) >= 0)  # grouped, ascending partition ids
+    # Boundaries cover all rows.
+    assert op.boundaries[0] == 0 and op.boundaries[-1] == 256
+    # No row lost: payload is a permutation.
+    assert sorted(out[1].tolist()) == list(range(256))
+
+
+def test_hash_partition_preserves_key_payload_pairs():
+    keys = np.array([3, 1, 4, 1, 5], dtype=np.int32)
+    payload = np.array([30, 10, 40, 11, 50], dtype=np.int32)
+    out = HashPartition(0, 2).apply(np.stack([keys, payload]))
+    pairs = set(zip(out[0].tolist(), out[1].tolist()))
+    assert pairs == {(3, 30), (1, 10), (4, 40), (1, 11), (5, 50)}
+
+
+def test_fnv1a32_deterministic_and_spread():
+    values = np.arange(10_000, dtype=np.int32)
+    h1, h2 = fnv1a32(values), fnv1a32(values)
+    np.testing.assert_array_equal(h1, h2)
+    # Reasonable spread across 16 buckets.
+    counts = np.bincount(h1 % np.uint32(16), minlength=16)
+    assert counts.min() > 10_000 / 16 * 0.7
+
+
+# -- signal ---------------------------------------------------------------
+
+
+def test_band_power_shape_and_band_separation():
+    sample_rate = 256.0
+    n = 512
+    t = np.arange(n) / sample_rate
+    # Channel 0: 10 Hz (alpha); channel 1: 20 Hz (beta).
+    signals = np.stack([np.sin(2 * np.pi * 10 * t), np.sin(2 * np.pi * 20 * t)])
+    spectra = np.fft.rfft(signals, axis=1)
+    out = BandPower(sample_rate).apply(spectra)
+    assert out.shape == (2, 5)
+    assert out[0].argmax() == 2  # alpha band
+    assert out[1].argmax() == 3  # beta band
+
+
+def test_band_power_validates_input():
+    with pytest.raises(ValueError):
+        BandPower(256.0).apply(np.ones((2, 10)))
+    with pytest.raises(ValueError):
+        BandPower(-1.0)
+
+
+def test_zscore_normalize_moments():
+    rng = np.random.default_rng(5)
+    data = rng.normal(10.0, 3.0, (4, 1000))
+    out = ZScoreNormalize().apply(data)
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+    np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-4)
+
+
+def test_zscore_handles_constant_rows():
+    out = ZScoreNormalize().apply(np.full((2, 8), 5.0))
+    assert np.all(np.isfinite(out))
+
+
+def test_observation_assembly_flattens():
+    out = ObservationAssembly().apply(np.ones((64, 5), dtype=np.float64))
+    assert out.shape == (1, 320)
+    assert out.dtype == np.float32

@@ -1,0 +1,187 @@
+"""Tests for the OpenCL-style host programming model."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import CLError, Context, DeviceHandle
+
+
+def make_context():
+    return Context(
+        [
+            DeviceHandle("fft", "accelerator"),
+            DeviceHandle("svm", "accelerator"),
+            DeviceHandle("drx0", "drx"),
+            DeviceHandle("host", "cpu"),
+        ]
+    )
+
+
+def test_context_requires_devices():
+    with pytest.raises(CLError):
+        Context([])
+
+
+def test_context_rejects_duplicate_devices():
+    with pytest.raises(CLError):
+        Context([DeviceHandle("a", "cpu"), DeviceHandle("a", "cpu")])
+
+
+def test_unknown_device_kind_rejected():
+    with pytest.raises(CLError):
+        DeviceHandle("x", "gpu")
+
+
+def test_buffer_create_and_rw():
+    ctx = make_context()
+    buf = ctx.create_buffer("audio", np.arange(4))
+    np.testing.assert_array_equal(buf.read(), np.arange(4))
+    buf.write(np.zeros(2))
+    assert buf.version == 1
+
+
+def test_duplicate_buffer_rejected():
+    ctx = make_context()
+    ctx.create_buffer("x")
+    with pytest.raises(CLError):
+        ctx.create_buffer("x")
+
+
+def test_read_unwritten_buffer_raises():
+    ctx = make_context()
+    buf = ctx.create_buffer("empty")
+    with pytest.raises(CLError):
+        buf.read()
+
+
+def test_enqueue_kernel_blocking_executes():
+    ctx = make_context()
+    queue = ctx.create_queue("fft")
+    src = ctx.create_buffer("in", np.array([1.0, 2.0]))
+    dst = ctx.create_buffer("out")
+    event = queue.enqueue_kernel(
+        lambda x: x * 2, [src], dst, blocking=True
+    )
+    np.testing.assert_array_equal(event.wait(), [2.0, 4.0])
+    np.testing.assert_array_equal(dst.read(), [2.0, 4.0])
+
+
+def test_nonblocking_commands_run_in_order_on_finish():
+    ctx = make_context()
+    queue = ctx.create_queue("fft")
+    a = ctx.create_buffer("a", 1)
+    b = ctx.create_buffer("b")
+    c = ctx.create_buffer("c")
+    e1 = queue.enqueue_kernel(lambda x: x + 1, [a], b)
+    e2 = queue.enqueue_kernel(lambda x: x * 10, [b], c)
+    assert not e1.complete and not e2.complete
+    queue.finish()
+    assert c.read() == 20
+
+
+def test_wait_before_completion_raises():
+    ctx = make_context()
+    queue = ctx.create_queue("fft")
+    a = ctx.create_buffer("a", 1)
+    b = ctx.create_buffer("b")
+    event = queue.enqueue_kernel(lambda x: x, [a], b)
+    with pytest.raises(CLError):
+        event.wait()
+
+
+def test_cross_queue_dependency_enforced():
+    ctx = make_context()
+    q1 = ctx.create_queue("fft")
+    q2 = ctx.create_queue("svm")
+    a = ctx.create_buffer("a", 5)
+    b = ctx.create_buffer("b")
+    c = ctx.create_buffer("c")
+    e1 = q1.enqueue_kernel(lambda x: x + 1, [a], b)
+    q2.enqueue_kernel(lambda x: x * 2, [b], c, wait_for=[e1])
+    # Draining q2 before q1 violates the dependency.
+    with pytest.raises(CLError, match="incomplete"):
+        q2.finish()
+    q1.finish()
+    q2.finish()
+    assert c.read() == 12
+
+
+def test_enqueue_copy():
+    ctx = make_context()
+    queue = ctx.create_queue("drx0")
+    src = ctx.create_buffer("src", np.ones(3))
+    dst = ctx.create_buffer("dst")
+    queue.enqueue_copy(src, dst, blocking=True)
+    np.testing.assert_array_equal(dst.read(), np.ones(3))
+
+
+def test_one_queue_per_device():
+    ctx = make_context()
+    ctx.create_queue("fft")
+    with pytest.raises(CLError):
+        ctx.create_queue("fft")
+
+
+def test_foreign_buffer_rejected():
+    ctx1, ctx2 = make_context(), make_context()
+    queue = ctx1.create_queue("fft")
+    foreign = ctx2.create_buffer("x", 1)
+    local = ctx1.create_buffer("y")
+    with pytest.raises(CLError):
+        queue.enqueue_kernel(lambda v: v, [foreign], local)
+
+
+def test_finish_all_drains_every_queue():
+    ctx = make_context()
+    q1, q2 = ctx.create_queue("fft"), ctx.create_queue("svm")
+    a = ctx.create_buffer("a", 2)
+    b = ctx.create_buffer("b")
+    c = ctx.create_buffer("c", 3)
+    d = ctx.create_buffer("d")
+    q1.enqueue_kernel(lambda x: x, [a], b)
+    q2.enqueue_kernel(lambda x: x, [c], d)
+    ctx.finish_all()
+    assert b.read() == 2 and d.read() == 3
+    assert q1.commands_executed == 1 and q2.commands_executed == 1
+
+
+def test_full_sound_detection_host_program():
+    """The Sec. V workflow: app kernels on accelerators, motion on DRX."""
+    from repro.accelerators import FFTAccelerator, SVMAccelerator
+    from repro.restructuring import (
+        FeatureFlatten,
+        LogCompress,
+        MelScale,
+        PowerSpectrum,
+        RestructuringPipeline,
+        SpectrogramAssembly,
+    )
+    from repro.workloads.generators import make_audio_snippet
+
+    fft = FFTAccelerator(frame_len=512, hop=256)
+    motion = RestructuringPipeline(
+        "motion",
+        [PowerSpectrum(), SpectrogramAssembly(), MelScale(32, 22050.0),
+         LogCompress(), FeatureFlatten()],
+    )
+
+    ctx = Context(
+        [
+            DeviceHandle("fft-accel", "accelerator", fft),
+            DeviceHandle("drx", "drx", motion),
+            DeviceHandle("svm-accel", "accelerator"),
+        ]
+    )
+    q_fft = ctx.create_queue("fft-accel")
+    q_drx = ctx.create_queue("drx")
+
+    audio = ctx.create_buffer("audio", make_audio_snippet(0.5))
+    spectra = ctx.create_buffer("spectra")
+    features = ctx.create_buffer("features")
+
+    e1 = q_fft.enqueue_kernel(fft.run, [audio], spectra)
+    q_drx.enqueue_kernel(motion.apply, [spectra], features, wait_for=[e1])
+    q_fft.finish()
+    q_drx.finish()
+    assert features.read().shape[0] == 1
+    assert features.read().dtype == np.float32

@@ -1,0 +1,268 @@
+"""Unit tests for the DES engine core."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(3.5)
+        seen.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert seen == [3.5]
+    assert sim.now == 3.5
+
+
+def test_two_processes_interleave_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, delay, tag):
+        yield sim.timeout(delay)
+        order.append((sim.now, tag))
+
+    sim.spawn(proc(sim, 2.0, "b"))
+    sim.spawn(proc(sim, 1.0, "a"))
+    sim.run()
+    assert order == [(1.0, "a"), (2.0, "b")]
+
+
+def test_same_time_events_fire_in_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.spawn(proc(sim, tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_join_returns_generator_value():
+    sim = Simulator()
+    results = []
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return 42
+
+    def parent(sim):
+        value = yield sim.spawn(child(sim))
+        results.append((sim.now, value))
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert results == [(2.0, 42)]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    results = []
+    gate = sim.event()
+
+    def waiter(sim):
+        value = yield gate
+        results.append((sim.now, value))
+
+    def opener(sim):
+        yield sim.timeout(4.0)
+        gate.succeed("open")
+
+    sim.spawn(waiter(sim))
+    sim.spawn(opener(sim))
+    sim.run()
+    assert results == [(4.0, "open")]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_stops_clock_without_processing_later_events():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+        seen.append("late")
+
+    sim.spawn(proc(sim))
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert seen == []
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_allof_waits_for_every_event():
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        t1 = sim.timeout(1.0, "one")
+        t2 = sim.timeout(3.0, "two")
+        values = yield AllOf(sim, [t1, t2])
+        results.append((sim.now, sorted(values.values())))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert results == [(3.0, ["one", "two"])]
+
+
+def test_anyof_fires_on_first_event():
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        t1 = sim.timeout(1.0, "fast")
+        t2 = sim.timeout(9.0, "slow")
+        values = yield AnyOf(sim, [t1, t2])
+        results.append((sim.now, list(values.values())))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert results == [(1.0, ["fast"])]
+
+
+def test_allof_empty_triggers_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    assert cond.triggered
+
+
+def test_interrupt_is_delivered_with_cause():
+    sim = Simulator()
+    caught = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as exc:
+            caught.append((sim.now, exc.cause))
+
+    def attacker(sim, victim_proc):
+        yield sim.timeout(2.0)
+        victim_proc.interrupt("preempted")
+
+    vp = sim.spawn(victim(sim))
+    sim.spawn(attacker(sim, vp))
+    sim.run()
+    assert caught == [(2.0, "preempted")]
+
+
+def test_interrupt_dead_process_raises():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0.0)
+
+    proc = sim.spawn(quick(sim))
+    sim.run()
+    assert not proc.is_alive
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_strict_mode_propagates_process_exception():
+    sim = Simulator(strict=True)
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    sim.spawn(bad(sim))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_non_strict_mode_fails_process_event():
+    sim = Simulator(strict=False)
+    observed = []
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    def watcher(sim, proc):
+        try:
+            yield proc
+        except ValueError as exc:
+            observed.append(str(exc))
+
+    proc = sim.spawn(bad(sim))
+    sim.spawn(watcher(sim, proc))
+    sim.run()
+    assert observed == ["boom"]
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 17
+
+    sim.spawn(bad(sim))
+    with pytest.raises(SimulationError, match="expected an Event"):
+        sim.run()
+
+
+def test_schedule_callback_runs_at_delay():
+    sim = Simulator()
+    ticks = []
+    sim.schedule(2.5, lambda: ticks.append(sim.now))
+    sim.run()
+    assert ticks == [2.5]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    sim.timeout(7.0)
+    assert sim.peek() == 7.0
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_chained_timeouts_accumulate():
+    sim = Simulator()
+    stamps = []
+
+    def proc(sim):
+        for _ in range(4):
+            yield sim.timeout(0.25)
+            stamps.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert stamps == pytest.approx([0.25, 0.5, 0.75, 1.0])

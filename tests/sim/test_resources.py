@@ -1,0 +1,238 @@
+"""Unit tests for DES resources: Resource, Server, Store, priorities."""
+
+import pytest
+
+from repro.sim import (
+    PriorityResource,
+    Resource,
+    Server,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.in_use == 2
+    assert res.queue_length == 1
+
+
+def test_resource_release_grants_next_in_fifo_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    grants = []
+
+    def user(sim, tag, hold):
+        req = res.request()
+        yield req
+        grants.append((tag, sim.now))
+        yield sim.timeout(hold)
+        res.release(req)
+
+    sim.spawn(user(sim, "a", 2.0))
+    sim.spawn(user(sim, "b", 2.0))
+    sim.spawn(user(sim, "c", 2.0))
+    sim.run()
+    assert grants == [("a", 0.0), ("b", 2.0), ("c", 4.0)]
+
+
+def test_resource_use_helper_holds_for_duration():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    done = []
+
+    def user(sim, tag):
+        yield from res.use(3.0)
+        done.append((tag, sim.now))
+
+    sim.spawn(user(sim, 1))
+    sim.spawn(user(sim, 2))
+    sim.run()
+    assert done == [(1, 3.0), (2, 6.0)]
+
+
+def test_release_unheld_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    res.request()
+    stray = res.request()
+    with pytest.raises(SimulationError):
+        res.release(stray)
+
+
+def test_cancel_removes_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    res.request()
+    queued = res.request()
+    res.cancel(queued)
+    assert res.queue_length == 0
+    with pytest.raises(SimulationError):
+        res.cancel(queued)
+
+
+def test_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_priority_resource_prefers_lowest_priority_number():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    grants = []
+
+    def holder(sim):
+        req = res.request()
+        yield req
+        yield sim.timeout(5.0)
+        res.release(req)
+
+    def waiter(sim, tag, priority, arrive):
+        yield sim.timeout(arrive)
+        req = res.request(priority=priority)
+        yield req
+        grants.append(tag)
+        res.release(req)
+
+    sim.spawn(holder(sim))
+    sim.spawn(waiter(sim, "low", 10, 1.0))
+    sim.spawn(waiter(sim, "high", 0, 2.0))
+    sim.run()
+    assert grants == ["high", "low"]
+
+
+def test_server_serializes_transfers():
+    sim = Simulator()
+    link = Server(sim, capacity=1)
+    ends = []
+
+    def mover(sim, duration):
+        yield from link.transfer(duration)
+        ends.append(sim.now)
+
+    sim.spawn(mover(sim, 1.0))
+    sim.spawn(mover(sim, 1.0))
+    sim.spawn(mover(sim, 1.0))
+    sim.run()
+    assert ends == [1.0, 2.0, 3.0]
+    assert link.jobs_served == 3
+    assert link.total_service_time == pytest.approx(3.0)
+
+
+def test_server_parallel_capacity():
+    sim = Simulator()
+    link = Server(sim, capacity=2)
+    ends = []
+
+    def mover(sim):
+        yield from link.transfer(1.0)
+        ends.append(sim.now)
+
+    for _ in range(4):
+        sim.spawn(mover(sim))
+    sim.run()
+    assert ends == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_server_utilization_tracks_busy_fraction():
+    sim = Simulator()
+    link = Server(sim, capacity=1)
+
+    def mover(sim):
+        yield from link.transfer(2.0)
+        yield sim.timeout(2.0)
+
+    sim.spawn(mover(sim))
+    sim.run()
+    assert sim.now == 4.0
+    assert link.utilization() == pytest.approx(0.5)
+
+
+def test_server_rejects_negative_duration():
+    sim = Simulator()
+    link = Server(sim)
+
+    def mover(sim):
+        yield from link.transfer(-1.0)
+
+    sim.spawn(mover(sim))
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    got = []
+
+    def getter(sim):
+        item = yield store.get()
+        got.append(item)
+
+    sim.spawn(getter(sim))
+    sim.run()
+    assert got == ["x"]
+    assert len(store) == 0
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(sim):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def putter(sim):
+        yield sim.timeout(3.0)
+        store.put("late")
+
+    sim.spawn(getter(sim))
+    sim.spawn(putter(sim))
+    sim.run()
+    assert got == [(3.0, "late")]
+
+
+def test_store_fifo_ordering_across_getters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(sim, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    sim.spawn(getter(sim, "g1"))
+    sim.spawn(getter(sim, "g2"))
+
+    def putter(sim):
+        yield sim.timeout(1.0)
+        store.put("first")
+        store.put("second")
+
+    sim.spawn(putter(sim))
+    sim.run()
+    assert got == [("g1", "first"), ("g2", "second")]
+
+
+def test_resource_wait_time_statistics():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user(sim):
+        yield from res.use(2.0)
+
+    sim.spawn(user(sim))
+    sim.spawn(user(sim))
+    sim.run()
+    # Second user waited 2.0; first waited 0.
+    assert res.total_wait_time == pytest.approx(2.0)
+    assert res.granted_count == 2

@@ -1,0 +1,86 @@
+"""Tests for tracing/metrics utilities."""
+
+import pytest
+
+from repro.sim import (
+    Interval,
+    PhaseAccumulator,
+    Trace,
+    geometric_mean,
+    summarize_latencies,
+)
+
+
+def test_interval_duration():
+    assert Interval(1.0, 3.5, "cpu", "restructure").duration == 2.5
+
+
+def test_trace_rejects_backwards_interval():
+    trace = Trace()
+    with pytest.raises(ValueError):
+        trace.record(5.0, 4.0, "cpu", "x")
+
+
+def test_trace_totals_and_filters():
+    trace = Trace()
+    trace.record(0.0, 1.0, "cpu", "restructure", request_id=1)
+    trace.record(1.0, 3.0, "accel", "kernel", request_id=1)
+    trace.record(3.0, 4.0, "cpu", "restructure", request_id=2)
+    assert trace.total() == pytest.approx(4.0)
+    assert trace.total(phase="restructure") == pytest.approx(2.0)
+    assert trace.total(actor="accel") == pytest.approx(2.0)
+    assert trace.phases() == {"restructure": 2.0, "kernel": 2.0}
+    assert len(trace.for_request(1)) == 2
+
+
+def test_phase_accumulator_fractions():
+    acc = PhaseAccumulator(["a", "b"])
+    acc.add("a", 3.0)
+    acc.add("b", 1.0)
+    fractions = acc.fractions()
+    assert fractions["a"] == pytest.approx(0.75)
+    assert acc.total == pytest.approx(4.0)
+
+
+def test_phase_accumulator_rejects_negative():
+    with pytest.raises(ValueError):
+        PhaseAccumulator().add("x", -1.0)
+
+
+def test_phase_accumulator_merge():
+    a = PhaseAccumulator(["x"])
+    a.add("x", 1.0)
+    b = PhaseAccumulator(["y"])
+    b.add("y", 2.0)
+    merged = a.merge(b)
+    assert merged.totals == {"x": 1.0, "y": 2.0}
+    # Originals untouched.
+    assert a.totals == {"x": 1.0}
+
+
+def test_empty_fractions():
+    assert PhaseAccumulator(["a"]).fractions() == {}
+
+
+def test_summarize_latencies():
+    summary = summarize_latencies([1.0, 2.0, 3.0, 4.0])
+    assert summary["mean"] == pytest.approx(2.5)
+    assert summary["p50"] == pytest.approx(2.5)
+    assert summary["min"] == 1.0 and summary["max"] == 4.0
+    assert summary["count"] == 4
+    with pytest.raises(ValueError):
+        summarize_latencies([])
+
+
+def test_summarize_single_sample():
+    summary = summarize_latencies([7.0])
+    assert summary["p99"] == 7.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([5.0]) == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])

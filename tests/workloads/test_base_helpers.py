@@ -1,0 +1,53 @@
+"""Tests for workload-building helpers."""
+
+import pytest
+
+from repro.accelerators.base import AcceleratorSpec
+from repro.profiles import WorkProfile
+from repro.workloads.base import (
+    KERNEL_PARALLEL_SPEEDUP,
+    MOTION_CPU_THREADS,
+    kernel_stage_from_profile,
+    motion_stage_from_profiles,
+)
+
+MB = 1024 * 1024
+SPEC = AcceleratorSpec(name="x", domain="d", speedup_vs_cpu=8.0)
+
+
+def make_profile(nbytes=4 * MB, ops=10.0):
+    return WorkProfile("p", bytes_in=nbytes, bytes_out=nbytes,
+                       elements=nbytes // 4, ops_per_element=ops)
+
+
+def test_kernel_stage_derives_times_consistently():
+    stage = kernel_stage_from_profile("k", SPEC, make_profile(),
+                                      output_bytes_target=2 * MB)
+    # Accelerator time = CPU time / per-kernel speedup.
+    assert stage.cpu_time_s / stage.accel_time_s == pytest.approx(8.0)
+    # CPU time = serial / kernel-grade parallel speedup.
+    assert stage.cpu_serial_time_s / stage.cpu_time_s == pytest.approx(
+        KERNEL_PARALLEL_SPEEDUP
+    )
+    assert stage.output_bytes == 2 * MB
+
+
+def test_kernel_stage_volume_scale_scales_times():
+    small = kernel_stage_from_profile("k", SPEC, make_profile(),
+                                      output_bytes_target=MB)
+    big = kernel_stage_from_profile("k", SPEC, make_profile(),
+                                    output_bytes_target=MB,
+                                    volume_scale=4.0)
+    assert big.cpu_time_s == pytest.approx(4 * small.cpu_time_s, rel=0.05)
+
+
+def test_motion_stage_merges_and_preserves_targets():
+    profiles = [make_profile(MB), make_profile(2 * MB)]
+    stage = motion_stage_from_profiles(
+        "m", profiles, input_bytes_target=MB, output_bytes_target=2 * MB
+    )
+    assert stage.input_bytes == MB
+    assert stage.output_bytes == 2 * MB
+    assert stage.cpu_threads == MOTION_CPU_THREADS
+    # Merged profile keeps the full multi-pass traffic.
+    assert stage.profile.total_bytes == 6 * MB
