@@ -15,26 +15,46 @@ measured cycle-level latencies.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field, replace
-from typing import Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from ..cpu import HostCPU
 from ..drx.microarch import DRXDevice
+from ..faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RetryExhausted,
+    retry,
+    with_timeout,
+)
+from ..faults.recovery import shielded
 from ..interconnect import DMACosts, DMAEngine, Fabric, LinkConfig, PCIeGen
 from ..runtime.driver import NotificationModel
-from ..sim import AllOf, PhaseAccumulator, Simulator
+from ..sim import AllOf, PhaseAccumulator, Simulator, Trace, WaitTimeout
 from .chain import AppChain, KernelStage, MotionStage
 from .placement import Mode, SystemConfig, drx_config_for
 
 __all__ = ["RequestRecord", "RunResult", "DMXSystem",
            "PHASE_KERNEL", "PHASE_RESTRUCTURE", "PHASE_MOVEMENT",
-           "PHASE_CONTROL"]
+           "PHASE_CONTROL", "PHASE_RECOVERY"]
 
 PHASE_KERNEL = "kernel"
 PHASE_RESTRUCTURE = "restructuring"
 PHASE_MOVEMENT = "movement"
 PHASE_CONTROL = "control"
 ALL_PHASES = (PHASE_KERNEL, PHASE_RESTRUCTURE, PHASE_MOVEMENT, PHASE_CONTROL)
+
+# Time burned on a DRX path that missed its deadline before the request
+# degraded to CPU restructuring. Deliberately *not* in ALL_PHASES: the
+# phase only materializes in runs with fault injection enabled, keeping
+# fault-free breakdowns bit-identical to the original model.
+PHASE_RECOVERY = "recovery"
+
+#: Exceptions the per-request recovery machinery handles (everything
+#: else is a genuine model bug and propagates in strict mode).
+_RECOVERABLE = (WaitTimeout, InjectedFault, RetryExhausted)
 
 # The accelerator→DRX hop crosses the card-internal multiplexer: the
 # same x8 wire rate but with near-ideal protocol efficiency and
@@ -61,12 +81,24 @@ SCRATCHPAD_FUSION = True
 
 @dataclass
 class RequestRecord:
-    """One completed end-to-end request."""
+    """One completed end-to-end request.
+
+    ``retries`` counts re-issued operations (DMA, kernel, notification)
+    on the request's behalf; ``fell_back`` marks a request whose DRX path
+    blew its deadline budget and degraded to CPU restructuring;
+    ``failed`` marks a request whose recovery was exhausted (its record
+    still exists — a production system answers such requests with an
+    error, it does not hang).
+    """
 
     app: str
     start: float
     end: float
     phases: Dict[str, float]
+    retries: int = 0
+    fell_back: bool = False
+    failed: bool = False
+    request_id: int = -1
 
     @property
     def latency(self) -> float:
@@ -122,11 +154,68 @@ class RunResult:
             raise ValueError("zero elapsed time")
         return count / self.elapsed
 
+    # -- recovery-plane aggregates -------------------------------------------
+
+    def total_retries(self, app: Optional[str] = None) -> int:
+        """Operations re-issued across all matching requests."""
+        return sum(
+            r.retries for r in self.records if app is None or r.app == app
+        )
+
+    def fallback_count(self, app: Optional[str] = None) -> int:
+        """Requests that degraded from the DRX path to CPU restructuring."""
+        return sum(
+            1
+            for r in self.records
+            if r.fell_back and (app is None or r.app == app)
+        )
+
+    def failure_count(self, app: Optional[str] = None) -> int:
+        """Requests whose recovery was exhausted."""
+        return sum(
+            1
+            for r in self.records
+            if r.failed and (app is None or r.app == app)
+        )
+
+    def recovery_summary(self) -> Dict[str, int]:
+        """Run-wide recovery counters for reporting."""
+        return {
+            "requests": len(self.records),
+            "retries": self.total_retries(),
+            "fallbacks": self.fallback_count(),
+            "failures": self.failure_count(),
+        }
+
+
+class _RequestState:
+    """Mutable per-request recovery bookkeeping."""
+
+    __slots__ = ("request_id", "retries", "fell_back", "failed")
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self.retries = 0
+        self.fell_back = False
+        self.failed = False
+
 
 class DMXSystem:
-    """One simulated server instance for a set of concurrent chains."""
+    """One simulated server instance for a set of concurrent chains.
 
-    def __init__(self, chains: List[AppChain], config: SystemConfig):
+    Pass a :class:`~repro.faults.FaultPlan` to run with fault injection
+    and the recovery plane enabled (watchdog timeouts, DMA/kernel/
+    notification retries, DRX-deadline fallback to CPU restructuring).
+    With ``faults=None`` (the default) every code path and timing is
+    identical to the fault-free model.
+    """
+
+    def __init__(
+        self,
+        chains: List[AppChain],
+        config: SystemConfig,
+        faults: Optional[FaultPlan] = None,
+    ):
         if not chains:
             raise ValueError("need at least one application chain")
         for chain in chains:
@@ -137,6 +226,19 @@ class DMXSystem:
         self.chains = chains
         self.config = config
         self.sim = Simulator()
+        self._faults = faults
+        self._request_ids = itertools.count()
+        if faults is not None:
+            self.fault_trace: Optional[Trace] = Trace()
+            self.injector: Optional[FaultInjector] = FaultInjector(
+                self.sim,
+                seed=faults.seed,
+                policies=faults.site_policies(),
+                trace=self.fault_trace,
+            )
+        else:
+            self.fault_trace = None
+            self.injector = None
         # Restructuring on the host scales poorly across cores (the paper
         # observes 130-140 ephemeral MKL threads thrashing the shared cache
         # hierarchy and memory bandwidth): a high per-extra-thread overhead
@@ -146,8 +248,20 @@ class DMXSystem:
         upstream = LinkConfig(gen=config.pcie_gen, lanes=config.upstream_lanes)
         self.fabric = Fabric(self.sim, link_config=link,
                              upstream_config=upstream)
-        self.dma = DMAEngine(self.sim, self.fabric, DMACosts())
-        self.notifier = NotificationModel(self.sim, self.cpu)
+        if self.injector is not None:
+            self.fabric.injector = self.injector
+        self.dma = DMAEngine(
+            self.sim, self.fabric, DMACosts(),
+            injector=self.injector,
+            timeout_s=faults.dma_timeout_s if faults else None,
+            retry_policy=faults.dma_retry if faults else None,
+        )
+        self.notifier = NotificationModel(
+            self.sim, self.cpu,
+            injector=self.injector,
+            timeout_s=faults.notify_timeout_s if faults else None,
+            retry_policy=faults.notify_retry if faults else None,
+        )
         self.accel_devices: Dict[str, "AcceleratorDeviceProxy"] = {}
         self.drx_devices: Dict[str, DRXDevice] = {}
         self._accel_names: Dict[tuple, str] = {}  # (app_idx, stage_idx) -> name
@@ -237,10 +351,176 @@ class DMXSystem:
         phases.add(phase, self.sim.now - start)
         return result
 
-    def _staged_transfer(self, src: str, dst: str, nbytes: int) -> Generator:
+    # -- recovery-plane plumbing ---------------------------------------------
+
+    def _note(
+        self,
+        kind: str,
+        actor: str,
+        site: str = "",
+        request_id: int = -1,
+        detail: str = "",
+    ) -> None:
+        if self.fault_trace is not None:
+            self.fault_trace.note(
+                self.sim.now, actor, kind,
+                site=site, request_id=request_id, detail=detail,
+            )
+
+    def _retry_cb(
+        self, state: Optional[_RequestState], site: str, actor: str
+    ) -> Optional[Callable[[int, BaseException, bool], None]]:
+        """Per-operation failed-attempt observer: per-request retry count
+        plus a trace record. None in fault-free runs (fast path)."""
+        if self._faults is None:
+            return None
+
+        def cb(attempt: int, exc: BaseException, will_retry: bool) -> None:
+            rid = state.request_id if state is not None else -1
+            if will_retry:
+                if state is not None:
+                    state.retries += 1
+                self._note("retry", actor, site=site, request_id=rid,
+                           detail=type(exc).__name__)
+            else:
+                self._note("exhausted", actor, site=site, request_id=rid,
+                           detail=type(exc).__name__)
+
+        return cb
+
+    def _staged_transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        state: Optional[_RequestState] = None,
+    ) -> Generator:
         """A DMA that stages through host memory (src or dst is 'root')."""
-        yield from self.dma.transfer(src, dst, nbytes)
+        yield from self.dma.transfer(
+            src, dst, nbytes,
+            on_retry=self._retry_cb(state, "dma", f"{src}->{dst}"),
+        )
         yield self.sim.timeout(nbytes / HOST_STAGING_BYTES_PER_S)
+
+    def _drx_restructure(
+        self, drx: DRXDevice, fused, state: Optional[_RequestState]
+    ) -> Generator:
+        """One DRX job, guarded at the "drx" injection site when faulted."""
+        op = drx.restructure(fused)
+        if self.injector is None:
+            return op
+        return self.injector.guard(
+            "drx", op, actor=drx.name,
+            request_id=state.request_id if state is not None else -1,
+        )
+
+    def _multi_axl_motion(
+        self,
+        src: str,
+        dst: str,
+        stage: MotionStage,
+        threads: int,
+        phases: PhaseAccumulator,
+        state: Optional[_RequestState],
+    ) -> Generator:
+        """Restructure on the host CPU, staging through host memory —
+        the Multi-Axl baseline path, doubling as the degraded path for
+        requests whose DRX budget ran out."""
+        yield from self._timed(
+            phases, PHASE_MOVEMENT,
+            self._staged_transfer(src, "root", stage.input_bytes, state),
+        )
+        yield from self._timed(
+            phases, PHASE_RESTRUCTURE,
+            self.cpu.restructure(stage.profile, threads=threads),
+        )
+        yield from self._timed(
+            phases, PHASE_MOVEMENT,
+            self._staged_transfer("root", dst, stage.output_bytes, state),
+        )
+
+    def _drx_placement(self, mode: Mode, src: str, app_index: int):
+        """The DRX unit serving ``src`` and its staging point."""
+        if mode == Mode.INTEGRATED:
+            return self.drx_devices["drx.root"], "root"
+        if mode == Mode.STANDALONE:
+            drx = self.drx_devices[self._standalone_drx_of[app_index]]
+            return drx, drx.name
+        if mode == Mode.BUMP_IN_WIRE:
+            drx = self.drx_devices[f"{src}.drx"]
+            return drx, drx.name
+        if mode == Mode.PCIE_INTEGRATED:
+            switch = self._switch_of[src]
+            return self.drx_devices[f"drx.{switch}"], switch
+        raise AssertionError(f"unhandled mode {mode}")  # pragma: no cover
+
+    def _drx_motion(
+        self,
+        mode: Mode,
+        src: str,
+        dst: str,
+        staging: str,
+        drx: DRXDevice,
+        stage: MotionStage,
+        fused,
+        phases: PhaseAccumulator,
+        state: Optional[_RequestState],
+    ) -> Generator:
+        """The DRX leg of one motion stage: ingest, restructure, notify,
+        deliver. Under a :class:`FaultPlan` this runs as a child process
+        racing the DRX deadline budget."""
+        if mode == Mode.PCIE_INTEGRATED:
+            # Switch-integrated DRX processes data *as it streams through
+            # the switch* (line-rate processing, no store-and-forward):
+            # the inbound transfer and the restructuring overlap.
+            ingest_op = self.fabric.transfer(src, staging, stage.input_bytes)
+            work_op = self._drx_restructure(drx, fused, state)
+            if self._faults is not None:
+                # Shield the children: an injected fault must surface
+                # here (for fallback), not trip the engine's strict mode.
+                ingest_op, work_op = shielded(ingest_op), shielded(work_op)
+            ingest = self.sim.spawn(ingest_op)
+            work = self.sim.spawn(work_op)
+            start = self.sim.now
+            yield AllOf(self.sim, [ingest, work])
+            phases.add(PHASE_RESTRUCTURE, self.sim.now - start)
+            if self._faults is not None:
+                for proc in (ingest, work):
+                    ok, value = proc.value
+                    if not ok:
+                        raise value
+        else:
+            in_transfer = (
+                self._staged_transfer(src, staging, stage.input_bytes, state)
+                if staging == "root"
+                else self.dma.transfer(
+                    src, staging, stage.input_bytes,
+                    on_retry=self._retry_cb(state, "dma", f"{src}->{staging}"),
+                )
+            )
+            yield from self._timed(phases, PHASE_MOVEMENT, in_transfer)
+            yield from self._timed(
+                phases, PHASE_RESTRUCTURE,
+                self._drx_restructure(drx, fused, state),
+            )
+        # Restructure-completion notification + P2P DMA to the consumer
+        # (Fig. 10 steps 8-9).
+        yield from self._timed(
+            phases, PHASE_CONTROL,
+            self.notifier.notify(
+                drx.name,
+                on_retry=self._retry_cb(state, "notify", drx.name),
+            ),
+        )
+        out_transfer = (
+            self._staged_transfer(staging, dst, stage.output_bytes, state)
+            if staging == "root"
+            else self.dma.transfer(
+                staging, dst, stage.output_bytes,
+                on_retry=self._retry_cb(state, "dma", f"{staging}->{dst}"),
+            )
+        )
+        yield from self._timed(phases, PHASE_MOVEMENT, out_transfer)
 
     def _motion(
         self,
@@ -248,6 +528,7 @@ class DMXSystem:
         kernel_index: int,
         stage: MotionStage,
         phases: PhaseAccumulator,
+        state: Optional[_RequestState] = None,
     ) -> Generator:
         """The data-motion step between kernel ``kernel_index`` and the
         next one, under the configured placement."""
@@ -266,39 +547,19 @@ class DMXSystem:
 
         # Kernel-completion notification + DMA setup (control plane).
         yield from self._timed(
-            phases, PHASE_CONTROL, self.notifier.notify(src)
+            phases, PHASE_CONTROL,
+            self.notifier.notify(
+                src, on_retry=self._retry_cb(state, "notify", src)
+            ),
         )
 
         if mode == Mode.MULTI_AXL:
-            yield from self._timed(
-                phases, PHASE_MOVEMENT,
-                self._staged_transfer(src, "root", stage.input_bytes),
-            )
-            yield from self._timed(
-                phases, PHASE_RESTRUCTURE,
-                self.cpu.restructure(stage.profile, threads=threads),
-            )
-            yield from self._timed(
-                phases, PHASE_MOVEMENT,
-                self._staged_transfer("root", dst, stage.output_bytes),
+            yield from self._multi_axl_motion(
+                src, dst, stage, threads, phases, state
             )
             return
 
-        if mode == Mode.INTEGRATED:
-            drx = self.drx_devices["drx.root"]
-            staging = "root"
-        elif mode == Mode.STANDALONE:
-            drx = self.drx_devices[self._standalone_drx_of[app_index]]
-            staging = drx.name
-        elif mode == Mode.BUMP_IN_WIRE:
-            drx = self.drx_devices[f"{src}.drx"]
-            staging = drx.name
-        elif mode == Mode.PCIE_INTEGRATED:
-            switch = self._switch_of[src]
-            drx = self.drx_devices[f"drx.{switch}"]
-            staging = switch
-        else:  # pragma: no cover - exhaustive
-            raise AssertionError(f"unhandled mode {mode}")
+        drx, staging = self._drx_placement(mode, src, app_index)
 
         # On DRX, the restructuring-op chain is fused through the on-chip
         # scratchpads (the compiler keeps intermediates on chip), so DRAM
@@ -312,78 +573,120 @@ class DMXSystem:
             )
         else:  # fusion ablation: every intermediate round-trips DRAM
             fused = stage.profile
-        if mode == Mode.PCIE_INTEGRATED:
-            # Switch-integrated DRX processes data *as it streams through
-            # the switch* (line-rate processing, no store-and-forward):
-            # the inbound transfer and the restructuring overlap.
-            ingest = self.sim.spawn(
-                self.fabric.transfer(src, staging, stage.input_bytes)
+
+        if self._faults is None:
+            yield from self._drx_motion(
+                mode, src, dst, staging, drx, stage, fused, phases, state
             )
-            work = self.sim.spawn(drx.restructure(fused))
-            start = self.sim.now
-            yield AllOf(self.sim, [ingest, work])
-            phases.add(PHASE_RESTRUCTURE, self.sim.now - start)
+            return
+
+        # Graceful degradation: the DRX leg runs under the request's
+        # deadline budget; past it (or once retries are exhausted) the
+        # stage falls back to CPU restructuring via host memory.
+        local = PhaseAccumulator(ALL_PHASES)
+        span_start = self.sim.now
+        try:
+            yield from with_timeout(
+                self.sim,
+                self._drx_motion(
+                    mode, src, dst, staging, drx, stage, fused, local, state
+                ),
+                self._faults.drx_deadline_s,
+                what=f"drx:{drx.name}",
+            )
+        except _RECOVERABLE as exc:
+            if state is not None:
+                state.fell_back = True
+            self._note(
+                "fallback", drx.name, site="drx",
+                request_id=state.request_id if state is not None else -1,
+                detail=type(exc).__name__,
+            )
+            phases.add(PHASE_RECOVERY, self.sim.now - span_start)
+            yield from self._multi_axl_motion(
+                src, dst, stage, threads, phases, state
+            )
         else:
-            in_transfer = (
-                self._staged_transfer(src, staging, stage.input_bytes)
-                if staging == "root"
-                else self.dma.transfer(src, staging, stage.input_bytes)
-            )
-            yield from self._timed(phases, PHASE_MOVEMENT, in_transfer)
-            yield from self._timed(
-                phases, PHASE_RESTRUCTURE, drx.restructure(fused)
-            )
-        # Restructure-completion notification + P2P DMA to the consumer
-        # (Fig. 10 steps 8-9).
-        yield from self._timed(
-            phases, PHASE_CONTROL, self.notifier.notify(drx.name)
+            for phase, duration in local.totals.items():
+                if duration:
+                    phases.add(phase, duration)
+
+    def _recovering_kernel(
+        self, device, state: _RequestState
+    ) -> Generator:
+        """One accelerator invocation under the kernel watchdog: a hung
+        or faulted kernel is interrupted (freeing the card's queue slot)
+        and re-issued with bounded backoff."""
+        plan = self._faults
+        yield from retry(
+            self.sim,
+            lambda: self.injector.guard(
+                "kernel", device.execute(),
+                actor=device.name, request_id=state.request_id,
+            ),
+            plan.kernel_retry,
+            timeout_s=plan.kernel_timeout_s,
+            on_attempt_failed=self._retry_cb(state, "kernel", device.name),
+            what=f"kernel:{device.name}",
         )
-        out_transfer = (
-            self._staged_transfer(staging, dst, stage.output_bytes)
-            if staging == "root"
-            else self.dma.transfer(staging, dst, stage.output_bytes)
-        )
-        yield from self._timed(phases, PHASE_MOVEMENT, out_transfer)
 
     def _request(self, app_index: int, chain: AppChain,
                  records: List[RequestRecord]) -> Generator:
         phases = PhaseAccumulator(ALL_PHASES)
+        state = _RequestState(next(self._request_ids))
         start = self.sim.now
         kernel_index = 0
-        for stage in chain.stages:
-            if isinstance(stage, KernelStage):
-                if self.config.mode == Mode.ALL_CPU:
-                    # Work-conserving scheduling: the MKL-style runtime
-                    # shrinks per-job fan-out as concurrent applications
-                    # saturate the socket, so core-seconds per job fall
-                    # back toward the serial cost under load.
-                    threads = max(
-                        1,
-                        min(stage.cpu_threads,
-                            self.cpu.spec.cores // len(self.chains)),
-                    )
-                    yield from self._timed(
-                        phases, PHASE_KERNEL,
-                        self.cpu.run_kernel(
-                            stage.cpu_latency(threads), threads=threads
-                        ),
-                    )
+        try:
+            for stage in chain.stages:
+                if isinstance(stage, KernelStage):
+                    if self.config.mode == Mode.ALL_CPU:
+                        # Work-conserving scheduling: the MKL-style runtime
+                        # shrinks per-job fan-out as concurrent applications
+                        # saturate the socket, so core-seconds per job fall
+                        # back toward the serial cost under load.
+                        threads = max(
+                            1,
+                            min(stage.cpu_threads,
+                                self.cpu.spec.cores // len(self.chains)),
+                        )
+                        yield from self._timed(
+                            phases, PHASE_KERNEL,
+                            self.cpu.run_kernel(
+                                stage.cpu_latency(threads), threads=threads
+                            ),
+                        )
+                    else:
+                        device = self.accel_devices[
+                            self.accel_name(app_index, kernel_index)
+                        ]
+                        if self._faults is None:
+                            yield from self._timed(
+                                phases, PHASE_KERNEL, device.execute()
+                            )
+                        else:
+                            yield from self._timed(
+                                phases, PHASE_KERNEL,
+                                self._recovering_kernel(device, state),
+                            )
+                    kernel_index += 1
                 else:
-                    device = self.accel_devices[
-                        self.accel_name(app_index, kernel_index)
-                    ]
-                    yield from self._timed(
-                        phases, PHASE_KERNEL, device.execute()
+                    yield from self._motion(
+                        app_index, kernel_index - 1, stage, phases, state
                     )
-                kernel_index += 1
-            else:
-                yield from self._motion(
-                    app_index, kernel_index - 1, stage, phases
-                )
+        except _RECOVERABLE as exc:
+            # Recovery exhausted: answer the request with an error
+            # instead of wedging the chain (or the whole simulation).
+            state.failed = True
+            self._note(
+                "giveup", chain.name, site="request",
+                request_id=state.request_id, detail=type(exc).__name__,
+            )
         records.append(
             RequestRecord(
                 app=chain.name, start=start, end=self.sim.now,
                 phases=dict(phases.totals),
+                retries=state.retries, fell_back=state.fell_back,
+                failed=state.failed, request_id=state.request_id,
             )
         )
 

@@ -1,0 +1,30 @@
+"""Fault injection & recovery for the DMX discrete-event model.
+
+The paper's control-plane story assumes DMAs, DRX units, and
+accelerators run autonomously while the CPU stays out of the data path —
+which only holds in production if hangs, stragglers, and failed
+transfers are recovered without the CPU babysitting every operation.
+This package supplies that layer:
+
+* :class:`FaultInjector` — seeded, per-site delay/hang/fail injection;
+* :func:`with_timeout` / :func:`retry` — deadline races over ``AnyOf``
+  with process interruption, and bounded exponential backoff;
+* :class:`FaultPlan` — the system-level configuration
+  :class:`~repro.core.system.DMXSystem` consumes.
+"""
+
+from .injector import FaultInjector, FaultKind, FaultPolicy, InjectedFault
+from .plan import FaultPlan
+from .recovery import RetryExhausted, RetryPolicy, retry, with_timeout
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPolicy",
+    "InjectedFault",
+    "FaultPlan",
+    "RetryExhausted",
+    "RetryPolicy",
+    "retry",
+    "with_timeout",
+]

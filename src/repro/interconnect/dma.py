@@ -18,8 +18,10 @@ only the fixed per-transfer software path lengths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
+from ..faults.injector import FaultInjector
+from ..faults.recovery import RetryPolicy, retry
 from ..sim import Simulator
 from .topology import Fabric
 
@@ -54,6 +56,15 @@ class DMAEngine:
         Software overhead parameters.
     name:
         Label for tracing.
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`; each attempt is
+        guarded at the "dma" site (delay/hang/fail).
+    timeout_s, retry_policy:
+        When either is set, every transfer runs under a watchdog deadline
+        with bounded-exponential-backoff re-attempts: a hung or failed
+        DMA is interrupted (releasing its fabric links) and re-issued.
+        Left at None, the transfer path is byte-identical to the
+        fault-free engine.
     """
 
     def __init__(
@@ -62,13 +73,50 @@ class DMAEngine:
         fabric: Fabric,
         costs: Optional[DMACosts] = None,
         name: str = "dma",
+        injector: Optional[FaultInjector] = None,
+        timeout_s: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.sim = sim
         self.fabric = fabric
         self.costs = costs or DMACosts()
         self.name = name
+        self.injector = injector
+        self.timeout_s = timeout_s
+        self.retry_policy = retry_policy
         self.transfers_completed = 0
         self.bytes_transferred = 0
+        self.retries = 0
+        self.failed_transfers = 0
+
+    @property
+    def _recovering(self) -> bool:
+        return (
+            self.injector is not None
+            or self.timeout_s is not None
+            or self.retry_policy is not None
+        )
+
+    def _attempt(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        charge_setup: bool,
+        charge_completion: bool,
+    ) -> Generator:
+        """One DMA issue: driver setup, fabric crossing, completion IRQ."""
+        if charge_setup:
+            yield self.sim.timeout(self.costs.setup_s)
+        op = self.fabric.transfer(src, dst, nbytes)
+        if self.injector is not None:
+            yield from self.injector.guard(
+                "dma", op, actor=self.name, request_id=-1
+            )
+        else:
+            yield from op
+        if charge_completion:
+            yield self.sim.timeout(self.costs.completion_interrupt_s)
 
     def transfer(
         self,
@@ -77,22 +125,45 @@ class DMAEngine:
         nbytes: int,
         charge_setup: bool = True,
         charge_completion: bool = True,
+        on_retry: Optional[Callable[[int, BaseException, bool], None]] = None,
     ) -> Generator:
         """Process: one DMA from ``src`` to ``dst``.
 
         ``charge_setup`` / ``charge_completion`` let callers batch multiple
         back-to-back DMAs under a single driver invocation (used by the
         one-to-many collectives, where descriptors are chained).
-        Returns the elapsed time.
+        ``on_retry`` (recovery mode only) observes each failed attempt.
+        Returns the elapsed time; raises
+        :class:`~repro.faults.RetryExhausted` when recovery gives up.
         """
         if nbytes < 0:
             raise ValueError(f"negative DMA size: {nbytes}")
         start = self.sim.now
-        if charge_setup:
-            yield self.sim.timeout(self.costs.setup_s)
-        yield from self.fabric.transfer(src, dst, nbytes)
-        if charge_completion:
-            yield self.sim.timeout(self.costs.completion_interrupt_s)
+        if not self._recovering:
+            yield from self._attempt(
+                src, dst, nbytes, charge_setup, charge_completion
+            )
+        else:
+            def failed(attempt: int, exc: BaseException, will_retry: bool):
+                if will_retry:
+                    self.retries += 1
+                if on_retry is not None:
+                    on_retry(attempt, exc, will_retry)
+
+            try:
+                yield from retry(
+                    self.sim,
+                    lambda: self._attempt(
+                        src, dst, nbytes, charge_setup, charge_completion
+                    ),
+                    self.retry_policy or RetryPolicy(),
+                    timeout_s=self.timeout_s,
+                    on_attempt_failed=failed,
+                    what=f"{self.name}:{src}->{dst}",
+                )
+            except Exception:
+                self.failed_transfers += 1
+                raise
         self.transfers_completed += 1
         self.bytes_transferred += nbytes
         return self.sim.now - start

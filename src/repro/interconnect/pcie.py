@@ -117,6 +117,14 @@ class PCIeLink:
         """Release occupancy taken with :meth:`acquire`."""
         self._server._resource.release(request)
 
+    def relinquish(self, request) -> None:
+        """Release a granted occupancy or withdraw a still-queued one.
+
+        Cleanup path for interrupted transfers, which cannot know whether
+        their acquisition was granted before the interrupt landed.
+        """
+        self._server._resource.relinquish(request)
+
     def account(self, nbytes: int, duration: float) -> None:
         """Record traffic moved under an externally-managed occupancy."""
         self.bytes_moved += nbytes

@@ -83,6 +83,9 @@ class Fabric:
         self.root = Node("root", "root")
         self.nodes: Dict[str, Node] = {"root": self.root}
         self.links: List[PCIeLink] = []
+        # Optional fault hook: when set (a repro.faults.FaultInjector),
+        # every transfer consults the "fabric" site before acquiring links.
+        self.injector = None
 
     # -- construction --------------------------------------------------------
 
@@ -218,8 +221,16 @@ class Fabric:
         (links are acquired in a canonical global order, so concurrent
         transfers over overlapping paths queue without deadlock). Returns
         the total elapsed time.
+
+        Interruption-safe: a watchdog interrupting the transfer mid-flight
+        releases every held link and withdraws the in-flight acquisition,
+        so a timed-out transfer never wedges the fabric.
         """
         start = self.sim.now
+        if self.injector is not None:
+            yield from self.injector.interpose(
+                "fabric", actor=f"{src}->{dst}"
+            )
         links, switch_hops = self.path(src, dst)
         if not links:
             return 0.0
@@ -230,11 +241,21 @@ class Fabric:
             list(unique.values()), switch_hops, nbytes
         )
         held = []
-        for link in sorted(unique.values(), key=lambda l: l.name):
-            request = link.acquire()
-            yield request
-            held.append((link, request))
-        yield self.sim.timeout(duration)
+        pending = None
+        try:
+            for link in sorted(unique.values(), key=lambda l: l.name):
+                request = link.acquire()
+                pending = (link, request)
+                yield request
+                pending = None
+                held.append((link, request))
+            yield self.sim.timeout(duration)
+        except BaseException:
+            if pending is not None:
+                pending[0].relinquish(pending[1])
+            for link, request in held:
+                link.release(request)
+            raise
         for link, request in held:
             link.release(request)
             link.account(nbytes, duration)

@@ -21,10 +21,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Generator
+from typing import Callable, Deque, Dict, Generator, Optional
 
 from ..cpu import HostCPU
-from ..sim import Simulator
+from ..faults.injector import FaultInjector
+from ..faults.recovery import RetryPolicy, retry
+from ..sim import Simulator, WaitTimeout
 
 __all__ = ["NotificationCosts", "NotificationModel", "DriverStats"]
 
@@ -53,6 +55,10 @@ class DriverStats:
     interrupts: int = 0
     coalesced: int = 0
     polled: int = 0
+    # Recovery plane: notifications whose delivery missed the watchdog
+    # deadline, and the re-deliveries the driver issued for them.
+    timeouts: int = 0
+    retries: int = 0
 
     @property
     def total(self) -> int:
@@ -69,11 +75,21 @@ class NotificationModel:
         sim: Simulator,
         cpu: HostCPU,
         costs: NotificationCosts = NotificationCosts(),
+        injector: Optional[FaultInjector] = None,
+        timeout_s: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.sim = sim
         self.cpu = cpu
         self.costs = costs
         self.stats = DriverStats()
+        # Recovery plane: when a timeout (or injector) is configured, each
+        # delivery runs under a watchdog — a lost/hung notification is
+        # re-delivered with bounded backoff, like a driver re-polling a
+        # completion ring whose interrupt never arrived.
+        self.injector = injector
+        self.timeout_s = timeout_s
+        self.retry_policy = retry_policy
         self._arrivals: Dict[str, Deque[float]] = {}
         self._polling: Dict[str, bool] = {}
         self._last_isr: Dict[str, float] = {}
@@ -104,10 +120,30 @@ class NotificationModel:
         elif rate > threshold:
             self._polling[device] = True
 
-    def notify(self, device: str) -> Generator:
+    def _charge(self, cost: float) -> Generator:
+        """Occupy the handler path for ``cost`` and bill the host CPU."""
+        yield self.sim.timeout(cost)
+        self.cpu.busy_seconds += cost
+
+    def _deliver(self, device: str, cost: float) -> Generator:
+        """One delivery attempt: charge the handler cost on the host."""
+        op = self._charge(cost)
+        if self.injector is not None:
+            yield from self.injector.guard("notify", op, actor=device)
+        else:
+            yield from op
+
+    def notify(
+        self,
+        device: str,
+        on_retry: Optional[Callable[[int, BaseException, bool], None]] = None,
+    ) -> Generator:
         """Process: deliver one completion notification to the host.
 
-        Returns the CPU cost charged.
+        Returns the CPU cost charged per delivery. With a recovery
+        configuration, a lost or hung delivery is retried under the
+        watchdog (``on_retry`` observes each failed attempt); exhaustion
+        raises :class:`~repro.faults.RetryExhausted`.
         """
         now = self.sim.now
         history = self._arrivals.setdefault(
@@ -131,6 +167,25 @@ class NotificationModel:
         # ISRs preempt whatever the cores are doing, so the notification
         # costs wall time and CPU energy but does not queue behind bulk
         # restructuring chunks.
-        yield self.sim.timeout(cost)
-        self.cpu.busy_seconds += cost
+        if self.injector is None and self.timeout_s is None:
+            yield self.sim.timeout(cost)
+            self.cpu.busy_seconds += cost
+            return cost
+
+        def failed(attempt: int, exc: BaseException, will_retry: bool):
+            if isinstance(exc, WaitTimeout):
+                self.stats.timeouts += 1
+            if will_retry:
+                self.stats.retries += 1
+            if on_retry is not None:
+                on_retry(attempt, exc, will_retry)
+
+        yield from retry(
+            self.sim,
+            lambda: self._deliver(device, cost),
+            self.retry_policy or RetryPolicy(),
+            timeout_s=self.timeout_s,
+            on_attempt_failed=failed,
+            what=f"notify:{device}",
+        )
         return cost

@@ -9,9 +9,11 @@ from .engine import (
     SimulationError,
     Simulator,
     Timeout,
+    WaitTimeout,
 )
 from .resources import PriorityResource, Request, Resource, Server, Store
 from .tracing import (
+    FaultRecord,
     Interval,
     PhaseAccumulator,
     Trace,
@@ -28,6 +30,8 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "WaitTimeout",
+    "FaultRecord",
     "PriorityResource",
     "Request",
     "Resource",

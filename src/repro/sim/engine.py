@@ -24,6 +24,7 @@ Example
 
 from __future__ import annotations
 
+import copy
 import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
@@ -37,11 +38,43 @@ __all__ = [
     "Interrupt",
     "Simulator",
     "SimulationError",
+    "WaitTimeout",
 ]
 
 
 class SimulationError(RuntimeError):
     """Raised for illegal engine operations (double-trigger, bad yields)."""
+
+
+class WaitTimeout(Exception):
+    """A timeout-raced wait exceeded its deadline.
+
+    Raised by the timeout-race helpers (:meth:`~repro.sim.resources.Store.get_or_timeout`,
+    :func:`repro.faults.with_timeout`) so callers can distinguish a missed
+    deadline from a failed operation.
+    """
+
+
+def _waiter_copy(exc: BaseException) -> BaseException:
+    """A per-waiter copy of ``exc`` with a fresh traceback.
+
+    A failed event may have many waiters; re-raising the *same* exception
+    instance into each one makes tracebacks accrete frames across waiters
+    and lets one waiter's handling mutate what the others observe. Each
+    waiter gets a shallow copy instead (falling back to the shared
+    instance only for exceptions that cannot be reconstructed).
+    """
+    try:
+        clone = copy.copy(exc)
+    except Exception:
+        return exc
+    if type(clone) is not type(exc):
+        return exc
+    clone.__cause__ = exc.__cause__
+    clone.__context__ = exc.__context__
+    clone.__suppress_context__ = exc.__suppress_context__
+    clone.__traceback__ = None
+    return clone
 
 
 class Interrupt(Exception):
@@ -95,7 +128,7 @@ class Event:
         if not self._triggered:
             raise SimulationError("event value read before trigger")
         if self._exception is not None:
-            raise self._exception
+            raise _waiter_copy(self._exception)
         return self._value
 
     def succeed(self, value: Any = None) -> "Event":
@@ -159,10 +192,13 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        # Bootstrap: resume the process at the current time.
+        # Bootstrap: resume the process at the current time. Tracked as
+        # ``_waiting_on`` so an interrupt delivered before the first resume
+        # detaches it cleanly instead of double-resuming the process.
         bootstrap = Event(sim)
         bootstrap._triggered = True
         bootstrap.add_callback(self._resume)
+        self._waiting_on = bootstrap
         sim._queue_event(bootstrap)
 
     @property
@@ -186,11 +222,13 @@ class Process(Event):
         self.sim._queue_event(wakeup)
 
     def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return  # stale wakeup for a process that already finished
         self._waiting_on = None
         self.sim._active_process = self
         try:
             if event._exception is not None:
-                target = self._generator.throw(event._exception)
+                target = self._generator.throw(_waiter_copy(event._exception))
             else:
                 target = self._generator.send(event._value)
         except StopIteration as stop:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator, List, Optional
 
-from .engine import Event, SimulationError, Simulator
+from .engine import AnyOf, Event, SimulationError, Simulator, Timeout, WaitTimeout
 
 __all__ = ["Request", "Resource", "Server", "Store", "PriorityResource"]
 
@@ -58,9 +58,13 @@ class Resource:
         self.name = name
         self._users: List[Request] = []
         self._queue: Deque[Request] = deque()
-        # Statistics for utilization reporting.
+        # Statistics for utilization reporting. ``total_wait_time`` covers
+        # granted requests only; canceled requests are tracked separately
+        # so cancellations don't skew the wait-per-grant figures.
         self.total_wait_time = 0.0
         self.granted_count = 0
+        self.canceled_count = 0
+        self.canceled_wait_time = 0.0
         self._busy_time = 0.0
         self._last_change = 0.0
 
@@ -108,7 +112,25 @@ class Resource:
         try:
             self._queue.remove(request)
         except ValueError:
-            raise SimulationError("cancel of a request that is not queued")
+            raise SimulationError(
+                f"cancel of a request that is not queued on "
+                f"{self.name or 'resource'}"
+            ) from None
+        self.canceled_count += 1
+        if getattr(request, "_requested_at", None) is not None:
+            self.canceled_wait_time += self.sim.now - request._requested_at
+            request._requested_at = None
+
+    def relinquish(self, request: Request) -> None:
+        """Release a granted request, or cancel a still-queued one.
+
+        The cleanup primitive for interrupted processes, which cannot know
+        whether their request was granted before the interrupt landed.
+        """
+        if request in self._users:
+            self.release(request)
+        else:
+            self.cancel(request)
 
     def _grant(self, request: Request) -> None:
         self._account()
@@ -131,13 +153,19 @@ class Resource:
         return req
 
     def use(self, duration: float) -> Generator:
-        """Process helper: hold one slot for ``duration`` time units."""
+        """Process helper: hold one slot for ``duration`` time units.
+
+        Interruption-safe: a process interrupted while still *queued*
+        withdraws its request (it never held the slot, so releasing
+        would corrupt the user list); once granted, the slot is always
+        released.
+        """
         req = self.request()
-        yield req
         try:
+            yield req
             yield self.sim.timeout(duration)
         finally:
-            self.release(req)
+            self.relinquish(req)
 
 
 class PriorityResource(Resource):
@@ -190,17 +218,21 @@ class Server:
         return self.busy_time() / (self.sim.now * self._resource.capacity)
 
     def transfer(self, duration: float) -> Generator:
-        """Occupy one slot for ``duration``; yields until complete."""
+        """Occupy one slot for ``duration``; yields until complete.
+
+        Interruption-safe: an interrupt delivered while the job is still
+        queued withdraws the request instead of releasing an unheld slot.
+        """
         if duration < 0:
             raise ValueError(f"negative service time: {duration}")
         req = self._resource.request()
-        yield req
         try:
+            yield req
             yield self.sim.timeout(duration)
             self.total_service_time += duration
             self.jobs_served += 1
         finally:
-            self._resource.release(req)
+            self._resource.relinquish(req)
 
 
 class Store:
@@ -212,6 +244,7 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self.put_count = 0
+        self.canceled_getters = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -232,6 +265,36 @@ class Store:
         else:
             self._getters.append(event)
         return event
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a waiting getter (e.g. the loser of an ``AnyOf`` race).
+
+        An abandoned getter left in the queue silently swallows the next
+        :meth:`put`, starving whichever consumer actually needed the item —
+        every timeout race over :meth:`get` must cancel the losing event.
+        Returns True when the getter was still waiting.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        self.canceled_getters += 1
+        return True
+
+    def get_or_timeout(self, timeout_s: float) -> Generator:
+        """Process helper: next item, or :class:`WaitTimeout` after ``timeout_s``.
+
+        The losing getter is canceled on timeout so it cannot swallow an
+        item a later consumer needed.
+        """
+        get = self.get()
+        yield AnyOf(self.sim, [get, Timeout(self.sim, timeout_s)])
+        if get.triggered:
+            return get.value
+        self.cancel(get)
+        raise WaitTimeout(
+            f"get on {self.name or 'store'} exceeded {timeout_s} s"
+        )
 
     def peek_all(self) -> List[Any]:
         """Snapshot of queued items (does not consume)."""

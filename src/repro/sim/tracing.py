@@ -13,7 +13,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Interval", "Trace", "PhaseAccumulator", "summarize_latencies"]
+__all__ = [
+    "Interval",
+    "FaultRecord",
+    "Trace",
+    "PhaseAccumulator",
+    "summarize_latencies",
+]
 
 
 @dataclass(frozen=True)
@@ -31,11 +37,36 @@ class Interval:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault-related occurrence on the recovery plane.
+
+    ``kind`` is an open vocabulary; the fault layer emits
+    ``inject:fail`` / ``inject:hang`` / ``inject:delay`` for injected
+    faults, ``timeout`` for missed deadlines, ``retry`` for re-attempts,
+    ``fallback`` for DRX→CPU degradations, and ``giveup`` when recovery
+    is exhausted.
+    """
+
+    time: float
+    actor: str
+    kind: str
+    site: str = ""
+    request_id: int = -1
+    detail: str = ""
+
+
 class Trace:
-    """Append-only list of :class:`Interval` with simple queries."""
+    """Append-only list of :class:`Interval` with simple queries.
+
+    Besides timing intervals, a trace carries a parallel stream of
+    :class:`FaultRecord` point events so injected faults, retries, and
+    fallbacks show up alongside the spans they perturbed.
+    """
 
     def __init__(self) -> None:
         self.intervals: List[Interval] = []
+        self.events: List[FaultRecord] = []
 
     def record(
         self,
@@ -67,6 +98,44 @@ class Trace:
 
     def for_request(self, request_id: int) -> List[Interval]:
         return [iv for iv in self.intervals if iv.request_id == request_id]
+
+    # -- fault/recovery event stream ----------------------------------------
+
+    def note(
+        self,
+        time: float,
+        actor: str,
+        kind: str,
+        site: str = "",
+        request_id: int = -1,
+        detail: str = "",
+    ) -> None:
+        """Record one fault-plane point event."""
+        self.events.append(
+            FaultRecord(time, actor, kind, site, request_id, detail)
+        )
+
+    def faults(
+        self,
+        kind: Optional[str] = None,
+        site: Optional[str] = None,
+        request_id: Optional[int] = None,
+    ) -> List[FaultRecord]:
+        """Fault events matching the filters (all by default)."""
+        return [
+            ev
+            for ev in self.events
+            if (kind is None or ev.kind == kind)
+            and (site is None or ev.site == site)
+            and (request_id is None or ev.request_id == request_id)
+        ]
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Number of fault events keyed by kind."""
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
 
 
 class PhaseAccumulator:

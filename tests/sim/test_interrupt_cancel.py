@@ -1,0 +1,301 @@
+"""Interrupt/cancel semantics: the engine paths fault recovery leans on.
+
+Covers the bugs the fault-injection layer exposed: releasing a request
+the process never held, Store getters leaking across timeout races,
+cancel() accounting, and shared exception instances mutating across
+waiters.
+"""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Resource,
+    Server,
+    SimulationError,
+    Simulator,
+    Store,
+    WaitTimeout,
+)
+
+
+# -- Resource.use / Server.transfer under interruption -----------------------
+
+
+def test_interrupting_queued_user_withdraws_instead_of_crashing():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    done = []
+
+    def holder(sim):
+        yield from res.use(10.0)
+        done.append(("holder", sim.now))
+
+    def queued(sim):
+        try:
+            yield from res.use(1.0)
+        except Interrupt:
+            done.append(("interrupted", sim.now))
+
+    sim.spawn(holder(sim))
+    victim = sim.spawn(queued(sim))
+    sim.schedule(2.0, lambda: victim.interrupt("give up"))
+    sim.run()
+    assert ("interrupted", 2.0) in done
+    assert ("holder", 10.0) in done
+    assert res.in_use == 0
+    assert res.queue_length == 0
+    assert res.canceled_count == 1
+
+
+def test_interrupting_queued_user_does_not_starve_later_waiters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    grants = []
+
+    def user(sim, tag, hold):
+        yield from res.use(hold)
+        grants.append((tag, sim.now))
+
+    sim.spawn(user(sim, "a", 3.0))
+    victim = sim.spawn(user(sim, "b", 3.0))
+    sim.spawn(user(sim, "c", 3.0))
+    sim.schedule(1.0, lambda: victim.interrupt())
+    sim.run()
+    # b vanished from the queue; c is granted right when a releases.
+    assert grants == [("a", 3.0), ("c", 6.0)]
+
+
+def test_interrupting_granted_user_releases_slot():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    done = []
+
+    def holder(sim):
+        try:
+            yield from res.use(10.0)
+        except Interrupt:
+            done.append(("interrupted", sim.now))
+
+    def waiter(sim):
+        yield from res.use(1.0)
+        done.append(("waiter", sim.now))
+
+    victim = sim.spawn(holder(sim))
+    sim.spawn(waiter(sim))
+    sim.schedule(2.0, lambda: victim.interrupt())
+    sim.run()
+    assert done == [("interrupted", 2.0), ("waiter", 3.0)]
+    assert res.in_use == 0
+
+
+def test_server_transfer_interrupted_while_queued():
+    sim = Simulator()
+    server = Server(sim, capacity=1)
+    done = []
+
+    def job(sim, tag, duration):
+        try:
+            yield from server.transfer(duration)
+            done.append((tag, sim.now))
+        except Interrupt:
+            done.append((f"{tag}-interrupted", sim.now))
+
+    sim.spawn(job(sim, "a", 5.0))
+    victim = sim.spawn(job(sim, "b", 5.0))
+    sim.spawn(job(sim, "c", 5.0))
+    sim.schedule(1.0, lambda: victim.interrupt())
+    sim.run()
+    assert done == [("b-interrupted", 1.0), ("a", 5.0), ("c", 10.0)]
+    assert server.in_use == 0 and server.queue_length == 0
+    # Only the two completed jobs count as served.
+    assert server.jobs_served == 2
+
+
+def test_interrupt_before_first_resume():
+    sim = Simulator()
+    log = []
+
+    def proc(sim):
+        log.append("started")
+        yield sim.timeout(1.0)
+
+    victim = sim.spawn(proc(sim))
+    victim.interrupt("too soon")
+    sim.run()
+    assert log == []  # never started
+    assert victim.triggered and not victim.ok
+
+
+# -- Resource.cancel accounting ----------------------------------------------
+
+
+def test_cancel_of_ungranted_request_updates_cancel_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    assert held.triggered
+    waiting = res.request()
+
+    def canceler(sim):
+        yield sim.timeout(4.0)
+        res.cancel(waiting)
+
+    sim.spawn(canceler(sim))
+    sim.run()
+    assert res.canceled_count == 1
+    assert res.canceled_wait_time == pytest.approx(4.0)
+    # Granted-request wait statistics are untouched by the cancellation.
+    assert res.total_wait_time == 0.0
+    assert res.granted_count == 1
+    assert waiting._requested_at is None
+
+
+def test_cancel_of_non_queued_request_raises_clean_error():
+    sim = Simulator()
+    res = Resource(sim, capacity=1, name="cores")
+    granted = res.request()
+    with pytest.raises(SimulationError, match="cores") as excinfo:
+        res.cancel(granted)
+    # `raise ... from None`: the internal ValueError must not leak out.
+    assert excinfo.value.__cause__ is None
+    assert excinfo.value.__suppress_context__
+
+
+def test_relinquish_covers_both_granted_and_queued():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    granted = res.request()
+    queued = res.request()
+    res.relinquish(queued)
+    assert res.canceled_count == 1
+    res.relinquish(granted)
+    assert res.in_use == 0
+
+
+# -- Store.get cancellation ---------------------------------------------------
+
+
+def test_abandoned_getter_would_swallow_item_without_cancel():
+    sim = Simulator()
+    store = Store(sim)
+    abandoned = store.get()
+    assert store.cancel(abandoned) is True
+    store.put("x")
+    # The canceled getter no longer steals the item.
+    assert len(store) == 1
+    assert store.cancel(abandoned) is False
+    assert store.canceled_getters == 1
+
+
+def test_get_or_timeout_returns_item_in_time():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim):
+        yield sim.timeout(1.0)
+        store.put("payload")
+
+    def consumer(sim):
+        item = yield from store.get_or_timeout(5.0)
+        got.append((item, sim.now))
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert got == [("payload", 1.0)]
+
+
+def test_get_or_timeout_expires_and_item_goes_to_live_consumer():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def impatient(sim):
+        try:
+            yield from store.get_or_timeout(1.0)
+        except WaitTimeout:
+            got.append(("timeout", sim.now))
+
+    def patient(sim):
+        item = yield from store.get_or_timeout(10.0)
+        got.append((item, sim.now))
+
+    def producer(sim):
+        yield sim.timeout(2.0)
+        store.put("late-item")
+
+    sim.spawn(impatient(sim))
+    sim.spawn(patient(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    # Without Store.cancel the timed-out getter would swallow the item
+    # and `patient` would starve.
+    assert got == [("timeout", 1.0), ("late-item", 2.0)]
+
+
+# -- per-waiter exception isolation ------------------------------------------
+
+
+def test_each_waiter_gets_its_own_exception_instance():
+    sim = Simulator(strict=False)
+    shared = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield shared
+        except ValueError as exc:
+            caught.append(exc)
+
+    sim.spawn(waiter(sim))
+    sim.spawn(waiter(sim))
+    original = ValueError("boom")
+    sim.schedule(1.0, lambda: shared.fail(original))
+    sim.run()
+    assert len(caught) == 2
+    assert caught[0] is not caught[1]
+    assert caught[0] is not original
+    assert str(caught[0]) == str(caught[1]) == "boom"
+    # The stored instance is never mutated by the waiters' tracebacks.
+    assert original.__traceback__ is None
+
+
+def test_condition_failure_does_not_accrete_frames_on_shared_instance():
+    sim = Simulator(strict=False)
+    bad = sim.event()
+    caught = []
+
+    def composite_waiter(sim, make):
+        try:
+            yield make()
+        except ValueError as exc:
+            caught.append(exc)
+
+    sim.spawn(composite_waiter(sim, lambda: AllOf(sim, [bad, sim.timeout(5.0)])))
+    sim.spawn(composite_waiter(sim, lambda: AnyOf(sim, [bad])))
+    original = ValueError("shared")
+    sim.schedule(1.0, lambda: bad.fail(original))
+    sim.run()
+    assert len(caught) == 2
+    assert caught[0] is not caught[1]
+    assert original.__traceback__ is None
+
+
+def test_interrupt_cause_survives_per_waiter_copy():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt as exc:
+            seen.append(exc.cause)
+
+    victim = sim.spawn(proc(sim))
+    sim.schedule(1.0, lambda: victim.interrupt({"reason": "deadline"}))
+    sim.run()
+    assert seen == [{"reason": "deadline"}]
