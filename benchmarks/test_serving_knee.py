@@ -1,0 +1,118 @@
+"""Serving knee curves: p99 latency vs. offered load, per placement.
+
+The serving-side acceptance scenario for ``repro.serve``: sweep one
+benchmark's chains across a grid of offered loads under Poisson arrivals
+for both the CPU-restructuring baseline (Multi-Axl) and DMX
+(Bump-in-the-Wire). Three properties must hold:
+
+* each mode's p99 curve is monotone non-decreasing in offered load
+  (queueing only ever hurts the tail);
+* DMX sustains strictly higher offered load than the CPU baseline
+  before its first SLO violation (the knee shifts right);
+* the sweep is deterministic: equal seeds serialize to byte-identical
+  ``SweepResult`` JSON.
+
+The load grid and SLO are calibrated from the model itself (batch-issue
+drain rate and unloaded latency) so the sweep straddles both knees
+regardless of cost-model drift.
+"""
+
+import pytest
+
+from repro.core import Mode
+from repro.serve import (
+    ShedPolicy,
+    SweepConfig,
+    calibrate_peak_rps,
+    run_sweep,
+    unloaded_latency,
+)
+
+CPU_MODE = Mode.MULTI_AXL
+DMX_MODE = Mode.BUMP_IN_WIRE
+
+
+def build_config():
+    """Grid and SLO derived from the model's own calibration points."""
+    probe = SweepConfig(
+        offered_loads_rps=(1.0,),
+        benchmark="sound-detection",
+        n_tenants=2,
+    )
+    axl_peak = calibrate_peak_rps(probe, CPU_MODE)
+    dmx_peak = calibrate_peak_rps(probe, DMX_MODE)
+    # SLO: comfortable at light load for BOTH modes (3x the slower
+    # mode's no-queueing latency), violated once queueing takes over.
+    slo_s = 3.0 * unloaded_latency(probe, CPU_MODE)
+    # Loads from well under the CPU knee to well past the DMX peak (the
+    # deep-overload point needs enough backlog to blow the tail within
+    # the finite per-tenant request budget, hence 3x).
+    loads = tuple(
+        sorted(
+            [0.4 * axl_peak, 0.8 * axl_peak]
+            + [0.5 * dmx_peak, 1.0 * dmx_peak, 1.5 * dmx_peak,
+               3.0 * dmx_peak]
+        )
+    )
+    return SweepConfig(
+        offered_loads_rps=loads,
+        benchmark="sound-detection",
+        n_tenants=2,
+        modes=(CPU_MODE, DMX_MODE),
+        requests_per_tenant=48,
+        arrival_kind="poisson",
+        seed=0,
+        slo_s=slo_s,
+        max_inflight=8,
+        shed=ShedPolicy.QUEUE,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    config = build_config()
+    return config, run_sweep(config)
+
+
+def test_p99_monotone_in_offered_load(sweep):
+    _, result = sweep
+    for mode in (CPU_MODE, DMX_MODE):
+        curve = result.p99_curve(mode)
+        assert len(curve) == 6
+        for (load_a, p99_a), (load_b, p99_b) in zip(curve, curve[1:]):
+            assert load_b > load_a
+            assert p99_b >= p99_a, (
+                f"{mode.value}: p99 fell from {p99_a} to {p99_b} "
+                f"as load rose {load_a} -> {load_b}"
+            )
+
+
+def test_dmx_knee_strictly_past_cpu_knee(sweep):
+    config, result = sweep
+    cpu_knee = result.knee_rps(CPU_MODE)
+    dmx_knee = result.knee_rps(DMX_MODE)
+    assert dmx_knee > cpu_knee, (
+        f"DMX should sustain more load within SLO={config.slo_s * 1e3:.1f}ms:"
+        f" cpu={cpu_knee} dmx={dmx_knee}"
+    )
+    # Both modes meet the SLO at the lightest load (the SLO is set from
+    # the CPU mode's own unloaded latency)...
+    assert result.for_mode(CPU_MODE)[0].within_slo(config.slo_s)
+    # ...and both eventually break: the grid straddles both knees.
+    assert not result.for_mode(CPU_MODE)[-1].within_slo(config.slo_s)
+    assert not result.for_mode(DMX_MODE)[-1].within_slo(config.slo_s)
+
+
+def test_dmx_goodput_dominates_at_every_load(sweep):
+    _, result = sweep
+    cpu_points = result.for_mode(CPU_MODE)
+    dmx_points = result.for_mode(DMX_MODE)
+    for cpu_point, dmx_point in zip(cpu_points, dmx_points):
+        assert dmx_point.goodput_rps >= cpu_point.goodput_rps
+
+
+def test_sweep_is_byte_identical_given_seed(run_once):
+    config = build_config()
+    first = run_once(run_sweep, config)
+    second = run_sweep(config)
+    assert first.to_json() == second.to_json()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Online serving demo: the latency-vs-load knee, CPU baseline vs DMX.
+
+Drives the Sound Detection chains with open-loop Poisson traffic through
+the serving frontend (bounded admission queues, FCFS dispatch) at a grid
+of offered loads, for the Multi-Axl baseline (restructuring on the host
+CPU) and DMX with Bump-in-the-Wire DRXs. Prints each mode's p50/p99
+knee curve and where it first violates the SLO — the serving-side view
+of the paper's concurrent-applications sweep.
+
+Usage::
+
+    python examples/serving_demo.py [arrival_kind]   # poisson | mmpp | deterministic
+"""
+
+import sys
+
+from repro.core import Mode
+from repro.serve import (
+    ShedPolicy,
+    SweepConfig,
+    calibrate_peak_rps,
+    run_sweep,
+    unloaded_latency,
+)
+
+CPU_MODE = Mode.MULTI_AXL
+DMX_MODE = Mode.BUMP_IN_WIRE
+
+
+def main() -> None:
+    arrival_kind = sys.argv[1] if len(sys.argv) > 1 else "poisson"
+    probe = SweepConfig(offered_loads_rps=(1.0,),
+                        benchmark="sound-detection", n_tenants=2)
+    axl_peak = calibrate_peak_rps(probe, CPU_MODE)
+    dmx_peak = calibrate_peak_rps(probe, DMX_MODE)
+    slo_s = 3.0 * unloaded_latency(probe, CPU_MODE)
+
+    config = SweepConfig(
+        offered_loads_rps=tuple(sorted(
+            [0.4 * axl_peak, 0.8 * axl_peak, 0.5 * dmx_peak,
+             1.0 * dmx_peak, 1.5 * dmx_peak, 3.0 * dmx_peak]
+        )),
+        benchmark="sound-detection",
+        n_tenants=2,
+        modes=(CPU_MODE, DMX_MODE),
+        requests_per_tenant=48,
+        arrival_kind=arrival_kind,
+        seed=0,
+        slo_s=slo_s,
+        max_inflight=8,
+        shed=ShedPolicy.QUEUE,
+    )
+
+    print(f"Sound Detection x {config.n_tenants} tenants, "
+          f"{arrival_kind} arrivals, SLO p99 <= {slo_s * 1e3:.1f} ms")
+    print("=" * 72)
+    result = run_sweep(config)
+
+    for mode in config.modes:
+        print(f"\n[{mode.value}]")
+        print(f"  {'offered rps':>12}  {'p50 ms':>8}  {'p99 ms':>8}  "
+              f"{'goodput rps':>12}  {'SLO':>4}")
+        for point in result.for_mode(mode):
+            ok = "ok" if point.within_slo(slo_s) else "VIOL"
+            print(f"  {point.offered_rps:12.0f}  {point.p50_s * 1e3:8.2f}  "
+                  f"{point.p99_s * 1e3:8.2f}  {point.goodput_rps:12.0f}  "
+                  f"{ok:>4}")
+        print(f"  knee (max load within SLO): "
+              f"{result.knee_rps(mode):.0f} rps")
+
+    print("\n" + "=" * 72)
+    cpu_knee = result.knee_rps(CPU_MODE)
+    dmx_knee = result.knee_rps(DMX_MODE)
+    if cpu_knee > 0:
+        print(f"DMX sustains {dmx_knee / cpu_knee:.1f}x the offered load "
+              f"of CPU restructuring before violating the SLO")
+    else:
+        print("CPU restructuring violates the SLO even at the lightest load")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,9 @@ Subpackages
     RAPL-style system energy accounting.
 ``repro.workloads``
     The five Table I benchmarks plus the PIR+NER extension.
+``repro.serve``
+    Online multi-tenant serving: stochastic arrivals, admission
+    control, SLO percentiles, latency-vs-load knee sweeps.
 ``repro.eval``
     One experiment driver per paper table/figure
     (``python -m repro.eval``).

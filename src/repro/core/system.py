@@ -121,13 +121,27 @@ class RunResult:
                 seen.append(record.app)
         return seen
 
-    def latencies(self, app: Optional[str] = None) -> List[float]:
+    def _matching(
+        self, app: Optional[str], include_failed: bool
+    ) -> List[RequestRecord]:
         return [
-            r.latency for r in self.records if app is None or r.app == app
+            r
+            for r in self.records
+            if (app is None or r.app == app)
+            and (include_failed or not r.failed)
         ]
 
-    def mean_latency(self, app: Optional[str] = None) -> float:
-        values = self.latencies(app)
+    def latencies(
+        self, app: Optional[str] = None, include_failed: bool = False
+    ) -> List[float]:
+        """Per-request latencies; failed requests excluded by default
+        (their latency measures recovery give-up, not service)."""
+        return [r.latency for r in self._matching(app, include_failed)]
+
+    def mean_latency(
+        self, app: Optional[str] = None, include_failed: bool = False
+    ) -> float:
+        values = self.latencies(app, include_failed=include_failed)
         if not values:
             raise ValueError(f"no records for app {app!r}")
         return sum(values) / len(values)
@@ -147,9 +161,16 @@ class RunResult:
             return {phase: 0.0 for phase in totals}
         return {phase: t / overall for phase, t in totals.items()}
 
-    def throughput(self, app: Optional[str] = None) -> float:
-        """Completed requests per second over the run."""
-        count = len([r for r in self.records if app is None or r.app == app])
+    def throughput(
+        self, app: Optional[str] = None, include_failed: bool = False
+    ) -> float:
+        """Successfully answered requests per second over the run.
+
+        Requests whose recovery was exhausted (``failed=True``) are
+        excluded by default so they don't inflate goodput; pass
+        ``include_failed=True`` for the raw completion rate.
+        """
+        count = len(self._matching(app, include_failed))
         if self.elapsed <= 0:
             raise ValueError("zero elapsed time")
         return count / self.elapsed
@@ -630,8 +651,14 @@ class DMXSystem:
             what=f"kernel:{device.name}",
         )
 
-    def _request(self, app_index: int, chain: AppChain,
-                 records: List[RequestRecord]) -> Generator:
+    def _request(
+        self,
+        app_index: int,
+        chain: AppChain,
+        records: Optional[List[RequestRecord]] = None,
+    ) -> Generator:
+        """One end-to-end request; returns its :class:`RequestRecord`
+        (and appends it to ``records`` when a sink is given)."""
         phases = PhaseAccumulator(ALL_PHASES)
         state = _RequestState(next(self._request_ids))
         start = self.sim.now
@@ -681,14 +708,44 @@ class DMXSystem:
                 "giveup", chain.name, site="request",
                 request_id=state.request_id, detail=type(exc).__name__,
             )
-        records.append(
-            RequestRecord(
-                app=chain.name, start=start, end=self.sim.now,
-                phases=dict(phases.totals),
-                retries=state.retries, fell_back=state.fell_back,
-                failed=state.failed, request_id=state.request_id,
-            )
+        record = RequestRecord(
+            app=chain.name, start=start, end=self.sim.now,
+            phases=dict(phases.totals),
+            retries=state.retries, fell_back=state.fell_back,
+            failed=state.failed, request_id=state.request_id,
         )
+        if records is not None:
+            records.append(record)
+        return record
+
+    # -- external entry points -------------------------------------------------
+
+    def app_index(self, name: str) -> int:
+        """Index of the application chain called ``name``."""
+        for index, chain in enumerate(self.chains):
+            if chain.name == name:
+                return index
+        raise KeyError(f"no application chain named {name!r}")
+
+    def submit(self, app_index: int) -> Generator:
+        """Process helper: run one request through the system.
+
+        The entry point for external drivers (notably the serving layer
+        in :mod:`repro.serve`): from any process on this system's
+        simulator, ``record = yield from system.submit(i)`` issues one
+        request on chain ``i`` and returns its :class:`RequestRecord`
+        on completion — including degraded or failed completions when a
+        :class:`~repro.faults.FaultPlan` is armed. Unlike the ``run_*``
+        drivers, ``submit`` does not touch the simulator loop; the
+        caller decides arrival times, concurrency, and admission.
+        """
+        if not 0 <= app_index < len(self.chains):
+            raise IndexError(
+                f"app_index {app_index} out of range "
+                f"(0..{len(self.chains) - 1})"
+            )
+        record = yield from self._request(app_index, self.chains[app_index])
+        return record
 
     # -- run modes ------------------------------------------------------------
 
@@ -717,8 +774,14 @@ class DMXSystem:
         )
 
     def run_throughput(self, requests_per_app: int = 12) -> RunResult:
-        """Open-loop pipelined: all requests issued at once; stages
-        overlap across requests, so the slowest stage sets throughput."""
+        """Batch-issue pipelined: every request is issued at t=0; stages
+        overlap across requests, so the slowest stage sets throughput.
+
+        This measures the system's drain rate on a fixed backlog, not
+        behaviour under online traffic — for true open-loop arrivals
+        (stochastic interarrival times, admission control, SLO
+        percentiles) use the serving layer in :mod:`repro.serve`.
+        """
         if requests_per_app <= 0:
             raise ValueError("requests_per_app must be positive")
         records: List[RequestRecord] = []

@@ -1,0 +1,310 @@
+"""The serving frontend: admission control and dispatch.
+
+One :class:`ServingFrontend` fronts one :class:`~repro.core.system.DMXSystem`:
+per-tenant arrival processes generate open-loop traffic, a bounded
+admission queue per tenant absorbs (or sheds) bursts, and a dispatcher
+with a bounded in-flight window issues admitted requests into the
+shared system via :meth:`DMXSystem.submit`, collecting each request's
+:class:`~repro.core.system.RequestRecord` and charging the full
+arrival→completion latency against the SLO.
+
+The pieces map onto the standard serving pipeline::
+
+    arrivals ──> admission (bounded queue | shed) ──> dispatch (FCFS | WRR)
+        ──> DMXSystem.submit ──> SLO accounting (p50/p95/p99, goodput)
+
+Everything runs on the system's own simulator, and all stochasticity
+comes from one ``random.Random(seed)``, so a serving run — including one
+with a :class:`~repro.faults.FaultPlan` armed — replays exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Generator, List, Optional, Sequence
+
+from ..core.system import DMXSystem
+from ..sim import Event
+from .arrivals import ArrivalProcess
+from .slo import LatencyTracker, QueueSample, ServeResult, TenantStats
+
+__all__ = [
+    "ShedPolicy",
+    "Discipline",
+    "TenantSpec",
+    "FrontendConfig",
+    "ServingFrontend",
+]
+
+
+class ShedPolicy(enum.Enum):
+    """What admission does when a tenant's queue is full.
+
+    ``REJECT`` sheds the new arrival (bounded queue, load shedding);
+    ``QUEUE`` admits unconditionally (unbounded queue — latency, not
+    errors, absorbs overload; the right setting for knee curves).
+    """
+
+    REJECT = "reject"
+    QUEUE = "queue"
+
+
+class Discipline(enum.Enum):
+    """Dispatch order across tenant queues."""
+
+    FCFS = "fcfs"
+    WRR = "wrr"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: its chain, traffic model, and admission limits.
+
+    ``name`` must match an application chain in the fronted system;
+    ``weight`` is the tenant's weighted-round-robin share (ignored under
+    FCFS); ``queue_capacity`` bounds the admission queue under
+    ``ShedPolicy.REJECT``.
+    """
+
+    name: str
+    arrivals: ArrivalProcess
+    n_requests: int
+    weight: int = 1
+    queue_capacity: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_requests <= 0:
+            raise ValueError(f"{self.name}: n_requests must be positive")
+        if self.weight < 1:
+            raise ValueError(f"{self.name}: weight must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError(f"{self.name}: queue_capacity must be >= 1")
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Dispatch-side knobs for one serving run.
+
+    ``max_inflight`` bounds requests concurrently inside the fronted
+    system (the dispatch window); ``slo_s`` is the client-observed
+    latency target violations are counted against (None disables);
+    ``sample_period_s`` is the queue-depth sampling period on the sim
+    clock (None disables the timeline).
+    """
+
+    max_inflight: int = 4
+    shed: ShedPolicy = ShedPolicy.REJECT
+    discipline: Discipline = Discipline.FCFS
+    slo_s: Optional[float] = None
+    sample_period_s: Optional[float] = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+        if self.sample_period_s is not None and self.sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+
+
+class _Admitted:
+    """One admitted request waiting for (or holding) a dispatch slot."""
+
+    __slots__ = ("spec", "arrival", "seq")
+
+    def __init__(self, spec: TenantSpec, arrival: float, seq: int):
+        self.spec = spec
+        self.arrival = arrival
+        self.seq = seq
+
+
+class ServingFrontend:
+    """Drive one :class:`DMXSystem` with online multi-tenant traffic.
+
+    The frontend owns the run: construct it around a *fresh* system
+    (whose simulator has not been run), then call :meth:`run` once.
+    """
+
+    def __init__(
+        self,
+        system: DMXSystem,
+        tenants: Sequence[TenantSpec],
+        config: FrontendConfig = FrontendConfig(),
+        seed: int = 0,
+    ):
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant names must be unique")
+        if system.sim.now != 0.0:
+            raise ValueError(
+                "frontend requires a fresh system (simulator already ran)"
+            )
+        self.system = system
+        self.sim = system.sim
+        self.config = config
+        self.tenants = list(tenants)
+        self._app_index = {t.name: system.app_index(t.name) for t in tenants}
+        self._rng = random.Random(seed)
+        self._queues: Dict[str, Deque[_Admitted]] = {
+            t.name: deque() for t in tenants
+        }
+        self._stats: Dict[str, TenantStats] = {
+            t.name: TenantStats(name=t.name) for t in tenants
+        }
+        self._latency = LatencyTracker()
+        self._timeline: List[QueueSample] = []
+        self._inflight = 0
+        self._open_arrivals = len(self.tenants)
+        self._wake: Optional[Event] = None
+        self._finished = False
+        self._done_at = 0.0
+        self._ran = False
+        # Weighted-round-robin cursor: current tenant + remaining credit.
+        self._wrr_index = 0
+        self._wrr_credit = self.tenants[0].weight
+
+    # -- wakeup plumbing -----------------------------------------------------
+
+    def _kick(self) -> None:
+        """Wake the dispatcher if it is parked."""
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+        self._wake = None
+
+    def _park(self) -> Event:
+        self._wake = self.sim.event()
+        return self._wake
+
+    # -- admission -----------------------------------------------------------
+
+    def _arrival_loop(self, spec: TenantSpec) -> Generator:
+        stats = self._stats[spec.name]
+        queue = self._queues[spec.name]
+        gaps = spec.arrivals.interarrivals(self._rng)
+        for seq in range(spec.n_requests):
+            yield self.sim.timeout(next(gaps))
+            stats.arrived += 1
+            if (
+                self.config.shed is ShedPolicy.REJECT
+                and len(queue) >= spec.queue_capacity
+            ):
+                stats.shed += 1
+                continue
+            stats.admitted += 1
+            queue.append(_Admitted(spec, self.sim.now, seq))
+            self._kick()
+        self._open_arrivals -= 1
+        self._kick()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _queued_total(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def _next_fcfs(self) -> Optional[_Admitted]:
+        best: Optional[Deque[_Admitted]] = None
+        for spec in self.tenants:
+            queue = self._queues[spec.name]
+            if queue and (best is None or queue[0].arrival < best[0].arrival):
+                best = queue
+        return best.popleft() if best is not None else None
+
+    def _next_wrr(self) -> Optional[_Admitted]:
+        n = len(self.tenants)
+        for _ in range(n + 1):
+            spec = self.tenants[self._wrr_index]
+            queue = self._queues[spec.name]
+            if self._wrr_credit > 0 and queue:
+                self._wrr_credit -= 1
+                return queue.popleft()
+            self._wrr_index = (self._wrr_index + 1) % n
+            self._wrr_credit = self.tenants[self._wrr_index].weight
+        return None
+
+    def _next_item(self) -> Optional[_Admitted]:
+        if self.config.discipline is Discipline.FCFS:
+            return self._next_fcfs()
+        return self._next_wrr()
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            while self._inflight < self.config.max_inflight:
+                item = self._next_item()
+                if item is None:
+                    break
+                self._inflight += 1
+                self.sim.spawn(
+                    self._serve_one(item),
+                    name=f"serve:{item.spec.name}#{item.seq}",
+                )
+            if (
+                self._open_arrivals == 0
+                and self._queued_total() == 0
+                and self._inflight == 0
+            ):
+                self._finished = True
+                self._done_at = self.sim.now
+                return
+            yield self._park()
+
+    def _serve_one(self, item: _Admitted) -> Generator:
+        stats = self._stats[item.spec.name]
+        dispatched = self.sim.now
+        record = yield from self.system.submit(self._app_index[item.spec.name])
+        latency = self.sim.now - item.arrival
+        stats.completed += 1
+        if record.failed:
+            stats.failed += 1
+        elif self.config.slo_s is not None and latency > self.config.slo_s:
+            stats.violations += 1
+        stats.latency.add(latency)
+        stats.queue_wait.add(dispatched - item.arrival)
+        self._latency.add(latency)
+        self._inflight -= 1
+        self._kick()
+
+    # -- queue-depth timeline ------------------------------------------------
+
+    def _sampler_loop(self, period: float) -> Generator:
+        while not self._finished:
+            self._timeline.append(
+                QueueSample(
+                    time=self.sim.now,
+                    queued={
+                        name: len(q) for name, q in self._queues.items()
+                    },
+                    inflight=self._inflight,
+                )
+            )
+            yield self.sim.timeout(period)
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self) -> ServeResult:
+        """Generate, admit, dispatch, and complete all tenant traffic."""
+        if self._ran:
+            raise RuntimeError("a ServingFrontend can only run once")
+        self._ran = True
+        for spec in self.tenants:
+            self.sim.spawn(
+                self._arrival_loop(spec), name=f"arrivals:{spec.name}"
+            )
+        self.sim.spawn(self._dispatch_loop(), name="dispatch")
+        if self.config.sample_period_s is not None:
+            self.sim.spawn(
+                self._sampler_loop(self.config.sample_period_s),
+                name="queue-sampler",
+            )
+        self.sim.run()
+        return ServeResult(
+            tenants=self._stats,
+            latency=self._latency,
+            timeline=self._timeline,
+            elapsed=self._done_at,
+            slo_s=self.config.slo_s,
+        )

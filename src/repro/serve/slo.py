@@ -1,0 +1,335 @@
+"""SLO accounting for the serving layer.
+
+Latency here is *client-observed* latency: arrival → completion,
+including admission-queue wait — the quantity SLOs are written against,
+as opposed to the service-only latency in
+:class:`~repro.core.system.RequestRecord`.
+
+Percentiles are tracked two ways at once:
+
+* a bounded-memory **streaming** estimate per tracked quantile via the
+  P² algorithm (Jain & Chlamtác, CACM 1985) — O(1) state per quantile,
+  what a production frontend would run;
+* an optional **exact** computation from retained samples (the default
+  at simulation scale), so sweep results are reproducible to the byte
+  and assertions about knee curves don't ride on estimator error.
+
+:class:`LatencyTracker` answers ``percentile(q)`` from the exact samples
+when retained and falls back to the P² estimate otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "P2Quantile",
+    "LatencyTracker",
+    "TenantStats",
+    "QueueSample",
+    "ServeResult",
+    "DEFAULT_QUANTILES",
+]
+
+DEFAULT_QUANTILES = (0.50, 0.95, 0.99)
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm.
+
+    Maintains five markers (min, three interior, max) whose heights are
+    nudged toward the ideal quantile positions with parabolic
+    interpolation; memory and per-observation cost are O(1). Exact for
+    the first five observations.
+    """
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._initial: List[float] = []
+        self._heights: Optional[List[float]] = None
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        if self._heights is None:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [0.0, 1.0, 2.0, 3.0, 4.0]
+                q = self.q
+                self._desired = [0.0, 2 * q, 4 * q, 2 + 2 * q, 4.0]
+            return
+        h, n = self._heights, self._positions
+        if x < h[0]:
+            h[0] = x
+            cell = 0
+        elif x >= h[4]:
+            h[4] = x
+            cell = 3
+        else:
+            cell = max(i for i in range(4) if h[i] <= x)
+        for i in range(cell + 1, 5):
+            n[i] += 1
+        q = self.q
+        for i, dn in enumerate((0.0, q / 2, q, (1 + q) / 2, 1.0)):
+            self._desired[i] += dn
+        for i in (1, 2, 3):
+            drift = self._desired[i] - n[i]
+            if (drift >= 1 and n[i + 1] - n[i] > 1) or (
+                drift <= -1 and n[i - 1] - n[i] < -1
+            ):
+                step = 1 if drift >= 0 else -1
+                candidate = self._parabolic(i, step)
+                if not h[i - 1] < candidate < h[i + 1]:
+                    candidate = self._linear(i, step)
+                h[i] = candidate
+                n[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step * (h[i + step] - h[i]) / (n[i + step] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (exact below five observations)."""
+        if self.count == 0:
+            raise ValueError("quantile of an empty stream")
+        if self._heights is None:
+            return _exact_percentile(sorted(self._initial), self.q)
+        return self._heights[2]
+
+
+def _exact_percentile(ordered: List[float], q: float) -> float:
+    """Linear-interpolated percentile of a pre-sorted sample."""
+    n = len(ordered)
+    if n == 1:
+        return ordered[0]
+    rank = q * (n - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+class LatencyTracker:
+    """Latency stream: streaming P² percentiles + optional exact samples.
+
+    ``retain=True`` (the default) keeps every sample so
+    :meth:`percentile` is exact; with ``retain=False`` memory stays O(1)
+    and tracked quantiles come from the P² estimators (untracked
+    quantiles then raise).
+    """
+
+    def __init__(
+        self,
+        quantiles: Tuple[float, ...] = DEFAULT_QUANTILES,
+        retain: bool = True,
+    ):
+        self._estimators: Dict[float, P2Quantile] = {
+            q: P2Quantile(q) for q in quantiles
+        }
+        self._samples: Optional[List[float]] = [] if retain else None
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    @property
+    def quantiles(self) -> Tuple[float, ...]:
+        return tuple(self._estimators)
+
+    def add(self, x: float) -> None:
+        if x < 0:
+            raise ValueError(f"negative latency sample: {x}")
+        self.count += 1
+        self.total += x
+        if x > self.max:
+            self.max = x
+        for estimator in self._estimators.values():
+            estimator.add(x)
+        if self._samples is not None:
+            self._samples.append(x)
+
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of an empty tracker")
+        return self.total / self.count
+
+    def percentile(self, q: float) -> float:
+        """Exact when samples are retained, else the P² estimate."""
+        if self.count == 0:
+            raise ValueError("percentile of an empty tracker")
+        if self._samples is not None:
+            return _exact_percentile(sorted(self._samples), q)
+        if q not in self._estimators:
+            raise KeyError(
+                f"quantile {q} not tracked (streaming mode tracks "
+                f"{self.quantiles})"
+            )
+        return self._estimators[q].value
+
+    def streaming_estimate(self, q: float) -> float:
+        """The P² estimate regardless of retention (for comparison)."""
+        if q not in self._estimators:
+            raise KeyError(f"quantile {q} not tracked")
+        return self._estimators[q].value
+
+    def summary(self) -> Dict[str, float]:
+        """Mean + tracked percentiles, for reports."""
+        out = {"count": float(self.count), "mean": self.mean(),
+               "max": self.max}
+        for q in self.quantiles:
+            out[f"p{round(q * 100)}"] = self.percentile(q)
+        return out
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant serving counters and latency streams.
+
+    ``violations`` counts completed, non-failed requests whose
+    client-observed latency exceeded the frontend's SLO; ``failed``
+    counts requests whose recovery plane gave up (they completed with an
+    error and are excluded from goodput).
+    """
+
+    name: str
+    arrived: int = 0
+    admitted: int = 0
+    shed: int = 0
+    completed: int = 0
+    failed: int = 0
+    violations: int = 0
+    latency: LatencyTracker = field(default_factory=LatencyTracker)
+    queue_wait: LatencyTracker = field(default_factory=LatencyTracker)
+
+    def goodput_rps(self, elapsed_s: float) -> float:
+        """Non-failed completions within SLO, per second of sim time."""
+        if elapsed_s <= 0:
+            raise ValueError("elapsed_s must be positive")
+        return (self.completed - self.failed - self.violations) / elapsed_s
+
+
+@dataclass(frozen=True)
+class QueueSample:
+    """One sim-clock sample of frontend occupancy."""
+
+    time: float
+    queued: Dict[str, int]
+    inflight: int
+
+    @property
+    def total_queued(self) -> int:
+        return sum(self.queued.values())
+
+
+@dataclass
+class ServeResult:
+    """Everything one serving run produced.
+
+    ``elapsed`` is the sim time at which the last admitted request
+    completed (the queue-depth sampler may run marginally past it).
+    """
+
+    tenants: Dict[str, TenantStats]
+    latency: LatencyTracker
+    timeline: List[QueueSample]
+    elapsed: float
+    slo_s: Optional[float] = None
+
+    # -- aggregate counters --------------------------------------------------
+
+    def _total(self, attr: str) -> int:
+        return sum(getattr(t, attr) for t in self.tenants.values())
+
+    @property
+    def arrived(self) -> int:
+        return self._total("arrived")
+
+    @property
+    def admitted(self) -> int:
+        return self._total("admitted")
+
+    @property
+    def shed(self) -> int:
+        return self._total("shed")
+
+    @property
+    def completed(self) -> int:
+        return self._total("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._total("failed")
+
+    @property
+    def violations(self) -> int:
+        return self._total("violations")
+
+    def percentile(self, q: float) -> float:
+        return self.latency.percentile(q)
+
+    def goodput_rps(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return (self.completed - self.failed - self.violations) / self.elapsed
+
+    def max_queue_depth(self) -> int:
+        if not self.timeline:
+            return 0
+        return max(s.total_queued for s in self.timeline)
+
+    def mean_queue_depth(self) -> float:
+        if not self.timeline:
+            return 0.0
+        return sum(s.total_queued for s in self.timeline) / len(self.timeline)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic summary (stable key order, raw floats)."""
+        return {
+            "elapsed_s": self.elapsed,
+            "slo_s": self.slo_s,
+            "arrived": self.arrived,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "completed": self.completed,
+            "failed": self.failed,
+            "violations": self.violations,
+            "goodput_rps": self.goodput_rps(),
+            "latency": self.latency.summary() if self.latency.count else {},
+            "max_queue_depth": self.max_queue_depth(),
+            "tenants": {
+                name: {
+                    "arrived": t.arrived,
+                    "admitted": t.admitted,
+                    "shed": t.shed,
+                    "completed": t.completed,
+                    "failed": t.failed,
+                    "violations": t.violations,
+                    "latency": t.latency.summary() if t.latency.count else {},
+                    "queue_wait": (
+                        t.queue_wait.summary() if t.queue_wait.count else {}
+                    ),
+                }
+                for name, t in self.tenants.items()
+            },
+        }

@@ -185,3 +185,71 @@ def test_energy_accounting_inputs_available():
     assert system.accelerator_busy_seconds() > 0
     assert system.drx_busy_seconds() > 0
     assert system.cpu.busy_seconds >= 0
+
+
+# -- submit(): the external per-request entry point ---------------------------
+
+
+def test_submit_returns_request_record():
+    system = build(Mode.BUMP_IN_WIRE, n_apps=2)
+    collected = []
+
+    def client(app_index):
+        record = yield from system.submit(app_index)
+        collected.append(record)
+
+    system.sim.spawn(client(0))
+    system.sim.spawn(client(1))
+    system.sim.run()
+    assert len(collected) == 2
+    assert {r.app for r in collected} == {"app0", "app1"}
+    assert all(r.latency > 0 and not r.failed for r in collected)
+
+
+def test_submit_matches_run_latency_timing():
+    reference = build(Mode.BUMP_IN_WIRE).run_latency(1)
+
+    system = build(Mode.BUMP_IN_WIRE)
+    records = []
+
+    def client():
+        records.append((yield from system.submit(0)))
+
+    system.sim.spawn(client())
+    system.sim.run()
+    assert records[0].latency == pytest.approx(reference.records[0].latency)
+    assert records[0].phases == reference.records[0].phases
+
+
+def test_submit_validates_app_index():
+    system = build(Mode.MULTI_AXL)
+    with pytest.raises(IndexError):
+        system.sim.spawn(system.submit(5))
+        system.sim.run()
+
+
+def test_app_index_lookup():
+    system = build(Mode.MULTI_AXL, n_apps=3)
+    assert system.app_index("app2") == 2
+    with pytest.raises(KeyError):
+        system.app_index("nope")
+
+
+# -- RunResult goodput accounting --------------------------------------------
+
+
+def test_result_metrics_exclude_failed_requests_by_default():
+    from repro.core.system import RequestRecord, RunResult
+
+    ok = RequestRecord(app="a", start=0.0, end=1.0, phases={})
+    bad = RequestRecord(app="a", start=0.0, end=9.0, phases={}, failed=True)
+    result = RunResult(mode=Mode.MULTI_AXL, records=[ok, bad], elapsed=2.0,
+                       requests_per_app=1)
+    assert result.latencies() == [1.0]
+    assert result.mean_latency() == pytest.approx(1.0)
+    assert result.throughput() == pytest.approx(0.5)
+    # Raw completion rate remains available.
+    assert result.latencies(include_failed=True) == [1.0, 9.0]
+    assert result.mean_latency(include_failed=True) == pytest.approx(5.0)
+    assert result.throughput(include_failed=True) == pytest.approx(1.0)
+    assert result.failure_count() == 1

@@ -1,0 +1,92 @@
+"""Determinism and shape of the seeded arrival processes."""
+
+import random
+
+import pytest
+
+from repro.serve import (
+    ARRIVAL_KINDS,
+    DeterministicArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    arrival_times,
+    make_arrivals,
+)
+
+
+@pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+def test_same_seed_identical_arrival_times(kind):
+    process = make_arrivals(kind, 100.0)
+    first = arrival_times(process, 7, 200)
+    second = arrival_times(process, 7, 200)
+    assert first == second  # exact replay, not approximate
+    assert arrival_times(process, 8, 200) != first or kind == "deterministic"
+
+
+def test_deterministic_gaps_are_exact():
+    times = arrival_times(DeterministicArrivals(50.0), 0, 5)
+    assert times == pytest.approx([0.02, 0.04, 0.06, 0.08, 0.10])
+
+
+def test_poisson_mean_rate_converges():
+    times = arrival_times(PoissonArrivals(200.0), 3, 4000)
+    observed = len(times) / times[-1]
+    assert observed == pytest.approx(200.0, rel=0.1)
+
+
+def test_poisson_scaling_rescales_times():
+    base = arrival_times(PoissonArrivals(100.0), 11, 100)
+    doubled = arrival_times(PoissonArrivals(100.0).scaled(200.0), 11, 100)
+    for slow, fast in zip(base, doubled):
+        assert fast == pytest.approx(slow / 2.0)
+
+
+def test_mmpp_mean_rate_property_and_scaling():
+    process = MMPPArrivals(
+        base_rate_rps=100.0, burst_factor=10.0,
+        mean_dwell_quiet_s=0.9, mean_dwell_burst_s=0.1,
+    )
+    # Time-weighted: (0.9*100 + 0.1*1000) / 1.0
+    assert process.mean_rate_rps == pytest.approx(190.0)
+    rescaled = process.scaled(95.0)
+    assert rescaled.mean_rate_rps == pytest.approx(95.0)
+    assert rescaled.burst_factor == process.burst_factor
+
+
+def test_mmpp_is_burstier_than_poisson():
+    """Squared coefficient of variation of MMPP gaps exceeds Poisson's ~1."""
+    def cv2(times):
+        gaps = [b - a for a, b in zip([0.0] + times[:-1], times)]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return var / mean**2
+
+    mmpp = make_arrivals("mmpp", 200.0, burst_factor=20.0,
+                         mean_dwell_quiet_s=0.5, mean_dwell_burst_s=0.05)
+    assert cv2(arrival_times(mmpp, 5, 5000)) > 1.5
+    assert cv2(arrival_times(PoissonArrivals(200.0), 5, 5000)) == pytest.approx(
+        1.0, rel=0.25
+    )
+
+
+def test_make_arrivals_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown arrival kind"):
+        make_arrivals("adversarial", 10.0)
+
+
+def test_invalid_rates_rejected():
+    with pytest.raises(ValueError):
+        PoissonArrivals(0.0)
+    with pytest.raises(ValueError):
+        DeterministicArrivals(-1.0)
+    with pytest.raises(ValueError):
+        MMPPArrivals(base_rate_rps=10.0, burst_factor=0.5)
+
+
+def test_arrival_times_accepts_live_rng():
+    rng = random.Random(4)
+    first = arrival_times(PoissonArrivals(10.0), rng, 10)
+    # The same rng has advanced: a second pull continues the stream.
+    second = arrival_times(PoissonArrivals(10.0), rng, 10)
+    assert first != second
+    assert arrival_times(PoissonArrivals(10.0), random.Random(4), 10) == first

@@ -1,0 +1,216 @@
+"""The serving frontend: admission, shedding, dispatch, determinism."""
+
+import pytest
+
+from repro.accelerators.base import AcceleratorSpec
+from repro.core import (
+    AppChain,
+    DMXSystem,
+    KernelStage,
+    Mode,
+    MotionStage,
+    SystemConfig,
+)
+from repro.profiles import WorkProfile
+from repro.serve import (
+    Discipline,
+    FrontendConfig,
+    PoissonArrivals,
+    ServingFrontend,
+    ShedPolicy,
+    TenantSpec,
+)
+from repro.sim import Server, Simulator
+
+MB = 1024 * 1024
+SPEC = AcceleratorSpec(name="accel", domain="d", speedup_vs_cpu=6.0)
+
+
+def make_chain(i=0, in_mb=12, out_mb=6):
+    profile = WorkProfile(
+        name="motion", bytes_in=2 * in_mb * MB, bytes_out=out_mb * MB,
+        elements=in_mb * MB // 4, ops_per_element=20.0, gather_fraction=0.3,
+    )
+    return AppChain(
+        name=f"app{i}",
+        stages=[
+            KernelStage("k1", SPEC, cpu_time_s=5e-3, accel_time_s=1e-3,
+                        output_bytes=in_mb * MB),
+            MotionStage("m", profile, input_bytes=in_mb * MB,
+                        output_bytes=out_mb * MB, cpu_threads=3),
+            KernelStage("k2", SPEC, cpu_time_s=4e-3, accel_time_s=8e-4,
+                        output_bytes=MB),
+        ],
+    )
+
+
+def build_system(mode=Mode.BUMP_IN_WIRE, n_apps=2):
+    return DMXSystem(
+        [make_chain(i) for i in range(n_apps)], SystemConfig(mode=mode)
+    )
+
+
+def serve(rate_rps=50.0, n_requests=15, config=None, seed=0, n_apps=2,
+          weights=None, mode=Mode.BUMP_IN_WIRE, queue_capacity=16):
+    system = build_system(mode=mode, n_apps=n_apps)
+    tenants = [
+        TenantSpec(
+            name=chain.name,
+            arrivals=PoissonArrivals(rate_rps),
+            n_requests=n_requests,
+            weight=(weights or [1] * n_apps)[i],
+            queue_capacity=queue_capacity,
+        )
+        for i, chain in enumerate(system.chains)
+    ]
+    frontend = ServingFrontend(
+        system, tenants, config or FrontendConfig(), seed=seed
+    )
+    return system, frontend.run()
+
+
+def test_all_admitted_requests_complete():
+    _, result = serve()
+    assert result.arrived == 30
+    assert result.admitted + result.shed == result.arrived
+    assert result.completed == result.admitted
+    assert result.failed == 0
+    assert result.elapsed > 0
+    assert result.latency.count == result.completed
+
+
+def test_latency_includes_queue_wait():
+    """Client-observed latency is never below the dispatch-side latency."""
+    _, result = serve(rate_rps=400.0, n_requests=30,
+                      config=FrontendConfig(max_inflight=1,
+                                            shed=ShedPolicy.QUEUE))
+    for stats in result.tenants.values():
+        assert stats.queue_wait.max > 0  # overload: someone queued
+        assert stats.latency.max >= stats.queue_wait.max
+
+
+def test_reject_policy_sheds_and_queue_policy_absorbs():
+    overload = dict(rate_rps=2000.0, n_requests=40)
+    _, rejected = serve(
+        config=FrontendConfig(max_inflight=1, shed=ShedPolicy.REJECT),
+        queue_capacity=2, **overload,
+    )
+    assert rejected.shed > 0
+    assert rejected.completed == rejected.admitted
+    _, queued = serve(
+        config=FrontendConfig(max_inflight=1, shed=ShedPolicy.QUEUE),
+        queue_capacity=2, **overload,
+    )
+    assert queued.shed == 0
+    assert queued.completed == queued.arrived
+    # Shedding trades completions for tail latency.
+    assert rejected.percentile(0.99) < queued.percentile(0.99)
+
+
+def test_slo_violations_counted():
+    _, result = serve(rate_rps=2000.0, n_requests=40,
+                      config=FrontendConfig(max_inflight=1,
+                                            shed=ShedPolicy.QUEUE,
+                                            slo_s=10e-3))
+    assert result.violations > 0
+    assert result.goodput_rps() < result.completed / result.elapsed
+
+
+def test_wrr_weights_favor_heavy_tenant():
+    """Under sustained overload the heavy tenant's queue drains first."""
+    config = FrontendConfig(max_inflight=1, shed=ShedPolicy.QUEUE,
+                            discipline=Discipline.WRR)
+    _, result = serve(rate_rps=2000.0, n_requests=40, config=config,
+                      weights=[4, 1])
+    heavy = result.tenants["app0"].queue_wait
+    light = result.tenants["app1"].queue_wait
+    assert heavy.mean() < light.mean()
+
+
+def test_fcfs_orders_by_arrival_across_tenants():
+    _, result = serve(rate_rps=800.0, n_requests=30,
+                      config=FrontendConfig(max_inflight=1,
+                                            shed=ShedPolicy.QUEUE,
+                                            discipline=Discipline.FCFS))
+    # FCFS shares delay: per-tenant mean queue waits are comparable.
+    waits = [t.queue_wait.mean() for t in result.tenants.values()]
+    assert max(waits) < 2.0 * min(waits)
+
+
+def test_same_seed_identical_serve_result():
+    _, first = serve(seed=13)
+    _, second = serve(seed=13)
+    assert first.to_dict() == second.to_dict()
+    _, other = serve(seed=14)
+    assert first.to_dict() != other.to_dict()
+
+
+def test_queue_timeline_sampled_on_sim_clock():
+    _, result = serve(rate_rps=2000.0, n_requests=40,
+                      config=FrontendConfig(max_inflight=1,
+                                            shed=ShedPolicy.QUEUE,
+                                            sample_period_s=1e-3))
+    assert len(result.timeline) > 2
+    times = [s.time for s in result.timeline]
+    assert times == sorted(times)
+    assert result.max_queue_depth() > 0
+    assert result.mean_queue_depth() <= result.max_queue_depth()
+
+
+def test_utilization_stays_bounded_under_serving_frontend():
+    """Regression: no Server exceeds utilization 1.0, including the
+    capacity>1 resources (host CPU cores, multi-lane fabric links)."""
+    system, result = serve(rate_rps=2000.0, n_requests=40,
+                           config=FrontendConfig(max_inflight=8,
+                                                 shed=ShedPolicy.QUEUE))
+    for device in system.accel_devices.values():
+        assert 0.0 <= device.utilization() <= 1.0
+    for drx in system.drx_devices.values():
+        assert 0.0 <= drx.utilization() <= 1.0
+    for link in system.fabric.links:
+        assert 0.0 <= link.utilization() <= 1.0
+    assert 0.0 <= system.cpu.utilization() <= 1.0
+
+
+def test_server_utilization_capped_for_multi_capacity():
+    """A capacity-2 server at full occupancy reports utilization 1.0,
+    not 2.0 (the busy integral is normalized by capacity)."""
+    sim = Simulator()
+    server = Server(sim, capacity=2, name="dual")
+    for _ in range(2):
+        sim.spawn(server.transfer(1.0))
+    sim.run()
+    assert sim.now == pytest.approx(1.0)
+    assert server.utilization() == pytest.approx(1.0)
+    assert server.utilization() <= 1.0
+
+
+def test_frontend_rejects_bad_configs():
+    system = build_system()
+    tenants = [TenantSpec(name="app0", arrivals=PoissonArrivals(1.0),
+                          n_requests=1)]
+    with pytest.raises(ValueError, match="at least one tenant"):
+        ServingFrontend(system, [])
+    with pytest.raises(KeyError):
+        ServingFrontend(
+            system,
+            [TenantSpec(name="ghost", arrivals=PoissonArrivals(1.0),
+                        n_requests=1)],
+        )
+    with pytest.raises(ValueError, match="unique"):
+        ServingFrontend(system, tenants * 2)
+    frontend = ServingFrontend(system, tenants)
+    frontend.run()
+    with pytest.raises(RuntimeError, match="once"):
+        frontend.run()
+    with pytest.raises(ValueError, match="fresh system"):
+        ServingFrontend(system, tenants)
+    with pytest.raises(ValueError):
+        FrontendConfig(max_inflight=0)
+    with pytest.raises(ValueError):
+        FrontendConfig(slo_s=0.0)
+    with pytest.raises(ValueError):
+        TenantSpec(name="t", arrivals=PoissonArrivals(1.0), n_requests=0)
+    with pytest.raises(ValueError):
+        TenantSpec(name="t", arrivals=PoissonArrivals(1.0), n_requests=1,
+                   weight=0)

@@ -1,0 +1,99 @@
+"""Streaming percentile estimators and SLO accounting units."""
+
+import random
+
+import pytest
+
+from repro.serve import LatencyTracker, P2Quantile, TenantStats
+
+
+def test_p2_exact_below_five_samples():
+    est = P2Quantile(0.5)
+    for x in (5.0, 1.0, 3.0):
+        est.add(x)
+    assert est.value == pytest.approx(3.0)
+
+
+def test_p2_tracks_uniform_median():
+    rng = random.Random(0)
+    est = P2Quantile(0.5)
+    for _ in range(5000):
+        est.add(rng.random())
+    assert est.value == pytest.approx(0.5, abs=0.05)
+
+
+def test_p2_tracks_tail_quantile_of_exponential():
+    rng = random.Random(1)
+    est = P2Quantile(0.95)
+    samples = []
+    for _ in range(20000):
+        x = rng.expovariate(1.0)
+        est.add(x)
+        samples.append(x)
+    exact = sorted(samples)[int(0.95 * len(samples))]
+    assert est.value == pytest.approx(exact, rel=0.1)
+
+
+def test_p2_rejects_degenerate_quantiles_and_empty_stream():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+    with pytest.raises(ValueError):
+        _ = P2Quantile(0.5).value
+
+
+def test_tracker_exact_percentiles_when_retained():
+    tracker = LatencyTracker()
+    for x in range(1, 101):
+        tracker.add(float(x))
+    assert tracker.percentile(0.50) == pytest.approx(50.5)
+    assert tracker.percentile(0.99) == pytest.approx(99.01)
+    assert tracker.mean() == pytest.approx(50.5)
+    assert tracker.max == 100.0
+    # Arbitrary quantiles work in retained mode.
+    assert tracker.percentile(0.25) == pytest.approx(25.75)
+
+
+def test_tracker_streaming_mode_bounds_memory():
+    tracker = LatencyTracker(retain=False)
+    rng = random.Random(2)
+    for _ in range(10000):
+        tracker.add(rng.expovariate(1.0))
+    assert tracker._samples is None
+    # Tracked quantiles answer from P2; untracked ones raise.
+    assert tracker.percentile(0.5) > 0
+    with pytest.raises(KeyError):
+        tracker.percentile(0.25)
+
+
+def test_tracker_streaming_estimate_close_to_exact():
+    tracker = LatencyTracker()
+    rng = random.Random(3)
+    for _ in range(20000):
+        tracker.add(rng.expovariate(1.0))
+    for q in (0.5, 0.95, 0.99):
+        assert tracker.streaming_estimate(q) == pytest.approx(
+            tracker.percentile(q), rel=0.15
+        )
+
+
+def test_tracker_summary_and_errors():
+    tracker = LatencyTracker()
+    with pytest.raises(ValueError):
+        tracker.mean()
+    with pytest.raises(ValueError):
+        tracker.percentile(0.5)
+    with pytest.raises(ValueError):
+        tracker.add(-1.0)
+    tracker.add(2.0)
+    summary = tracker.summary()
+    assert summary["count"] == 1.0
+    assert summary["p99"] == 2.0
+
+
+def test_tenant_stats_goodput_excludes_failures_and_violations():
+    stats = TenantStats(name="t", completed=10, failed=2, violations=3)
+    assert stats.goodput_rps(5.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        stats.goodput_rps(0.0)

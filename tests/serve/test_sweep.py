@@ -1,0 +1,152 @@
+"""Load sweeps: knee queries, determinism, fault integration."""
+
+import pytest
+
+from repro.accelerators.base import AcceleratorSpec
+from repro.core import AppChain, KernelStage, Mode, MotionStage
+from repro.faults import FaultPlan, FaultPolicy
+from repro.profiles import WorkProfile
+from repro.serve import (
+    ShedPolicy,
+    SweepConfig,
+    SweepPoint,
+    SweepResult,
+    calibrate_peak_rps,
+    run_sweep,
+    unloaded_latency,
+)
+
+MB = 1024 * 1024
+SPEC = AcceleratorSpec(name="accel", domain="d", speedup_vs_cpu=6.0)
+
+
+def make_chain(i=0, in_mb=12, out_mb=6):
+    profile = WorkProfile(
+        name="motion", bytes_in=2 * in_mb * MB, bytes_out=out_mb * MB,
+        elements=in_mb * MB // 4, ops_per_element=20.0, gather_fraction=0.3,
+    )
+    return AppChain(
+        name=f"app{i}",
+        stages=[
+            KernelStage("k1", SPEC, cpu_time_s=5e-3, accel_time_s=1e-3,
+                        output_bytes=in_mb * MB),
+            MotionStage("m", profile, input_bytes=in_mb * MB,
+                        output_bytes=out_mb * MB, cpu_threads=3),
+            KernelStage("k2", SPEC, cpu_time_s=4e-3, accel_time_s=8e-4,
+                        output_bytes=MB),
+        ],
+    )
+
+
+def factory():
+    return [make_chain(i) for i in range(2)]
+
+
+def small_config(**overrides):
+    defaults = dict(
+        offered_loads_rps=(40.0, 160.0),
+        chain_factory=factory,
+        requests_per_tenant=10,
+        slo_s=50e-3,
+        modes=(Mode.MULTI_AXL, Mode.BUMP_IN_WIRE),
+        sample_period_s=None,
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+def test_sweep_covers_the_grid():
+    config = small_config()
+    result = run_sweep(config)
+    assert len(result.points) == 4  # 2 modes x 2 loads
+    for mode in config.modes:
+        curve = result.p99_curve(mode)
+        assert [load for load, _ in curve] == [40.0, 160.0]
+        assert all(p99 > 0 for _, p99 in curve)
+
+
+def test_same_seed_byte_identical_sweep():
+    config = small_config()
+    first = run_sweep(config)
+    second = run_sweep(config)
+    assert first.to_json() == second.to_json()
+
+
+def test_different_seed_changes_the_sweep():
+    first = run_sweep(small_config(seed=1))
+    second = run_sweep(small_config(seed=2))
+    assert first.to_json() != second.to_json()
+
+
+def test_knee_rps_scans_to_first_violation():
+    result = SweepResult(slo_s=10e-3, seed=0)
+
+    def point(mode, load, p99):
+        return SweepPoint(
+            mode=mode, offered_rps=load, p50_s=p99, p95_s=p99, p99_s=p99,
+            mean_s=p99, mean_queue_wait_s=0.0, goodput_rps=load,
+            completed=1, shed=0, violations=0, failed=0,
+            max_queue_depth=0, elapsed_s=1.0,
+        )
+
+    result.points = [
+        point("dmx", 100.0, 5e-3),
+        point("dmx", 200.0, 8e-3),
+        point("dmx", 400.0, 20e-3),   # first violation
+        point("dmx", 800.0, 9e-3),    # past the break: ignored
+        point("cpu", 100.0, 20e-3),   # violates immediately
+    ]
+    assert result.knee_rps("dmx") == 200.0
+    assert result.knee_rps("cpu") == 0.0
+    assert result.modes() == ["dmx", "cpu"]
+
+
+def test_sweep_with_faults_armed_completes_and_replays():
+    plan = FaultPlan(
+        seed=42,
+        dma=FaultPolicy(fail_p=0.10),
+        drx=FaultPolicy(hang_p=0.05),
+        drx_deadline_s=30e-3,
+    )
+    config = small_config(
+        offered_loads_rps=(40.0,), modes=(Mode.STANDALONE,), faults=plan,
+        slo_s=100e-3,
+    )
+    result = run_sweep(config)
+    point = result.points[0]
+    assert point.completed == 20  # nothing lost under faults
+    assert run_sweep(config).to_json() == result.to_json()
+
+
+def test_shedding_sweep_counts_rejections():
+    config = small_config(
+        offered_loads_rps=(4000.0,), modes=(Mode.MULTI_AXL,),
+        shed=ShedPolicy.REJECT, queue_capacity=2, max_inflight=1,
+        requests_per_tenant=25,
+    )
+    point = run_sweep(config).points[0]
+    assert point.shed > 0
+    assert point.completed + point.shed == 50
+
+
+def test_calibration_helpers_order_sanely():
+    config = small_config()
+    dmx_peak = calibrate_peak_rps(config, Mode.BUMP_IN_WIRE)
+    axl_peak = calibrate_peak_rps(config, Mode.MULTI_AXL)
+    assert dmx_peak > axl_peak > 0
+    dmx_floor = unloaded_latency(config, Mode.BUMP_IN_WIRE)
+    axl_floor = unloaded_latency(config, Mode.MULTI_AXL)
+    assert 0 < dmx_floor < axl_floor
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="at least one offered load"):
+        SweepConfig(offered_loads_rps=())
+    with pytest.raises(ValueError, match="ascending"):
+        SweepConfig(offered_loads_rps=(100.0, 50.0))
+    with pytest.raises(ValueError, match="positive"):
+        SweepConfig(offered_loads_rps=(-1.0,))
+    with pytest.raises(ValueError):
+        SweepConfig(offered_loads_rps=(1.0,), slo_s=0.0)
+    with pytest.raises(ValueError):
+        SweepConfig(offered_loads_rps=(1.0,), modes=())
