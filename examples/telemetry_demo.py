@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Telemetry demo: run → artifact → report → Perfetto trace.
+
+Runs a small serving sweep (Sound Detection, CPU-restructuring baseline
+vs DMX bump-in-the-wire) with run artifacts enabled, then shows what
+the observability layer gives you for free:
+
+* one JSON-lines run artifact + one Chrome-trace/Perfetto export per
+  (mode, load) grid point — deterministic, byte-identical per seed;
+* the text report (`python -m repro.telemetry ARTIFACT.jsonl`):
+  phase-breakdown table, critical-path attribution, and per-request
+  waterfalls;
+* schema validation (`--validate`).
+
+Usage::
+
+    python examples/telemetry_demo.py [output_dir]   # default: telemetry-artifacts
+"""
+
+import os
+import sys
+
+from repro.core import Mode
+from repro.serve import ShedPolicy, SweepConfig, run_sweep
+from repro.telemetry import (
+    load_artifact,
+    render_report,
+    validate_artifact,
+)
+
+CPU_MODE = Mode.MULTI_AXL
+DMX_MODE = Mode.BUMP_IN_WIRE
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "telemetry-artifacts"
+    config = SweepConfig(
+        offered_loads_rps=(40.0, 120.0),
+        benchmark="sound-detection",
+        n_tenants=2,
+        modes=(CPU_MODE, DMX_MODE),
+        requests_per_tenant=12,
+        seed=0,
+        slo_s=50e-3,
+        max_inflight=8,
+        shed=ShedPolicy.QUEUE,
+        artifact_dir=out_dir,
+    )
+    print(f"running sweep; artifacts land in {out_dir}/ ...")
+    run_sweep(config)
+
+    names = sorted(
+        name for name in os.listdir(out_dir) if name.endswith(".jsonl")
+    )
+    print(f"wrote {len(names)} artifacts (+ one .trace.json each):")
+    for name in names:
+        path = os.path.join(out_dir, name)
+        problems = validate_artifact(path)
+        status = "valid" if not problems else f"INVALID ({problems[0]})"
+        print(f"  {name:<28} {status}")
+    if any(validate_artifact(os.path.join(out_dir, n)) for n in names):
+        raise SystemExit("artifact validation failed")
+
+    # The report the CLI renders — here for the lightest DMX point.
+    sample = os.path.join(out_dir, f"{DMX_MODE.value}-pt0.jsonl")
+    print()
+    print(f"report for {sample}")
+    print(f"(same as: python -m repro.telemetry {sample})")
+    print("=" * 72)
+    print(render_report(load_artifact(sample), max_waterfalls=2))
+    print("=" * 72)
+    print("open any .trace.json at https://ui.perfetto.dev to browse "
+          "the span trees interactively.")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,8 @@ from ..faults.recovery import shielded
 from ..interconnect import DMACosts, DMAEngine, Fabric, LinkConfig, PCIeGen
 from ..runtime.driver import NotificationModel
 from ..sim import AllOf, PhaseAccumulator, Simulator, Trace, WaitTimeout
+from ..sim.tracing import FaultRecord
+from ..telemetry import ActiveSpan, SpanContext, Telemetry
 from .chain import AppChain, KernelStage, MotionStage
 from .placement import Mode, SystemConfig, drx_config_for
 
@@ -113,6 +115,9 @@ class RunResult:
     records: List[RequestRecord]
     elapsed: float
     requests_per_app: int
+    #: The run's telemetry (spans + metrics); write it out with
+    #: :func:`repro.telemetry.write_artifact`.
+    telemetry: Optional[Telemetry] = None
 
     def apps(self) -> List[str]:
         seen: List[str] = []
@@ -236,6 +241,7 @@ class DMXSystem:
         chains: List[AppChain],
         config: SystemConfig,
         faults: Optional[FaultPlan] = None,
+        telemetry_enabled: bool = True,
     ):
         if not chains:
             raise ValueError("need at least one application chain")
@@ -247,10 +253,14 @@ class DMXSystem:
         self.chains = chains
         self.config = config
         self.sim = Simulator()
+        self.telemetry = Telemetry(self.sim, enabled=telemetry_enabled)
+        self._metrics_recorded = False
         self._faults = faults
         self._request_ids = itertools.count()
         if faults is not None:
-            self.fault_trace: Optional[Trace] = Trace()
+            self.fault_trace: Optional[Trace] = Trace(
+                note_listener=self._fault_instant
+            )
             self.injector: Optional[FaultInjector] = FaultInjector(
                 self.sim,
                 seed=faults.seed,
@@ -366,13 +376,50 @@ class DMXSystem:
 
     # -- per-request process ----------------------------------------------------
 
-    def _timed(self, phases: PhaseAccumulator, phase: str, proc) -> Generator:
+    def _timed(
+        self,
+        phases: PhaseAccumulator,
+        phase: str,
+        proc,
+        span: Optional[ActiveSpan] = None,
+    ) -> Generator:
+        """Run ``proc`` and book its elapsed time under ``phase``.
+
+        ``span`` is the matching telemetry phase span (opened by the
+        caller at the same sim time): it closes exactly at the
+        ``phases.add`` boundary, so span-derived phase totals reconcile
+        with :meth:`RunResult.phase_totals` to the bit. On an exception
+        the span is closed ``abandoned`` and the phase is *not* booked —
+        the recovery path re-bills that time to :data:`PHASE_RECOVERY`.
+        """
         start = self.sim.now
-        result = yield from proc
+        try:
+            result = yield from proc
+        except BaseException:
+            if span is not None:
+                self.telemetry.end(span, abandoned=True)
+            raise
         phases.add(phase, self.sim.now - start)
+        if span is not None:
+            self.telemetry.end(span)
         return result
 
+    def _phase_span(
+        self, ctx: SpanContext, name: str, phase: str, actor: str = "",
+        **attrs: object,
+    ):
+        """Open a phase span under ``ctx``; returns (span, child ctx)."""
+        span = ctx.begin(name, phase, actor=actor, phase=phase, **attrs)
+        return span, ctx.child(span)
+
     # -- recovery-plane plumbing ---------------------------------------------
+
+    def _fault_instant(self, ev: FaultRecord) -> None:
+        """Mirror one fault-trace note into the telemetry instant stream."""
+        self.telemetry.instant(
+            ev.kind, "fault", actor=ev.actor, request_id=ev.request_id,
+            time=ev.time, site=ev.site, detail=ev.detail,
+        )
 
     def _note(
         self,
@@ -401,6 +448,8 @@ class DMXSystem:
             if will_retry:
                 if state is not None:
                     state.retries += 1
+                if self.telemetry.enabled:
+                    self.telemetry.counter("retries", site=site).inc()
                 self._note("retry", actor, site=site, request_id=rid,
                            detail=type(exc).__name__)
             else:
@@ -415,19 +464,37 @@ class DMXSystem:
         dst: str,
         nbytes: int,
         state: Optional[_RequestState] = None,
+        ctx: Optional[SpanContext] = None,
     ) -> Generator:
         """A DMA that stages through host memory (src or dst is 'root')."""
         yield from self.dma.transfer(
             src, dst, nbytes,
             on_retry=self._retry_cb(state, "dma", f"{src}->{dst}"),
+            ctx=ctx,
         )
-        yield self.sim.timeout(nbytes / HOST_STAGING_BYTES_PER_S)
+        span = (
+            ctx.begin("host-staging", "staging", actor="root", bytes=nbytes)
+            if ctx is not None
+            else None
+        )
+        try:
+            yield self.sim.timeout(nbytes / HOST_STAGING_BYTES_PER_S)
+        except BaseException:
+            if span is not None:
+                ctx.end(span, abandoned=True)
+            raise
+        if span is not None:
+            ctx.end(span)
 
     def _drx_restructure(
-        self, drx: DRXDevice, fused, state: Optional[_RequestState]
+        self,
+        drx: DRXDevice,
+        fused,
+        state: Optional[_RequestState],
+        ctx: Optional[SpanContext] = None,
     ) -> Generator:
         """One DRX job, guarded at the "drx" injection site when faulted."""
-        op = drx.restructure(fused)
+        op = drx.restructure(fused, ctx=ctx)
         if self.injector is None:
             return op
         return self.injector.guard(
@@ -443,21 +510,33 @@ class DMXSystem:
         threads: int,
         phases: PhaseAccumulator,
         state: Optional[_RequestState],
+        ctx: SpanContext,
     ) -> Generator:
         """Restructure on the host CPU, staging through host memory —
         the Multi-Axl baseline path, doubling as the degraded path for
         requests whose DRX budget ran out."""
+        span, cctx = self._phase_span(ctx, "movement-in", PHASE_MOVEMENT)
         yield from self._timed(
             phases, PHASE_MOVEMENT,
-            self._staged_transfer(src, "root", stage.input_bytes, state),
+            self._staged_transfer(src, "root", stage.input_bytes, state, cctx),
+            span=span,
+        )
+        span, _ = self._phase_span(
+            ctx, "cpu-restructure", PHASE_RESTRUCTURE, actor="cpu",
+            threads=threads,
         )
         yield from self._timed(
             phases, PHASE_RESTRUCTURE,
             self.cpu.restructure(stage.profile, threads=threads),
+            span=span,
         )
+        span, cctx = self._phase_span(ctx, "movement-out", PHASE_MOVEMENT)
         yield from self._timed(
             phases, PHASE_MOVEMENT,
-            self._staged_transfer("root", dst, stage.output_bytes, state),
+            self._staged_transfer(
+                "root", dst, stage.output_bytes, state, cctx
+            ),
+            span=span,
         )
 
     def _drx_placement(self, mode: Mode, src: str, app_index: int):
@@ -486,6 +565,7 @@ class DMXSystem:
         fused,
         phases: PhaseAccumulator,
         state: Optional[_RequestState],
+        ctx: SpanContext,
     ) -> Generator:
         """The DRX leg of one motion stage: ingest, restructure, notify,
         deliver. Under a :class:`FaultPlan` this runs as a child process
@@ -494,8 +574,16 @@ class DMXSystem:
             # Switch-integrated DRX processes data *as it streams through
             # the switch* (line-rate processing, no store-and-forward):
             # the inbound transfer and the restructuring overlap.
-            ingest_op = self.fabric.transfer(src, staging, stage.input_bytes)
-            work_op = self._drx_restructure(drx, fused, state)
+            pspan, pctx = self._phase_span(
+                ctx, "restructure", PHASE_RESTRUCTURE, actor=drx.name,
+                overlapped=True,
+            )
+            ingest_op = self.telemetry.wrap(
+                self.fabric.transfer(src, staging, stage.input_bytes),
+                "ingest", "ingest", actor=staging, parent=pspan,
+                request_id=ctx.request_id, bytes=stage.input_bytes,
+            )
+            work_op = self._drx_restructure(drx, fused, state, ctx=pctx)
             if self._faults is not None:
                 # Shield the children: an injected fault must surface
                 # here (for fallback), not trip the engine's strict mode.
@@ -503,45 +591,67 @@ class DMXSystem:
             ingest = self.sim.spawn(ingest_op)
             work = self.sim.spawn(work_op)
             start = self.sim.now
-            yield AllOf(self.sim, [ingest, work])
+            try:
+                yield AllOf(self.sim, [ingest, work])
+            except BaseException:
+                self.telemetry.end(pspan, abandoned=True)
+                raise
             phases.add(PHASE_RESTRUCTURE, self.sim.now - start)
+            self.telemetry.end(pspan)
             if self._faults is not None:
                 for proc in (ingest, work):
                     ok, value = proc.value
                     if not ok:
                         raise value
         else:
+            span, cctx = self._phase_span(ctx, "movement-in", PHASE_MOVEMENT)
             in_transfer = (
-                self._staged_transfer(src, staging, stage.input_bytes, state)
+                self._staged_transfer(
+                    src, staging, stage.input_bytes, state, cctx
+                )
                 if staging == "root"
                 else self.dma.transfer(
                     src, staging, stage.input_bytes,
                     on_retry=self._retry_cb(state, "dma", f"{src}->{staging}"),
+                    ctx=cctx,
                 )
             )
-            yield from self._timed(phases, PHASE_MOVEMENT, in_transfer)
+            yield from self._timed(
+                phases, PHASE_MOVEMENT, in_transfer, span=span
+            )
+            span, cctx = self._phase_span(
+                ctx, "restructure", PHASE_RESTRUCTURE, actor=drx.name
+            )
             yield from self._timed(
                 phases, PHASE_RESTRUCTURE,
-                self._drx_restructure(drx, fused, state),
+                self._drx_restructure(drx, fused, state, ctx=cctx),
+                span=span,
             )
         # Restructure-completion notification + P2P DMA to the consumer
         # (Fig. 10 steps 8-9).
+        span, cctx = self._phase_span(ctx, "control", PHASE_CONTROL)
         yield from self._timed(
             phases, PHASE_CONTROL,
             self.notifier.notify(
                 drx.name,
                 on_retry=self._retry_cb(state, "notify", drx.name),
+                ctx=cctx,
             ),
+            span=span,
         )
+        span, cctx = self._phase_span(ctx, "movement-out", PHASE_MOVEMENT)
         out_transfer = (
-            self._staged_transfer(staging, dst, stage.output_bytes, state)
+            self._staged_transfer(
+                staging, dst, stage.output_bytes, state, cctx
+            )
             if staging == "root"
             else self.dma.transfer(
                 staging, dst, stage.output_bytes,
                 on_retry=self._retry_cb(state, "dma", f"{staging}->{dst}"),
+                ctx=cctx,
             )
         )
-        yield from self._timed(phases, PHASE_MOVEMENT, out_transfer)
+        yield from self._timed(phases, PHASE_MOVEMENT, out_transfer, span=span)
 
     def _motion(
         self,
@@ -550,6 +660,7 @@ class DMXSystem:
         stage: MotionStage,
         phases: PhaseAccumulator,
         state: Optional[_RequestState] = None,
+        rctx: Optional[SpanContext] = None,
     ) -> Generator:
         """The data-motion step between kernel ``kernel_index`` and the
         next one, under the configured placement."""
@@ -557,26 +668,61 @@ class DMXSystem:
         src = self.accel_name(app_index, kernel_index)
         dst = self.accel_name(app_index, kernel_index + 1)
         threads = stage.cpu_threads
+        if rctx is None:
+            rctx = self.telemetry.context(
+                request_id=state.request_id if state is not None else -1
+            )
+        mspan = rctx.begin(
+            f"motion{kernel_index}", "stage", src=src, dst=dst
+        )
+        sctx = rctx.child(mspan)
+        try:
+            yield from self._motion_body(
+                mode, app_index, src, dst, stage, threads, phases, state, sctx
+            )
+        except BaseException:
+            self.telemetry.end(mspan, abandoned=True)
+            raise
+        self.telemetry.end(mspan)
 
+    def _motion_body(
+        self,
+        mode: Mode,
+        app_index: int,
+        src: str,
+        dst: str,
+        stage: MotionStage,
+        threads: int,
+        phases: PhaseAccumulator,
+        state: Optional[_RequestState],
+        sctx: SpanContext,
+    ) -> Generator:
         if mode == Mode.ALL_CPU:
             # Data already lives in host memory; only the computation.
+            span, _ = self._phase_span(
+                sctx, "cpu-restructure", PHASE_RESTRUCTURE, actor="cpu",
+                threads=threads,
+            )
             yield from self._timed(
                 phases, PHASE_RESTRUCTURE,
                 self.cpu.restructure(stage.profile, threads=threads),
+                span=span,
             )
             return
 
         # Kernel-completion notification + DMA setup (control plane).
+        span, cctx = self._phase_span(sctx, "control", PHASE_CONTROL)
         yield from self._timed(
             phases, PHASE_CONTROL,
             self.notifier.notify(
-                src, on_retry=self._retry_cb(state, "notify", src)
+                src, on_retry=self._retry_cb(state, "notify", src), ctx=cctx
             ),
+            span=span,
         )
 
         if mode == Mode.MULTI_AXL:
             yield from self._multi_axl_motion(
-                src, dst, stage, threads, phases, state
+                src, dst, stage, threads, phases, state, sctx
             )
             return
 
@@ -597,7 +743,8 @@ class DMXSystem:
 
         if self._faults is None:
             yield from self._drx_motion(
-                mode, src, dst, staging, drx, stage, fused, phases, state
+                mode, src, dst, staging, drx, stage, fused, phases, state,
+                sctx,
             )
             return
 
@@ -606,11 +753,17 @@ class DMXSystem:
         # stage falls back to CPU restructuring via host memory.
         local = PhaseAccumulator(ALL_PHASES)
         span_start = self.sim.now
+        attempt = sctx.begin(
+            "drx-attempt", "attempt",
+            deadline_s=self._faults.drx_deadline_s,
+        )
+        actx = sctx.child(attempt)
         try:
             yield from with_timeout(
                 self.sim,
                 self._drx_motion(
-                    mode, src, dst, staging, drx, stage, fused, local, state
+                    mode, src, dst, staging, drx, stage, fused, local, state,
+                    actx,
                 ),
                 self._faults.drx_deadline_s,
                 what=f"drx:{drx.name}",
@@ -623,11 +776,24 @@ class DMXSystem:
                 request_id=state.request_id if state is not None else -1,
                 detail=type(exc).__name__,
             )
+            # The whole attempt subtree is dead time: abandon it (phase
+            # spans under it stop counting toward phase totals) and
+            # re-bill the interval to the recovery phase, exactly as the
+            # accumulator does.
+            self.telemetry.end(attempt, error=type(exc).__name__)
+            self.telemetry.mark_abandoned(attempt)
             phases.add(PHASE_RECOVERY, self.sim.now - span_start)
+            self.telemetry.add(
+                "recovery", PHASE_RECOVERY, start=span_start,
+                end=self.sim.now, actor=drx.name, parent=sctx.parent_id,
+                request_id=sctx.request_id, phase=PHASE_RECOVERY,
+                cause=type(exc).__name__,
+            )
             yield from self._multi_axl_motion(
-                src, dst, stage, threads, phases, state
+                src, dst, stage, threads, phases, state, sctx
             )
         else:
+            self.telemetry.end(attempt)
             for phase, duration in local.totals.items():
                 if duration:
                     phases.add(phase, duration)
@@ -656,6 +822,7 @@ class DMXSystem:
         app_index: int,
         chain: AppChain,
         records: Optional[List[RequestRecord]] = None,
+        parent_span: Optional[int] = None,
     ) -> Generator:
         """One end-to-end request; returns its :class:`RequestRecord`
         (and appends it to ``records`` when a sink is given)."""
@@ -663,6 +830,12 @@ class DMXSystem:
         state = _RequestState(next(self._request_ids))
         start = self.sim.now
         kernel_index = 0
+        root = self.telemetry.begin(
+            f"{chain.name}#r{state.request_id}", "request", actor=chain.name,
+            parent=parent_span, request_id=state.request_id,
+            mode=self.config.mode.name, app=chain.name,
+        )
+        rctx = self.telemetry.context(root, state.request_id)
         try:
             for stage in chain.stages:
                 if isinstance(stage, KernelStage):
@@ -676,29 +849,41 @@ class DMXSystem:
                             min(stage.cpu_threads,
                                 self.cpu.spec.cores // len(self.chains)),
                         )
+                        span, _ = self._phase_span(
+                            rctx, f"kernel{kernel_index}", PHASE_KERNEL,
+                            actor="cpu", threads=threads,
+                        )
                         yield from self._timed(
                             phases, PHASE_KERNEL,
                             self.cpu.run_kernel(
                                 stage.cpu_latency(threads), threads=threads
                             ),
+                            span=span,
                         )
                     else:
                         device = self.accel_devices[
                             self.accel_name(app_index, kernel_index)
                         ]
+                        span, _ = self._phase_span(
+                            rctx, f"kernel{kernel_index}", PHASE_KERNEL,
+                            actor=device.name,
+                        )
                         if self._faults is None:
                             yield from self._timed(
-                                phases, PHASE_KERNEL, device.execute()
+                                phases, PHASE_KERNEL, device.execute(),
+                                span=span,
                             )
                         else:
                             yield from self._timed(
                                 phases, PHASE_KERNEL,
                                 self._recovering_kernel(device, state),
+                                span=span,
                             )
                     kernel_index += 1
                 else:
                     yield from self._motion(
-                        app_index, kernel_index - 1, stage, phases, state
+                        app_index, kernel_index - 1, stage, phases, state,
+                        rctx,
                     )
         except _RECOVERABLE as exc:
             # Recovery exhausted: answer the request with an error
@@ -714,6 +899,10 @@ class DMXSystem:
             retries=state.retries, fell_back=state.fell_back,
             failed=state.failed, request_id=state.request_id,
         )
+        self.telemetry.end(
+            root, retries=state.retries, fell_back=state.fell_back,
+            failed=state.failed,
+        )
         if records is not None:
             records.append(record)
         return record
@@ -727,7 +916,9 @@ class DMXSystem:
                 return index
         raise KeyError(f"no application chain named {name!r}")
 
-    def submit(self, app_index: int) -> Generator:
+    def submit(
+        self, app_index: int, parent_span: Optional[int] = None
+    ) -> Generator:
         """Process helper: run one request through the system.
 
         The entry point for external drivers (notably the serving layer
@@ -738,13 +929,17 @@ class DMXSystem:
         :class:`~repro.faults.FaultPlan` is armed. Unlike the ``run_*``
         drivers, ``submit`` does not touch the simulator loop; the
         caller decides arrival times, concurrency, and admission.
+        ``parent_span`` hangs the request's span tree under a caller
+        span (the serving frontend's client span).
         """
         if not 0 <= app_index < len(self.chains):
             raise IndexError(
                 f"app_index {app_index} out of range "
                 f"(0..{len(self.chains) - 1})"
             )
-        record = yield from self._request(app_index, self.chains[app_index])
+        record = yield from self._request(
+            app_index, self.chains[app_index], parent_span=parent_span
+        )
         return record
 
     # -- run modes ------------------------------------------------------------
@@ -766,11 +961,14 @@ class DMXSystem:
         for app_index, chain in enumerate(self.chains):
             self.sim.spawn(app_loop(app_index, chain))
         self.sim.run()
+        self.telemetry.finalize()
+        self._record_run_metrics()
         return RunResult(
             mode=self.config.mode,
             records=records,
             elapsed=self.sim.now,
             requests_per_app=requests_per_app,
+            telemetry=self.telemetry,
         )
 
     def run_throughput(self, requests_per_app: int = 12) -> RunResult:
@@ -792,14 +990,43 @@ class DMXSystem:
                     self.sim.spawn(self._request(app_index, chain, records))
                 )
         self.sim.run()
+        self.telemetry.finalize()
+        self._record_run_metrics()
         return RunResult(
             mode=self.config.mode,
             records=records,
             elapsed=self.sim.now,
             requests_per_app=requests_per_app,
+            telemetry=self.telemetry,
         )
 
     # -- post-run accounting (energy model inputs) ---------------------------------
+
+    def _record_run_metrics(self) -> None:
+        """Fold end-of-run device/driver counters into the metrics
+        registry (idempotent — the serving frontend and the run drivers
+        may both call it)."""
+        if self._metrics_recorded or not self.telemetry.enabled:
+            return
+        self._metrics_recorded = True
+        t = self.telemetry
+        for name in sorted(self.drx_devices):
+            t.sample_gauge(
+                "drx_utilization", self.drx_devices[name].utilization(),
+                device=name,
+            )
+        for name in sorted(self.accel_devices):
+            t.sample_gauge(
+                "accel_busy_s", self.accel_devices[name].busy_seconds,
+                device=name,
+            )
+        t.counter("dma_transfers").inc(self.dma.transfers_completed)
+        t.counter("dma_bytes").inc(self.dma.bytes_transferred)
+        t.counter("fabric_bytes").inc(self.bytes_moved())
+        stats = self.notifier.stats
+        t.counter("notifications", mode="interrupt").inc(stats.interrupts)
+        t.counter("notifications", mode="coalesced").inc(stats.coalesced)
+        t.counter("notifications", mode="poll").inc(stats.polled)
 
     def accelerator_busy_seconds(self) -> float:
         return sum(d.busy_seconds for d in self.accel_devices.values())

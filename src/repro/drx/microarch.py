@@ -25,11 +25,14 @@ Defaults follow the paper's evaluated configuration: 128 RE lanes,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from ..profiles import WorkProfile
 from ..sim import Server, Simulator
 from .functional import ExecutionStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import SpanContext
 
 __all__ = ["DRXConfig", "DRXTimingModel", "DRXDevice", "DEFAULT_DRX"]
 
@@ -161,14 +164,36 @@ class DRXDevice:
         self.jobs_completed = 0
         self.busy_seconds = 0.0
 
-    def restructure(self, profile: WorkProfile) -> Generator:
-        """Process: run one restructuring job on this DRX unit."""
+    def restructure(
+        self,
+        profile: WorkProfile,
+        ctx: Optional["SpanContext"] = None,
+    ) -> Generator:
+        """Process: run one restructuring job on this DRX unit.
+
+        ``ctx`` attaches a "drx" span; its ``queued_s`` attribute is the
+        time the job waited behind other jobs on this unit (the shared-DRX
+        contention signal).
+        """
         duration = self.timing.time_for_profile(profile)
         start = self.sim.now
-        yield from self._server.transfer(duration)
+        span = (
+            ctx.begin(self.name, "drx", actor=self.name, service_s=duration)
+            if ctx is not None
+            else None
+        )
+        try:
+            yield from self._server.transfer(duration)
+        except BaseException as exc:
+            if span is not None:
+                ctx.end(span, abandoned=True, error=type(exc).__name__)
+            raise
         self.jobs_completed += 1
         self.busy_seconds += duration
-        return self.sim.now - start
+        elapsed = self.sim.now - start
+        if span is not None:
+            ctx.end(span, queued_s=elapsed - duration)
+        return elapsed
 
     def utilization(self) -> float:
         return self._server.utilization()

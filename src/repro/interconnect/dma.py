@@ -18,12 +18,15 @@ only the fixed per-transfer software path lengths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from ..faults.injector import FaultInjector
 from ..faults.recovery import RetryPolicy, retry
 from ..sim import Simulator
 from .topology import Fabric
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import SpanContext
 
 __all__ = ["DMACosts", "DMAEngine"]
 
@@ -126,6 +129,7 @@ class DMAEngine:
         charge_setup: bool = True,
         charge_completion: bool = True,
         on_retry: Optional[Callable[[int, BaseException, bool], None]] = None,
+        ctx: Optional["SpanContext"] = None,
     ) -> Generator:
         """Process: one DMA from ``src`` to ``dst``.
 
@@ -133,11 +137,39 @@ class DMAEngine:
         back-to-back DMAs under a single driver invocation (used by the
         one-to-many collectives, where descriptors are chained).
         ``on_retry`` (recovery mode only) observes each failed attempt.
+        ``ctx`` attaches a "dma" telemetry span (covering every retry of
+        this transfer) under the caller's span tree.
         Returns the elapsed time; raises
         :class:`~repro.faults.RetryExhausted` when recovery gives up.
         """
         if nbytes < 0:
             raise ValueError(f"negative DMA size: {nbytes}")
+        span = (
+            ctx.begin(f"{src}->{dst}", "dma", actor=self.name, bytes=nbytes)
+            if ctx is not None
+            else None
+        )
+        try:
+            elapsed = yield from self._transfer(
+                src, dst, nbytes, charge_setup, charge_completion, on_retry
+            )
+        except BaseException as exc:
+            if span is not None:
+                ctx.end(span, abandoned=True, error=type(exc).__name__)
+            raise
+        if span is not None:
+            ctx.end(span)
+        return elapsed
+
+    def _transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        charge_setup: bool,
+        charge_completion: bool,
+        on_retry: Optional[Callable[[int, BaseException, bool], None]],
+    ) -> Generator:
         start = self.sim.now
         if not self._recovering:
             yield from self._attempt(

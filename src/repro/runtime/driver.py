@@ -21,12 +21,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Generator, Optional
 
 from ..cpu import HostCPU
 from ..faults.injector import FaultInjector
 from ..faults.recovery import RetryPolicy, retry
 from ..sim import Simulator, WaitTimeout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import SpanContext
 
 __all__ = ["NotificationCosts", "NotificationModel", "DriverStats"]
 
@@ -137,13 +140,15 @@ class NotificationModel:
         self,
         device: str,
         on_retry: Optional[Callable[[int, BaseException, bool], None]] = None,
+        ctx: Optional["SpanContext"] = None,
     ) -> Generator:
         """Process: deliver one completion notification to the host.
 
         Returns the CPU cost charged per delivery. With a recovery
         configuration, a lost or hung delivery is retried under the
         watchdog (``on_retry`` observes each failed attempt); exhaustion
-        raises :class:`~repro.faults.RetryExhausted`.
+        raises :class:`~repro.faults.RetryExhausted`. ``ctx`` attaches a
+        "notify" span recording the delivery mode and billed cost.
         """
         now = self.sim.now
         history = self._arrivals.setdefault(
@@ -154,23 +159,47 @@ class NotificationModel:
 
         if self._polling.get(device, False):
             cost = self.costs.poll_s
+            mode = "poll"
             self.stats.polled += 1
         else:
             last = self._last_isr.get(device)
             if last is not None and now - last < self.costs.coalesce_window_s:
                 cost = self.costs.coalesced_s
+                mode = "coalesced"
                 self.stats.coalesced += 1
             else:
                 cost = self.costs.interrupt_s
+                mode = "interrupt"
                 self.stats.interrupts += 1
             self._last_isr[device] = now
+        span = (
+            ctx.begin("notify", "notify", actor=device, mode=mode, cost_s=cost)
+            if ctx is not None
+            else None
+        )
+        try:
+            yield from self._notify_timed(device, cost, on_retry)
+        except BaseException as exc:
+            if span is not None:
+                ctx.end(span, abandoned=True, error=type(exc).__name__)
+            raise
+        if span is not None:
+            ctx.end(span)
+        return cost
+
+    def _notify_timed(
+        self,
+        device: str,
+        cost: float,
+        on_retry: Optional[Callable[[int, BaseException, bool], None]],
+    ) -> Generator:
         # ISRs preempt whatever the cores are doing, so the notification
         # costs wall time and CPU energy but does not queue behind bulk
         # restructuring chunks.
         if self.injector is None and self.timeout_s is None:
             yield self.sim.timeout(cost)
             self.cpu.busy_seconds += cost
-            return cost
+            return
 
         def failed(attempt: int, exc: BaseException, will_retry: bool):
             if isinstance(exc, WaitTimeout):
@@ -188,4 +217,3 @@ class NotificationModel:
             on_attempt_failed=failed,
             what=f"notify:{device}",
         )
-        return cost

@@ -26,7 +26,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Generator, List, Optional, Sequence
 
-from ..core.system import DMXSystem
+from ..core.system import DMXSystem, RequestRecord
 from ..sim import Event
 from .arrivals import ArrivalProcess
 from .slo import LatencyTracker, QueueSample, ServeResult, TenantStats
@@ -146,6 +146,7 @@ class ServingFrontend:
             )
         self.system = system
         self.sim = system.sim
+        self.telemetry = system.telemetry
         self.config = config
         self.tenants = list(tenants)
         self._app_index = {t.name: system.app_index(t.name) for t in tenants}
@@ -157,7 +158,17 @@ class ServingFrontend:
             t.name: TenantStats(name=t.name) for t in tenants
         }
         self._latency = LatencyTracker()
-        self._timeline: List[QueueSample] = []
+        self._records: List[RequestRecord] = []
+        self._client_latency: Optional[Dict[str, object]] = (
+            {
+                t.name: self.telemetry.histogram(
+                    "client_latency", tenant=t.name
+                )
+                for t in tenants
+            }
+            if self.telemetry.enabled
+            else None
+        )
         self._inflight = 0
         self._open_arrivals = len(self.tenants)
         self._wake: Optional[Event] = None
@@ -186,16 +197,34 @@ class ServingFrontend:
         stats = self._stats[spec.name]
         queue = self._queues[spec.name]
         gaps = spec.arrivals.interarrivals(self._rng)
+        record_metrics = self.telemetry.enabled
+        if record_metrics:
+            arrivals_counter = self.telemetry.counter(
+                "arrivals", tenant=spec.name
+            )
+            shed_counter = self.telemetry.counter("shed", tenant=spec.name)
+            admitted_counter = self.telemetry.counter(
+                "admitted", tenant=spec.name
+            )
         for seq in range(spec.n_requests):
             yield self.sim.timeout(next(gaps))
             stats.arrived += 1
+            if record_metrics:
+                arrivals_counter.inc()
             if (
                 self.config.shed is ShedPolicy.REJECT
                 and len(queue) >= spec.queue_capacity
             ):
                 stats.shed += 1
+                if record_metrics:
+                    shed_counter.inc()
+                    self.telemetry.instant(
+                        "shed", "admission", actor=spec.name, seq=seq
+                    )
                 continue
             stats.admitted += 1
+            if record_metrics:
+                admitted_counter.inc()
             queue.append(_Admitted(spec, self.sim.now, seq))
             self._kick()
         self._open_arrivals -= 1
@@ -255,7 +284,23 @@ class ServingFrontend:
     def _serve_one(self, item: _Admitted) -> Generator:
         stats = self._stats[item.spec.name]
         dispatched = self.sim.now
-        record = yield from self.system.submit(self._app_index[item.spec.name])
+        telemetry = self.telemetry
+        # The client span covers arrival→completion (what the SLO sees);
+        # its "admission" child is the queue wait, and the system's
+        # request span tree hangs under it via ``parent_span``.
+        client = telemetry.begin(
+            f"{item.spec.name}#{item.seq}", "client", actor=item.spec.name,
+            start=item.arrival, tenant=item.spec.name, seq=item.seq,
+        )
+        record = yield from self.system.submit(
+            self._app_index[item.spec.name], parent_span=client.span_id
+        )
+        client.request_id = record.request_id
+        telemetry.add(
+            "admission", "queue", start=item.arrival, end=dispatched,
+            actor=item.spec.name, parent=client,
+            request_id=record.request_id, phase="queue",
+        )
         latency = self.sim.now - item.arrival
         stats.completed += 1
         if record.failed:
@@ -265,23 +310,54 @@ class ServingFrontend:
         stats.latency.add(latency)
         stats.queue_wait.add(dispatched - item.arrival)
         self._latency.add(latency)
+        self._records.append(record)
+        telemetry.end(client, failed=record.failed)
+        if self._client_latency is not None:
+            self._client_latency[item.spec.name].observe(latency)
         self._inflight -= 1
         self._kick()
 
     # -- queue-depth timeline ------------------------------------------------
 
     def _sampler_loop(self, period: float) -> Generator:
+        # The occupancy timeline lives in the metrics registry (written
+        # straight to the registry, not gated on ``telemetry.enabled``,
+        # so ``ServeResult.timeline`` behaves identically either way).
+        registry = self.telemetry.metrics
+        inflight_gauge = registry.gauge("inflight")
+        queue_gauges = {
+            name: registry.gauge("queue_depth", tenant=name)
+            for name in self._queues
+        }
         while not self._finished:
-            self._timeline.append(
-                QueueSample(
-                    time=self.sim.now,
-                    queued={
-                        name: len(q) for name, q in self._queues.items()
-                    },
-                    inflight=self._inflight,
-                )
-            )
+            now = self.sim.now
+            for name, queue in self._queues.items():
+                queue_gauges[name].sample(now, len(queue))
+            inflight_gauge.sample(now, self._inflight)
             yield self.sim.timeout(period)
+
+    def _build_timeline(self) -> List[QueueSample]:
+        """Reconstruct the legacy per-sample timeline from the gauges."""
+        if self.config.sample_period_s is None:
+            return []
+        registry = self.telemetry.metrics
+        per_tenant = {
+            name: registry.gauge("queue_depth", tenant=name).samples
+            for name in self._queues
+        }
+        return [
+            QueueSample(
+                time=time,
+                queued={
+                    name: int(samples[i][1])
+                    for name, samples in per_tenant.items()
+                },
+                inflight=int(value),
+            )
+            for i, (time, value) in enumerate(
+                registry.gauge("inflight").samples
+            )
+        ]
 
     # -- the run -------------------------------------------------------------
 
@@ -301,10 +377,14 @@ class ServingFrontend:
                 name="queue-sampler",
             )
         self.sim.run()
+        self.telemetry.finalize()
+        self.system._record_run_metrics()
         return ServeResult(
             tenants=self._stats,
             latency=self._latency,
-            timeline=self._timeline,
+            timeline=self._build_timeline(),
             elapsed=self._done_at,
             slo_s=self.config.slo_s,
+            records=self._records,
+            telemetry=self.telemetry,
         )

@@ -20,9 +20,15 @@ when retained and falls back to the P² estimate otherwise.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..sim.tracing import exact_percentile as _exact_percentile
+from ..telemetry.metrics import time_weighted_mean
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.system import RequestRecord
+    from ..telemetry import Telemetry
 
 __all__ = [
     "P2Quantile",
@@ -115,20 +121,6 @@ class P2Quantile:
         if self._heights is None:
             return _exact_percentile(sorted(self._initial), self.q)
         return self._heights[2]
-
-
-def _exact_percentile(ordered: List[float], q: float) -> float:
-    """Linear-interpolated percentile of a pre-sorted sample."""
-    n = len(ordered)
-    if n == 1:
-        return ordered[0]
-    rank = q * (n - 1)
-    low = math.floor(rank)
-    high = math.ceil(rank)
-    if low == high:
-        return ordered[low]
-    frac = rank - low
-    return ordered[low] * (1 - frac) + ordered[high] * frac
 
 
 class LatencyTracker:
@@ -255,6 +247,11 @@ class ServeResult:
     timeline: List[QueueSample]
     elapsed: float
     slo_s: Optional[float] = None
+    #: Per-request service records from the fronted system (arrival order).
+    records: List["RequestRecord"] = field(default_factory=list)
+    #: The run's telemetry (spans + metrics); write it out with
+    #: :func:`repro.telemetry.write_artifact`.
+    telemetry: Optional["Telemetry"] = None
 
     # -- aggregate counters --------------------------------------------------
 
@@ -299,6 +296,23 @@ class ServeResult:
         return max(s.total_queued for s in self.timeline)
 
     def mean_queue_depth(self) -> float:
+        """Time-weighted mean total queue depth over the run.
+
+        Each sample holds until the next one (last-value-carried-forward,
+        with the final sample extended to ``elapsed``), so irregular
+        sampling periods — e.g. a sampler perturbed by bursty arrivals —
+        don't bias the mean toward densely-sampled intervals. The old
+        unweighted average remains as :meth:`mean_sampled_queue_depth`.
+        """
+        if not self.timeline:
+            return 0.0
+        return time_weighted_mean(
+            [(s.time, float(s.total_queued)) for s in self.timeline],
+            end=self.elapsed,
+        )
+
+    def mean_sampled_queue_depth(self) -> float:
+        """Unweighted mean over samples (biased under uneven spacing)."""
         if not self.timeline:
             return 0.0
         return sum(s.total_queued for s in self.timeline) / len(self.timeline)

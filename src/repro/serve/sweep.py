@@ -20,6 +20,7 @@ armed to sweep a system with the recovery plane active.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -50,6 +51,11 @@ class SweepConfig:
     the named benchmark unless ``chain_factory`` is given (it must
     return identically-built chains on every call — determinism rides
     on it). ``faults`` arms the recovery plane for every point.
+
+    ``artifact_dir`` writes each grid point's telemetry out as a
+    JSON-lines run artifact plus a Chrome-trace/Perfetto export
+    (``<mode>-pt<index>.jsonl`` / ``.trace.json``) — deterministic
+    filenames, byte-identical contents across equal-seed sweeps.
     """
 
     offered_loads_rps: Tuple[float, ...]
@@ -67,6 +73,7 @@ class SweepConfig:
     sample_period_s: Optional[float] = 1e-3
     faults: Optional[FaultPlan] = None
     chain_factory: Optional[Callable[[], List[AppChain]]] = None
+    artifact_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.offered_loads_rps:
@@ -212,11 +219,39 @@ def _point(mode: Mode, offered_rps: float, result: ServeResult) -> SweepPoint:
     )
 
 
+def _write_point_artifacts(
+    config: SweepConfig,
+    mode: Mode,
+    point_index: int,
+    load: float,
+    result: ServeResult,
+) -> None:
+    """One grid point's run artifact + Perfetto export on disk."""
+    from ..telemetry import write_artifact, write_chrome_trace
+
+    os.makedirs(config.artifact_dir, exist_ok=True)
+    stem = os.path.join(
+        config.artifact_dir, f"{mode.value}-pt{point_index}"
+    )
+    write_artifact(
+        f"{stem}.jsonl",
+        result.telemetry,
+        meta={
+            "mode": mode.value,
+            "offered_rps": load,
+            "seed": config.seed,
+            "benchmark": config.benchmark,
+            "slo_s": config.slo_s,
+        },
+    )
+    write_chrome_trace(f"{stem}.trace.json", result.telemetry)
+
+
 def run_sweep(config: SweepConfig) -> SweepResult:
     """Run the full (mode x offered load) grid of one sweep."""
     sweep = SweepResult(slo_s=config.slo_s, seed=config.seed)
     for mode in config.modes:
-        for load in config.offered_loads_rps:
+        for point_index, load in enumerate(config.offered_loads_rps):
             chains = config.build_chains()
             system = DMXSystem(
                 chains, SystemConfig(mode=mode), faults=config.faults
@@ -243,7 +278,12 @@ def run_sweep(config: SweepConfig) -> SweepResult:
                 ),
                 seed=config.seed,
             )
-            sweep.points.append(_point(mode, load, frontend.run()))
+            result = frontend.run()
+            if config.artifact_dir is not None:
+                _write_point_artifacts(
+                    config, mode, point_index, load, result
+                )
+            sweep.points.append(_point(mode, load, result))
     return sweep
 
 

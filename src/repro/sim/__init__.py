@@ -17,6 +17,7 @@ from .tracing import (
     Interval,
     PhaseAccumulator,
     Trace,
+    exact_percentile,
     geometric_mean,
     summarize_latencies,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "Interval",
     "PhaseAccumulator",
     "Trace",
+    "exact_percentile",
     "geometric_mean",
     "summarize_latencies",
 ]

@@ -11,13 +11,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Interval",
     "FaultRecord",
     "Trace",
     "PhaseAccumulator",
+    "exact_percentile",
     "summarize_latencies",
 ]
 
@@ -64,9 +65,20 @@ class Trace:
     fallbacks show up alongside the spans they perturbed.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        note_listener: Optional[Callable[[FaultRecord], None]] = None,
+    ) -> None:
         self.intervals: List[Interval] = []
         self.events: List[FaultRecord] = []
+        # Request-id indexes: the report CLI asks for one request's
+        # intervals/faults at a time, which would otherwise be an O(n)
+        # scan per request (O(n^2) across a large serving run).
+        self._intervals_by_request: Dict[int, List[Interval]] = {}
+        self._events_by_request: Dict[int, List[FaultRecord]] = {}
+        # Optional mirror: every fault note is forwarded (the telemetry
+        # layer subscribes to surface fault events as instants).
+        self._note_listener = note_listener
 
     def record(
         self,
@@ -78,7 +90,9 @@ class Trace:
     ) -> None:
         if end < start:
             raise ValueError(f"interval ends before it starts: {start}..{end}")
-        self.intervals.append(Interval(start, end, actor, phase, request_id))
+        interval = Interval(start, end, actor, phase, request_id)
+        self.intervals.append(interval)
+        self._intervals_by_request.setdefault(request_id, []).append(interval)
 
     def total(self, phase: Optional[str] = None, actor: Optional[str] = None) -> float:
         """Summed duration of intervals matching the filters."""
@@ -97,7 +111,8 @@ class Trace:
         return out
 
     def for_request(self, request_id: int) -> List[Interval]:
-        return [iv for iv in self.intervals if iv.request_id == request_id]
+        """Intervals recorded against one request (indexed lookup)."""
+        return list(self._intervals_by_request.get(request_id, ()))
 
     # -- fault/recovery event stream ----------------------------------------
 
@@ -111,9 +126,11 @@ class Trace:
         detail: str = "",
     ) -> None:
         """Record one fault-plane point event."""
-        self.events.append(
-            FaultRecord(time, actor, kind, site, request_id, detail)
-        )
+        event = FaultRecord(time, actor, kind, site, request_id, detail)
+        self.events.append(event)
+        self._events_by_request.setdefault(request_id, []).append(event)
+        if self._note_listener is not None:
+            self._note_listener(event)
 
     def faults(
         self,
@@ -121,13 +138,21 @@ class Trace:
         site: Optional[str] = None,
         request_id: Optional[int] = None,
     ) -> List[FaultRecord]:
-        """Fault events matching the filters (all by default)."""
+        """Fault events matching the filters (all by default).
+
+        A ``request_id`` filter uses the per-request index instead of
+        scanning the full event stream.
+        """
+        events: Iterable[FaultRecord] = (
+            self.events
+            if request_id is None
+            else self._events_by_request.get(request_id, ())
+        )
         return [
             ev
-            for ev in self.events
+            for ev in events
             if (kind is None or ev.kind == kind)
             and (site is None or ev.site == site)
-            and (request_id is None or ev.request_id == request_id)
         ]
 
     def fault_counts(self) -> Dict[str, int]:
@@ -169,28 +194,38 @@ class PhaseAccumulator:
         return {phase: duration / total for phase, duration in self.totals.items()}
 
 
+def exact_percentile(ordered: List[float], q: float) -> float:
+    """Linear-interpolated percentile of a pre-sorted sample.
+
+    The single quantile implementation shared by the batch summaries
+    here and the serving-side :class:`~repro.serve.slo.LatencyTracker`,
+    so both report identical values for identical samples.
+    """
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("percentile of an empty sample")
+    if n == 1:
+        return ordered[0]
+    rank = q * (n - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
 def summarize_latencies(latencies: List[float]) -> Dict[str, float]:
-    """Mean / p50 / p99 / min / max summary of a latency sample."""
+    """Mean / p50 / p95 / p99 / min / max summary of a latency sample."""
     if not latencies:
         raise ValueError("no latencies to summarize")
     ordered = sorted(latencies)
     n = len(ordered)
-
-    def percentile(p: float) -> float:
-        if n == 1:
-            return ordered[0]
-        rank = p * (n - 1)
-        low = math.floor(rank)
-        high = math.ceil(rank)
-        if low == high:
-            return ordered[low]
-        frac = rank - low
-        return ordered[low] * (1 - frac) + ordered[high] * frac
-
     return {
         "mean": sum(ordered) / n,
-        "p50": percentile(0.50),
-        "p99": percentile(0.99),
+        "p50": exact_percentile(ordered, 0.50),
+        "p95": exact_percentile(ordered, 0.95),
+        "p99": exact_percentile(ordered, 0.99),
         "min": ordered[0],
         "max": ordered[-1],
         "count": float(n),

@@ -1,0 +1,83 @@
+"""Always-on observability for the DMX reproduction.
+
+The paper's evaluation is an *attribution* exercise — end-to-end time
+split into kernel vs. restructuring vs. movement, per placement. This
+package is the measurement substrate that makes the same attribution
+possible on every simulated run without rerunning it:
+
+* :mod:`repro.telemetry.spans` — hierarchical, causally-linked spans
+  (request → stage → dma/drx/kernel/notify) emitted by the system
+  model, the interconnect, the DRX devices, the fault plane, and the
+  serving frontend;
+* :mod:`repro.telemetry.metrics` — counters, gauges, and histograms
+  sampled on simulated time (queue depths, utilizations, retries);
+* :mod:`repro.telemetry.artifact` — deterministic JSON-lines run
+  artifacts (``schema: 1``), byte-identical given equal seeds;
+* :mod:`repro.telemetry.export` — Chrome trace-event / Perfetto
+  exporter (open any run at ``ui.perfetto.dev``);
+* :mod:`repro.telemetry.report` — per-request waterfalls, phase
+  breakdown tables, and critical-path attribution;
+* ``python -m repro.telemetry`` — the report CLI over artifacts.
+"""
+
+from .artifact import (
+    SCHEMA_VERSION,
+    RunArtifact,
+    artifact_lines,
+    load_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from .export import chrome_trace, write_chrome_trace
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    time_weighted_mean,
+)
+from .report import (
+    IDLE_KEY,
+    critical_path,
+    critical_path_summary,
+    on_critical_path,
+    phase_totals,
+    render_report,
+    run_phase_totals,
+    waterfall,
+)
+from .runtime import SpanContext, Telemetry
+from .spans import ROOT_PARENT, ActiveSpan, Instant, Span, SpanTracker
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunArtifact",
+    "artifact_lines",
+    "write_artifact",
+    "load_artifact",
+    "validate_artifact",
+    "chrome_trace",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "time_weighted_mean",
+    "DEFAULT_LATENCY_BUCKETS",
+    "IDLE_KEY",
+    "critical_path",
+    "critical_path_summary",
+    "on_critical_path",
+    "phase_totals",
+    "run_phase_totals",
+    "render_report",
+    "waterfall",
+    "SpanContext",
+    "Telemetry",
+    "ROOT_PARENT",
+    "ActiveSpan",
+    "Instant",
+    "Span",
+    "SpanTracker",
+]

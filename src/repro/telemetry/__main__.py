@@ -1,0 +1,70 @@
+"""Report CLI: render, validate, and export run artifacts.
+
+Usage::
+
+    python -m repro.telemetry ARTIFACT.jsonl               # text report
+    python -m repro.telemetry ARTIFACT.jsonl --max-requests 8
+    python -m repro.telemetry ARTIFACT.jsonl --validate    # schema check
+    python -m repro.telemetry ARTIFACT.jsonl --export trace.json
+                                                           # Perfetto trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .artifact import load_artifact, validate_artifact
+from .export import write_chrome_trace
+from .report import render_report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect a telemetry run artifact (JSON-lines).",
+    )
+    parser.add_argument("artifact", help="path to the run artifact")
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="schema-validate the artifact and exit (nonzero on problems)",
+    )
+    parser.add_argument(
+        "--export", metavar="PATH",
+        help="write a Chrome/Perfetto trace JSON instead of a report",
+    )
+    parser.add_argument(
+        "--max-requests", type=int, default=4,
+        help="number of per-request waterfalls to render (default 4)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=40,
+        help="waterfall bar width in characters (default 40)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        problems = validate_artifact(args.artifact)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.artifact}: valid (schema ok)")
+        return 0
+
+    artifact = load_artifact(args.artifact)
+    if args.export:
+        path = write_chrome_trace(args.export, artifact)
+        print(f"wrote {path} ({len(artifact.spans)} spans) — "
+              f"open it at https://ui.perfetto.dev")
+        return 0
+
+    print(render_report(
+        artifact, max_waterfalls=args.max_requests, width=args.width
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

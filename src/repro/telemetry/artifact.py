@@ -1,0 +1,297 @@
+"""Deterministic run artifacts: JSON-lines serialization of a run.
+
+One artifact file captures everything one simulated run produced —
+config/meta, the full span tree, fault instants, and every metric —
+as JSON-lines with canonical key ordering, so two runs with the same
+seed write **byte-identical** files (the determinism tests diff the raw
+bytes). The first line carries ``schema: 1``; bump it on any
+incompatible layout change.
+
+Line kinds::
+
+    {"kind": "meta", "schema": 1, "meta": {...}}           # exactly once, first
+    {"kind": "span", "id", "parent", "req", "name", "cat",
+     "actor", "phase", "start", "end", "attrs"}            # one per span
+    {"kind": "instant", "time", "name", "cat", "actor",
+     "req", "attrs"}                                       # one per point event
+    {"kind": "counter", "name", "labels", "value"}
+    {"kind": "gauge", "name", "labels", "samples"}
+    {"kind": "histogram", "name", "labels", "bounds",
+     "counts", "sum", "count"}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .metrics import Histogram
+from .runtime import Telemetry
+from .spans import Instant, Span
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunArtifact",
+    "artifact_lines",
+    "write_artifact",
+    "load_artifact",
+    "validate_artifact",
+]
+
+SCHEMA_VERSION = 1
+
+_REQUIRED_KEYS = {
+    "meta": ("schema", "meta"),
+    "span": ("id", "parent", "req", "name", "cat", "actor", "phase",
+             "start", "end", "attrs"),
+    "instant": ("time", "name", "cat", "actor", "req", "attrs"),
+    "counter": ("name", "labels", "value"),
+    "gauge": ("name", "labels", "samples"),
+    "histogram": ("name", "labels", "bounds", "counts", "sum", "count"),
+}
+
+
+def _dumps(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def artifact_lines(
+    telemetry: Telemetry, meta: Optional[Dict[str, object]] = None
+) -> Iterator[str]:
+    """Yield the artifact's JSON lines (no trailing newlines)."""
+    yield _dumps(
+        {"kind": "meta", "schema": SCHEMA_VERSION, "meta": dict(meta or {})}
+    )
+    for span in sorted(telemetry.spans, key=lambda s: (s.start, s.span_id)):
+        yield _dumps({
+            "kind": "span",
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "req": span.request_id,
+            "name": span.name,
+            "cat": span.category,
+            "actor": span.actor,
+            "phase": span.phase,
+            "start": span.start,
+            "end": span.end,
+            "attrs": span.attrs,
+        })
+    for event in telemetry.instants:
+        yield _dumps({
+            "kind": "instant",
+            "time": event.time,
+            "name": event.name,
+            "cat": event.category,
+            "actor": event.actor,
+            "req": event.request_id,
+            "attrs": event.attrs,
+        })
+    for counter in telemetry.metrics.counters():
+        yield _dumps({
+            "kind": "counter",
+            "name": counter.name,
+            "labels": dict(counter.labels),
+            "value": counter.value,
+        })
+    for gauge in telemetry.metrics.gauges():
+        yield _dumps({
+            "kind": "gauge",
+            "name": gauge.name,
+            "labels": dict(gauge.labels),
+            "samples": [[t, v] for t, v in gauge.samples],
+        })
+    for hist in telemetry.metrics.histograms():
+        yield _dumps({
+            "kind": "histogram",
+            "name": hist.name,
+            "labels": dict(hist.labels),
+            "bounds": list(hist.bounds),
+            "counts": list(hist.counts),
+            "sum": hist.sum,
+            "count": hist.count,
+        })
+
+
+def write_artifact(
+    path: str,
+    telemetry: Telemetry,
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Serialize one run to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        for line in artifact_lines(telemetry, meta):
+            fh.write(line)
+            fh.write("\n")
+    return path
+
+
+@dataclass
+class RunArtifact:
+    """One loaded artifact, reconstructed into model objects."""
+
+    schema: int
+    meta: Dict[str, object]
+    spans: List[Span] = field(default_factory=list)
+    instants: List[Instant] = field(default_factory=list)
+    counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = field(
+        default_factory=dict
+    )
+    gauges: Dict[
+        Tuple[str, Tuple[Tuple[str, str], ...]], List[Tuple[float, float]]
+    ] = field(default_factory=dict)
+    histograms: List[Histogram] = field(default_factory=list)
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self.counters.get(key, 0.0)
+
+    def gauge_samples(
+        self, name: str, **labels: str
+    ) -> List[Tuple[float, float]]:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self.gauges.get(key, [])
+
+    def request_ids(self) -> List[int]:
+        """Distinct request ids with spans, ascending (−1 excluded)."""
+        seen = {s.request_id for s in self.spans if s.request_id >= 0}
+        return sorted(seen)
+
+    def spans_for_request(self, request_id: int) -> List[Span]:
+        return [s for s in self.spans if s.request_id == request_id]
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def load_artifact(path: str) -> RunArtifact:
+    """Parse an artifact file back into a :class:`RunArtifact`."""
+    artifact: Optional[RunArtifact] = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            row = json.loads(raw)
+            kind = row.get("kind")
+            if lineno == 1:
+                if kind != "meta":
+                    raise ValueError(
+                        f"{path}:1: first line must be the meta record"
+                    )
+                artifact = RunArtifact(
+                    schema=int(row["schema"]), meta=row["meta"]
+                )
+                if artifact.schema != SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}: unsupported schema {artifact.schema} "
+                        f"(supported: {SCHEMA_VERSION})"
+                    )
+                continue
+            assert artifact is not None
+            if kind == "span":
+                artifact.spans.append(Span(
+                    span_id=row["id"], parent_id=row["parent"],
+                    request_id=row["req"], name=row["name"],
+                    category=row["cat"], actor=row["actor"],
+                    phase=row["phase"], start=row["start"], end=row["end"],
+                    attrs=row["attrs"],
+                ))
+            elif kind == "instant":
+                artifact.instants.append(Instant(
+                    time=row["time"], name=row["name"], category=row["cat"],
+                    actor=row["actor"], request_id=row["req"],
+                    attrs=row["attrs"],
+                ))
+            elif kind == "counter":
+                artifact.counters[
+                    (row["name"], _label_key(row["labels"]))
+                ] = row["value"]
+            elif kind == "gauge":
+                artifact.gauges[(row["name"], _label_key(row["labels"]))] = [
+                    (t, v) for t, v in row["samples"]
+                ]
+            elif kind == "histogram":
+                hist = Histogram(
+                    row["name"], _label_key(row["labels"]), row["bounds"]
+                )
+                hist.counts = list(row["counts"])
+                hist.sum = row["sum"]
+                hist.count = row["count"]
+                artifact.histograms.append(hist)
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown kind {kind!r}")
+    if artifact is None:
+        raise ValueError(f"{path}: empty artifact")
+    return artifact
+
+
+def validate_artifact(path: str) -> List[str]:
+    """Structural schema check; returns a list of problems (empty = ok).
+
+    Checks line-level required keys, the schema version, span parent
+    references, and span time sanity — the contract the CI artifact
+    step enforces on every uploaded run.
+    """
+    problems: List[str] = []
+    span_ids: set = set()
+    parent_refs: List[Tuple[int, int]] = []  # (lineno, parent id)
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [ln.strip() for ln in fh if ln.strip()]
+    if not lines:
+        return [f"{path}: empty artifact"]
+    for lineno, raw in enumerate(lines, start=1):
+        try:
+            row = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        kind = row.get("kind")
+        if lineno == 1:
+            if kind != "meta":
+                problems.append("line 1: expected the meta record")
+                continue
+            if row.get("schema") != SCHEMA_VERSION:
+                problems.append(
+                    f"line 1: schema {row.get('schema')!r} != "
+                    f"{SCHEMA_VERSION}"
+                )
+            continue
+        if kind == "meta":
+            problems.append(f"line {lineno}: duplicate meta record")
+            continue
+        required = _REQUIRED_KEYS.get(kind or "")
+        if required is None:
+            problems.append(f"line {lineno}: unknown kind {kind!r}")
+            continue
+        missing = [key for key in required if key not in row]
+        if missing:
+            problems.append(f"line {lineno}: {kind} missing {missing}")
+            continue
+        if kind == "span":
+            if row["end"] < row["start"]:
+                problems.append(
+                    f"line {lineno}: span {row['id']} ends before start"
+                )
+            span_ids.add(row["id"])
+            if row["parent"] != -1:
+                parent_refs.append((lineno, row["parent"]))
+        if kind == "gauge":
+            times = [t for t, _ in row["samples"]]
+            if times != sorted(times):
+                problems.append(
+                    f"line {lineno}: gauge {row['name']} samples unordered"
+                )
+        if kind == "histogram":
+            if len(row["counts"]) != len(row["bounds"]) + 1:
+                problems.append(
+                    f"line {lineno}: histogram {row['name']} "
+                    f"counts/bounds length mismatch"
+                )
+    for lineno, parent in parent_refs:
+        if parent not in span_ids:
+            problems.append(
+                f"line {lineno}: span parent {parent} not in artifact"
+            )
+    return problems

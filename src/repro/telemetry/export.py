@@ -1,0 +1,109 @@
+"""Chrome trace-event / Perfetto exporter.
+
+Converts a run's span stream into the Chrome trace-event JSON format
+(the ``traceEvents`` array of complete-``X`` events plus thread-name
+metadata), which ``ui.perfetto.dev`` and ``chrome://tracing`` open
+directly. One simulated second maps to one trace second (timestamps are
+microseconds, as the format requires); each span actor gets its own
+track (tid), and instants (fault injections, retries, fallbacks) render
+as instant events on their actor's track.
+
+The output is canonically serialized (sorted keys), so equal-seed runs
+export byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .artifact import RunArtifact
+from .runtime import Telemetry
+from .spans import Instant, Span
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+_PID = 1
+
+
+def _tid_map(spans: Sequence[Span], instants: Sequence[Instant]) -> Dict[str, int]:
+    """Stable actor → tid assignment, in order of first appearance
+    (spans sorted by start time, then instants)."""
+    tids: Dict[str, int] = {}
+    for span in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        tids.setdefault(span.actor or span.category or "run", len(tids) + 1)
+    for event in instants:
+        tids.setdefault(event.actor or event.category or "run", len(tids) + 1)
+    return tids
+
+
+def chrome_trace(
+    source: Union[Telemetry, RunArtifact],
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build the trace-event dict for a run (telemetry or artifact)."""
+    spans: Sequence[Span] = source.spans
+    instants: Sequence[Instant] = source.instants
+    tids = _tid_map(spans, instants)
+    events: List[Dict[str, object]] = []
+    for actor, tid in tids.items():
+        events.append({
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": actor},
+        })
+    for span in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        args: Dict[str, object] = {
+            "request_id": span.request_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        if span.phase:
+            args["phase"] = span.phase
+        args.update(span.attrs)
+        events.append({
+            "ph": "X",
+            "pid": _PID,
+            "tid": tids[span.actor or span.category or "run"],
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "args": args,
+        })
+    for event in instants:
+        args = {"request_id": event.request_id}
+        args.update(event.attrs)
+        events.append({
+            "ph": "i",
+            "s": "t",  # thread-scoped instant
+            "pid": _PID,
+            "tid": tids[event.actor or event.category or "run"],
+            "name": event.name,
+            "cat": event.category,
+            "ts": event.time * 1e6,
+            "args": args,
+        })
+    meta: Dict[str, object] = {"displayTimeUnit": "ms"}
+    if isinstance(source, RunArtifact):
+        meta["otherData"] = source.meta
+    if extra_meta:
+        meta.setdefault("otherData", {})
+        meta["otherData"].update(extra_meta)  # type: ignore[union-attr]
+    meta["traceEvents"] = events
+    return meta
+
+
+def write_chrome_trace(
+    path: str,
+    source: Union[Telemetry, RunArtifact],
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write a Perfetto-loadable trace JSON file; returns the path."""
+    trace = chrome_trace(source, extra_meta=extra_meta)
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        json.dump(trace, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return path

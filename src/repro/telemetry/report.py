@@ -1,0 +1,269 @@
+"""Run-artifact reports: waterfalls, phase tables, critical-path attribution.
+
+Three questions this module answers from one run artifact, without
+rerunning the simulation:
+
+* **Where did each request's time go?** — :func:`waterfall` renders a
+  request's span tree as an indented text timeline.
+* **Do the phase books balance?** — :func:`phase_totals` recomputes the
+  kernel/restructuring/movement/control(/recovery) breakdown purely
+  from spans; it reconciles exactly with
+  :meth:`~repro.core.system.RunResult.phase_totals` because the system
+  emits phase spans at the same clock reads it feeds its accumulators.
+* **What was each request actually waiting on?** — :func:`critical_path`
+  sweeps a request's leaf spans and attributes every instant of the
+  request's wall time to the most recently started active leaf — the
+  operation actually making (or blocking) progress. Summed over a run
+  this is the attribution the paper builds its argument on: with DMX,
+  restructuring falls off the request critical path; with CPU
+  restructuring it *is* the critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .artifact import RunArtifact
+from .spans import ROOT_PARENT, Span
+
+__all__ = [
+    "phase_totals",
+    "run_phase_totals",
+    "critical_path",
+    "critical_path_summary",
+    "on_critical_path",
+    "waterfall",
+    "render_report",
+    "IDLE_KEY",
+]
+
+#: Attribution key for request wall time not covered by any leaf span.
+IDLE_KEY = "idle"
+
+#: Critical-path share below which a phase is considered off the path.
+DEFAULT_ON_PATH_THRESHOLD = 0.10
+
+
+def phase_totals(
+    spans: Sequence[Span], include_abandoned: bool = False
+) -> Dict[str, float]:
+    """Total seconds per phase, from phase-carrying spans only.
+
+    Spans with an empty ``phase`` add causal detail *under* a phase span
+    (e.g. the DMA legs inside movement) and are skipped so nothing
+    double-counts; abandoned spans (timed-out DRX attempts re-billed to
+    recovery) are skipped unless asked for.
+    """
+    out: Dict[str, float] = {}
+    for span in spans:
+        if not span.phase:
+            continue
+        if span.abandoned and not include_abandoned:
+            continue
+        out[span.phase] = out.get(span.phase, 0.0) + span.duration
+    return out
+
+
+def run_phase_totals(artifact: RunArtifact) -> Dict[str, float]:
+    """Phase totals across every request in the artifact."""
+    return phase_totals(artifact.spans)
+
+
+def _tree(
+    spans: Sequence[Span],
+) -> Tuple[Dict[int, Span], Dict[int, List[Span]], List[Span]]:
+    """(by-id, children-by-parent, roots) for one request's spans.
+
+    A span whose parent is not in the set (e.g. the system request span
+    when the artifact is filtered) counts as a root.
+    """
+    by_id = {s.span_id: s for s in spans}
+    children: Dict[int, List[Span]] = {}
+    roots: List[Span] = []
+    for span in spans:
+        if span.parent_id != ROOT_PARENT and span.parent_id in by_id:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+    for kids in children.values():
+        kids.sort(key=lambda s: (s.start, s.span_id))
+    roots.sort(key=lambda s: (s.start, s.span_id))
+    return by_id, children, roots
+
+
+def _effective_phase(span: Span, by_id: Dict[int, Span]) -> str:
+    """The span's phase, inherited from the nearest phased ancestor."""
+    cursor: Optional[Span] = span
+    while cursor is not None:
+        if cursor.phase:
+            return cursor.phase
+        cursor = by_id.get(cursor.parent_id)
+    return span.category or "other"
+
+
+def critical_path(spans: Sequence[Span]) -> Dict[str, float]:
+    """Attribute one request's wall time to phases via its leaf spans.
+
+    At every instant of the request extent the *most recently started*
+    active leaf span is charged (ties broken by span id — the later
+    creation); a leaf's attribution key is its inherited phase. Time no
+    leaf covers is charged to :data:`IDLE_KEY`. Abandoned spans are
+    excluded — their wall time is covered by the recovery span the
+    system emits when it degrades a request.
+    """
+    live = [s for s in spans if not s.abandoned]
+    if not live:
+        return {}
+    by_id, children, _roots = _tree(live)
+    leaves = [s for s in live if s.span_id not in children]
+    t0 = min(s.start for s in live)
+    t1 = max(s.end for s in live)
+    bounds = sorted({t0, t1, *(s.start for s in leaves),
+                     *(s.end for s in leaves)})
+    out: Dict[str, float] = {}
+    for a, b in zip(bounds, bounds[1:]):
+        if b <= t0 or a >= t1:
+            continue
+        active = [s for s in leaves if s.start <= a and s.end >= b]
+        if active:
+            winner = max(active, key=lambda s: (s.start, s.span_id))
+            key = _effective_phase(winner, by_id)
+        else:
+            key = IDLE_KEY
+        out[key] = out.get(key, 0.0) + (b - a)
+    return out
+
+
+def critical_path_summary(artifact: RunArtifact) -> Dict[str, float]:
+    """Critical-path attribution summed over every request in a run."""
+    out: Dict[str, float] = {}
+    for request_id in artifact.request_ids():
+        for key, seconds in critical_path(
+            artifact.spans_for_request(request_id)
+        ).items():
+            out[key] = out.get(key, 0.0) + seconds
+    return out
+
+
+def on_critical_path(
+    attribution: Dict[str, float],
+    phase: str,
+    threshold: float = DEFAULT_ON_PATH_THRESHOLD,
+) -> bool:
+    """Whether ``phase`` carries at least ``threshold`` of the attributed
+    time — the report's operational definition of "on the critical path"."""
+    total = sum(attribution.values())
+    if total <= 0:
+        return False
+    return attribution.get(phase, 0.0) / total >= threshold
+
+
+# -- text rendering ------------------------------------------------------------
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f}ms"
+    return f"{seconds * 1e6:8.3f}us"
+
+
+def waterfall(spans: Sequence[Span], width: int = 40) -> str:
+    """Render one request's span tree as an indented text timeline."""
+    if not spans:
+        return "(no spans)"
+    by_id, children, roots = _tree(list(spans))
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    extent = max(t1 - t0, 1e-12)
+    scale = width / extent
+    lines: List[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        left = int((span.start - t0) * scale)
+        bar_len = max(1, int(round(span.duration * scale)))
+        bar_len = min(bar_len, width - min(left, width - 1))
+        bar = "·" * left + "█" * bar_len
+        bar = bar[:width].ljust(width, "·")
+        label = "  " * depth + span.name
+        tag = span.phase or span.category
+        flag = " !" if span.abandoned else ""
+        lines.append(
+            f"  {label:<34.34} {tag:<13.13} "
+            f"+{_fmt_s(span.start - t0)} {_fmt_s(span.duration)} "
+            f"|{bar}|{flag}"
+        )
+        for child in children.get(span.span_id, ()):
+            render(child, depth + 1)
+
+    for root in roots:
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def _table(rows: List[Tuple[str, float]], total: float) -> List[str]:
+    lines = []
+    for key, seconds in sorted(rows, key=lambda r: -r[1]):
+        share = seconds / total if total > 0 else 0.0
+        lines.append(f"  {key:<16} {_fmt_s(seconds)}  {share:6.1%}")
+    return lines
+
+
+def render_report(
+    artifact: RunArtifact,
+    max_waterfalls: int = 4,
+    width: int = 40,
+) -> str:
+    """The full text report for one artifact."""
+    lines: List[str] = []
+    meta = artifact.meta
+    header = " ".join(
+        f"{key}={meta[key]}" for key in sorted(meta) if not isinstance(
+            meta[key], (dict, list)
+        )
+    )
+    lines.append(f"run artifact (schema {artifact.schema})")
+    if header:
+        lines.append(f"  {header}")
+    request_ids = artifact.request_ids()
+    lines.append(
+        f"  spans={len(artifact.spans)} instants={len(artifact.instants)} "
+        f"requests={len(request_ids)}"
+    )
+
+    totals = run_phase_totals(artifact)
+    grand = sum(totals.values())
+    lines.append("")
+    lines.append("phase breakdown (all requests)")
+    lines.extend(_table(list(totals.items()), grand))
+
+    attribution = critical_path_summary(artifact)
+    attributed = sum(attribution.values())
+    lines.append("")
+    lines.append("critical-path attribution (what requests waited on)")
+    for key, seconds in sorted(attribution.items(), key=lambda r: -r[1]):
+        share = seconds / attributed if attributed > 0 else 0.0
+        marker = "on  path" if on_critical_path(attribution, key) \
+            else "off path"
+        lines.append(f"  {key:<16} {_fmt_s(seconds)}  {share:6.1%}  {marker}")
+
+    for request_id in request_ids[:max_waterfalls]:
+        spans = artifact.spans_for_request(request_id)
+        req_totals = phase_totals(spans)
+        lines.append("")
+        lines.append(
+            f"request {request_id} waterfall "
+            f"(wall {_fmt_s(max(s.end for s in spans) - min(s.start for s in spans)).strip()})"
+        )
+        lines.append(waterfall(spans, width=width))
+        lines.append("  phases: " + "  ".join(
+            f"{k}={v * 1e3:.3f}ms" for k, v in sorted(req_totals.items())
+        ))
+    if len(request_ids) > max_waterfalls:
+        lines.append("")
+        lines.append(
+            f"... {len(request_ids) - max_waterfalls} more requests "
+            f"(rerun with --max-requests to see them)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""The always-on :class:`Telemetry` facade and span-context plumbing.
+
+One :class:`Telemetry` instance rides on each
+:class:`~repro.core.system.DMXSystem` (and is shared by the serving
+frontend driving it). It bundles the span tracker and the metrics
+registry behind one object that model components accept, and adds the
+:class:`SpanContext` value that call chains thread downward so leaf
+components (DMA engine, notification model, DRX device) can attach
+their spans under the right parent without knowing about the system.
+
+``Telemetry(sim, enabled=False)`` turns every recording call into a
+no-op — used by the overhead measurement; the default is always-on.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import ActiveSpan, Instant, Span, SpanTracker, _parent_id
+
+__all__ = ["Telemetry", "SpanContext"]
+
+#: A dummy span handed out while telemetry is disabled.
+_NULL_SPAN = ActiveSpan(-1, -1, -1, "", "", "", "", 0.0, 0.0, {})
+
+
+class Telemetry:
+    """Span tracker + metrics registry for one simulated run."""
+
+    def __init__(self, sim, enabled: bool = True) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self.tracker = SpanTracker(sim)
+        self.metrics = MetricsRegistry()
+        if enabled:
+            # Recording is on the DES hot path; while enabled, skip the
+            # gate methods below and dispatch straight to the tracker.
+            self.begin = self.tracker.begin
+            self.end = self.tracker.end
+            self.add = self.tracker.add
+            self.instant = self.tracker.instant
+            self.mark_abandoned = self.tracker.mark_abandoned
+            self.finalize = self.tracker.finalize
+
+    # -- span API ------------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        return self.tracker.spans
+
+    @property
+    def instants(self) -> List[Instant]:
+        return self.tracker.instants
+
+    def begin(
+        self,
+        name: str,
+        category: str,
+        actor: str = "",
+        parent: Union[int, ActiveSpan, Span, None] = None,
+        request_id: int = -1,
+        phase: str = "",
+        start: Optional[float] = None,
+        **attrs: object,
+    ) -> ActiveSpan:
+        if not self.enabled:
+            return _NULL_SPAN
+        return self.tracker.begin(
+            name, category, actor=actor, parent=parent,
+            request_id=request_id, phase=phase, start=start, **attrs,
+        )
+
+    def end(self, span: ActiveSpan, **attrs: object) -> Optional[Span]:
+        if not self.enabled or span is _NULL_SPAN:
+            return None
+        return self.tracker.end(span, **attrs)
+
+    def add(self, *args, **kwargs) -> Optional[Span]:
+        if not self.enabled:
+            return None
+        return self.tracker.add(*args, **kwargs)
+
+    def instant(self, *args, **kwargs) -> Optional[Instant]:
+        if not self.enabled:
+            return None
+        return self.tracker.instant(*args, **kwargs)
+
+    def mark_abandoned(self, root: Union[int, ActiveSpan, Span]) -> int:
+        if not self.enabled or root is _NULL_SPAN:
+            return 0
+        return self.tracker.mark_abandoned(root)
+
+    def finalize(self) -> int:
+        """Close straggling open spans; call after the DES drains."""
+        if not self.enabled:
+            return 0
+        return self.tracker.finalize()
+
+    def wrap(
+        self,
+        op: Generator,
+        name: str,
+        category: str,
+        actor: str = "",
+        parent: Union[int, ActiveSpan, Span, None] = None,
+        request_id: int = -1,
+        phase: str = "",
+        **attrs: object,
+    ) -> Generator:
+        """Run process ``op`` under a span (closed even on interrupt)."""
+        span = self.begin(
+            name, category, actor=actor, parent=parent,
+            request_id=request_id, phase=phase, **attrs,
+        )
+        try:
+            result = yield from op
+        except BaseException:
+            self.end(span, abandoned=True)
+            raise
+        self.end(span)
+        return result
+
+    # -- metrics API -----------------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self.metrics.histogram(name, **labels)
+
+    def sample_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Record one gauge sample at the current sim time."""
+        if not self.enabled:
+            return
+        self.metrics.gauge(name, **labels).sample(self.sim.now, value)
+
+    def context(
+        self,
+        parent: Union[int, ActiveSpan, Span, None] = None,
+        request_id: int = -1,
+    ) -> "SpanContext":
+        return SpanContext(self, _parent_id(parent), request_id)
+
+
+class SpanContext:
+    """Where a component's spans should attach: telemetry + parent +
+    request. Passed down call chains (system → dma/notify/drx)."""
+
+    __slots__ = ("telemetry", "parent_id", "request_id")
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        parent_id: int = -1,
+        request_id: int = -1,
+    ) -> None:
+        self.telemetry = telemetry
+        self.parent_id = parent_id
+        self.request_id = request_id
+
+    def begin(
+        self, name: str, category: str, actor: str = "",
+        phase: str = "", **attrs: object,
+    ) -> ActiveSpan:
+        return self.telemetry.begin(
+            name, category, actor=actor, parent=self.parent_id,
+            request_id=self.request_id, phase=phase, **attrs,
+        )
+
+    def end(self, span: ActiveSpan, **attrs: object) -> Optional[Span]:
+        return self.telemetry.end(span, **attrs)
+
+    def child(self, span: Union[int, ActiveSpan, Span]) -> "SpanContext":
+        return SpanContext(
+            self.telemetry,
+            span if type(span) is int else span.span_id,
+            self.request_id,
+        )

@@ -97,3 +97,41 @@ def test_tenant_stats_goodput_excludes_failures_and_violations():
     assert stats.goodput_rps(5.0) == pytest.approx(1.0)
     with pytest.raises(ValueError):
         stats.goodput_rps(0.0)
+
+
+def _depth_result(samples, elapsed):
+    from repro.serve.slo import LatencyTracker, QueueSample, ServeResult
+
+    return ServeResult(
+        tenants={},
+        latency=LatencyTracker(),
+        timeline=[
+            QueueSample(time=t, queued={"a": depth}, inflight=0)
+            for t, depth in samples
+        ],
+        elapsed=elapsed,
+    )
+
+
+def test_mean_queue_depth_is_time_weighted_under_uneven_spacing():
+    # Depth 10 holds for 1s, depth 0 for 9s: the time-weighted mean is
+    # 1.0, but dense sampling of the busy second (unweighted mean 6.7)
+    # used to drag the old estimate toward the burst.
+    result = _depth_result(
+        [(0.0, 10), (0.5, 10), (1.0, 0), (10.0, 0)], elapsed=10.0
+    )
+    assert result.mean_queue_depth() == pytest.approx(1.0)
+    assert result.mean_sampled_queue_depth() == pytest.approx(5.0)
+
+
+def test_mean_queue_depth_extends_last_sample_to_elapsed():
+    result = _depth_result([(0.0, 4), (1.0, 2)], elapsed=4.0)
+    # 4 for 1s, then 2 for the remaining 3s.
+    assert result.mean_queue_depth() == pytest.approx((4 + 2 * 3) / 4)
+
+
+def test_mean_queue_depth_empty_and_single_sample():
+    assert _depth_result([], elapsed=1.0).mean_queue_depth() == 0.0
+    single = _depth_result([(0.0, 3)], elapsed=0.0)
+    # Zero span: falls back to the plain average.
+    assert single.mean_queue_depth() == pytest.approx(3.0)

@@ -84,3 +84,68 @@ def test_geometric_mean():
         geometric_mean([])
     with pytest.raises(ValueError):
         geometric_mean([1.0, 0.0])
+
+
+def test_summarize_latencies_includes_p95():
+    latencies = [float(i) for i in range(1, 101)]
+    summary = summarize_latencies(latencies)
+    assert summary["p95"] == pytest.approx(95.05)
+    assert summary["p99"] == pytest.approx(99.01)
+
+
+def test_exact_percentile_shared_helper():
+    from repro.sim import exact_percentile
+
+    assert exact_percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+    assert exact_percentile([5.0], 0.99) == 5.0
+    with pytest.raises(ValueError):
+        exact_percentile([], 0.5)
+
+
+def test_exact_percentile_matches_serving_tracker():
+    # Satellite: one shared quantile implementation — the batch summary
+    # and the serving-side LatencyTracker agree on identical samples.
+    from repro.serve.slo import LatencyTracker
+    from repro.sim import exact_percentile
+
+    samples = [0.7, 0.1, 0.4, 0.9, 0.2, 0.5]
+    tracker = LatencyTracker()
+    for x in samples:
+        tracker.add(x)
+    for q in (0.5, 0.95, 0.99):
+        assert tracker.percentile(q) == exact_percentile(sorted(samples), q)
+
+
+def test_trace_for_request_indexed_lookup():
+    trace = Trace()
+    for rid in (0, 1, 0, 2, 1, 0):
+        trace.record(0.0, 1.0, "a", "p", request_id=rid)
+    assert len(trace.for_request(0)) == 3
+    assert len(trace.for_request(1)) == 2
+    assert trace.for_request(99) == []
+    # The index mirrors a linear scan exactly.
+    assert trace.for_request(2) == [
+        iv for iv in trace.intervals if iv.request_id == 2
+    ]
+
+
+def test_trace_faults_indexed_by_request():
+    trace = Trace()
+    trace.note(1.0, "dma", "retry", site="dma", request_id=3)
+    trace.note(2.0, "drx", "fallback", site="drx", request_id=3)
+    trace.note(3.0, "dma", "retry", site="dma", request_id=4)
+    assert len(trace.faults(request_id=3)) == 2
+    assert len(trace.faults(kind="retry", request_id=3)) == 1
+    assert trace.faults(request_id=3) == [
+        ev for ev in trace.events if ev.request_id == 3
+    ]
+    assert trace.faults(request_id=99) == []
+
+
+def test_trace_note_listener_mirrors_every_event():
+    seen = []
+    trace = Trace(note_listener=seen.append)
+    trace.note(1.0, "dma", "retry", site="dma", request_id=7)
+    trace.note(2.0, "drx", "timeout", site="drx")
+    assert [ev.kind for ev in seen] == ["retry", "timeout"]
+    assert seen[0].request_id == 7

@@ -1,0 +1,239 @@
+"""Reports: phase reconciliation, critical-path attribution, rendering."""
+
+import pytest
+
+from repro.accelerators.base import AcceleratorSpec
+from repro.core import (
+    AppChain,
+    DMXSystem,
+    KernelStage,
+    Mode,
+    MotionStage,
+    SystemConfig,
+)
+from repro.faults import FaultPlan, FaultPolicy
+from repro.telemetry import (
+    IDLE_KEY,
+    critical_path,
+    critical_path_summary,
+    load_artifact,
+    on_critical_path,
+    phase_totals,
+    render_report,
+    run_phase_totals,
+    waterfall,
+    write_artifact,
+)
+from repro.telemetry.__main__ import main as report_main
+from repro.telemetry.spans import ROOT_PARENT, Span
+from repro.workloads import build_benchmark_chains
+
+MB = 1024 * 1024
+SPEC = AcceleratorSpec(name="accel", domain="d", speedup_vs_cpu=6.0)
+
+ACCEPTANCE_PLAN = FaultPlan(
+    seed=42,
+    dma=FaultPolicy(fail_p=0.10),
+    drx=FaultPolicy(hang_p=0.05),
+    drx_deadline_s=30e-3,
+)
+
+
+def make_chain(i=0, in_mb=12, out_mb=6):
+    from repro.profiles import WorkProfile
+
+    profile = WorkProfile(
+        name="motion", bytes_in=2 * in_mb * MB, bytes_out=out_mb * MB,
+        elements=in_mb * MB // 4, ops_per_element=20.0, gather_fraction=0.3,
+    )
+    return AppChain(
+        name=f"app{i}",
+        stages=[
+            KernelStage("k1", SPEC, cpu_time_s=5e-3, accel_time_s=1e-3,
+                        output_bytes=in_mb * MB),
+            MotionStage("m", profile, input_bytes=in_mb * MB,
+                        output_bytes=out_mb * MB, cpu_threads=3),
+            KernelStage("k2", SPEC, cpu_time_s=4e-3, accel_time_s=8e-4,
+                        output_bytes=MB),
+        ],
+    )
+
+
+def build(mode, n_apps=2, faults=None):
+    return DMXSystem(
+        [make_chain(i) for i in range(n_apps)],
+        SystemConfig(mode=mode),
+        faults=faults,
+    )
+
+
+def assert_reconciles(result):
+    """Span-derived phase totals match the accumulator books exactly."""
+    want = result.phase_totals()
+    got = phase_totals(result.telemetry.spans)
+    for phase, seconds in want.items():
+        assert got.get(phase, 0.0) == pytest.approx(seconds, abs=1e-9), phase
+    assert not set(got) - set(want)
+
+
+@pytest.mark.parametrize("mode", list(Mode))
+def test_phase_totals_reconcile_every_mode(mode):
+    system = build(mode)
+    assert_reconciles(system.run_latency(requests_per_app=2))
+    assert system.telemetry.tracker.open_count == 0
+
+
+@pytest.mark.parametrize(
+    "mode", [Mode.MULTI_AXL, Mode.BUMP_IN_WIRE, Mode.PCIE_INTEGRATED]
+)
+def test_phase_totals_reconcile_under_faults(mode):
+    system = build(mode, faults=ACCEPTANCE_PLAN)
+    result = system.run_throughput(requests_per_app=4)
+    assert_reconciles(result)
+    assert system.telemetry.tracker.open_count == 0
+
+
+def test_reconciliation_survives_artifact_round_trip(tmp_path):
+    result = build(Mode.BUMP_IN_WIRE).run_latency(requests_per_app=2)
+    path = tmp_path / "run.jsonl"
+    write_artifact(str(path), result.telemetry, meta={})
+    totals = run_phase_totals(load_artifact(str(path)))
+    for phase, seconds in result.phase_totals().items():
+        assert totals.get(phase, 0.0) == pytest.approx(seconds, abs=1e-9)
+
+
+# -- critical path -------------------------------------------------------------
+
+
+def span(span_id, parent, start, end, phase="", name="s", cat="x"):
+    return Span(
+        span_id=span_id, parent_id=parent, request_id=0, name=name,
+        category=cat, actor="", phase=phase, start=start, end=end, attrs={},
+    )
+
+
+def test_critical_path_charges_most_recent_leaf():
+    spans = [
+        span(0, ROOT_PARENT, 0.0, 10.0, name="req", cat="request"),
+        span(1, 0, 0.0, 6.0, phase="movement"),
+        span(2, 0, 4.0, 9.0, phase="kernel"),
+    ]
+    attribution = critical_path(spans)
+    # movement holds [0,4), kernel (started later) wins [4,9), the last
+    # second has no active leaf.
+    assert attribution == pytest.approx(
+        {"movement": 4.0, "kernel": 5.0, IDLE_KEY: 1.0}
+    )
+
+
+def test_critical_path_inherits_phase_from_ancestor():
+    spans = [
+        span(0, ROOT_PARENT, 0.0, 4.0, phase="movement", name="motion"),
+        span(1, 0, 0.0, 4.0, name="dma-leg", cat="dma"),
+    ]
+    assert critical_path(spans) == pytest.approx({"movement": 4.0})
+
+
+def test_critical_path_excludes_abandoned_subtrees():
+    dead = span(1, 0, 0.0, 3.0, phase="restructuring")
+    dead.attrs["abandoned"] = True
+    spans = [
+        span(0, ROOT_PARENT, 0.0, 4.0, name="req", cat="request"),
+        dead,
+        span(2, 0, 0.0, 4.0, phase="recovery"),
+    ]
+    assert critical_path(spans) == pytest.approx({"recovery": 4.0})
+
+
+def run_attribution(mode):
+    chains = build_benchmark_chains("video-surveillance", 2)
+    system = DMXSystem(chains, SystemConfig(mode=mode))
+    result = system.run_latency(requests_per_app=2)
+    spans = result.telemetry.spans
+    out = {}
+    for request_id in sorted({s.request_id for s in spans if s.request_id >= 0}):
+        per = critical_path([s for s in spans if s.request_id == request_id])
+        for key, seconds in per.items():
+            out[key] = out.get(key, 0.0) + seconds
+    return out
+
+
+def test_dmx_takes_restructuring_off_the_critical_path():
+    """The paper's headline, read off the span trees: with an in-fabric
+    DRX (bump-in-the-wire) restructuring overlaps data movement and
+    falls off the request critical path; with CPU restructuring
+    (multi-accelerator baseline) it dominates it."""
+    dmx = run_attribution(Mode.BUMP_IN_WIRE)
+    cpu = run_attribution(Mode.MULTI_AXL)
+    assert not on_critical_path(dmx, "restructuring")
+    assert on_critical_path(cpu, "restructuring")
+    cpu_share = cpu["restructuring"] / sum(cpu.values())
+    dmx_share = dmx.get("restructuring", 0.0) / sum(dmx.values())
+    assert cpu_share > 3 * dmx_share
+
+
+def test_on_critical_path_threshold_and_empty():
+    attribution = {"movement": 9.0, "kernel": 1.0}
+    assert on_critical_path(attribution, "movement")
+    assert on_critical_path(attribution, "kernel", threshold=0.10)
+    assert not on_critical_path(attribution, "kernel", threshold=0.2)
+    assert not on_critical_path({}, "kernel")
+    assert not on_critical_path(attribution, "missing")
+
+
+# -- rendering + CLI -----------------------------------------------------------
+
+
+def write_run(tmp_path):
+    result = build(Mode.MULTI_AXL).run_latency(requests_per_app=2)
+    path = tmp_path / "run.jsonl"
+    write_artifact(
+        str(path), result.telemetry,
+        meta={"mode": "multi-axl", "seed": 0},
+    )
+    return path
+
+
+def test_waterfall_renders_tree(tmp_path):
+    path = write_run(tmp_path)
+    artifact = load_artifact(str(path))
+    request_id = artifact.request_ids()[0]
+    text = waterfall(artifact.spans_for_request(request_id), width=30)
+    assert "█" in text
+    assert "movement" in text
+    assert waterfall([]) == "(no spans)"
+
+
+def test_render_report_sections(tmp_path):
+    artifact = load_artifact(str(write_run(tmp_path)))
+    text = render_report(artifact, max_waterfalls=1)
+    assert "phase breakdown" in text
+    assert "critical-path attribution" in text
+    assert "waterfall" in text
+    assert "mode=multi-axl" in text
+    assert "more requests" in text  # truncation notice
+
+
+def test_cli_report_and_validate(tmp_path, capsys):
+    path = write_run(tmp_path)
+    assert report_main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "phase breakdown" in out
+
+    assert report_main([str(path), "--validate"]) == 0
+    assert "valid" in capsys.readouterr().out
+
+
+def test_cli_export_writes_trace(tmp_path):
+    path = write_run(tmp_path)
+    trace = tmp_path / "out.trace.json"
+    assert report_main([str(path), "--export", str(trace)]) == 0
+    assert trace.exists() and trace.stat().st_size > 0
+
+
+def test_cli_validate_rejects_broken(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "meta", "schema": 1, "meta": {}}\n'
+                    '{"kind": "mystery"}\n')
+    assert report_main([str(path), "--validate"]) == 1
+    assert "INVALID" in capsys.readouterr().err
