@@ -1,0 +1,130 @@
+"""The goodput cliff: chaos sweep with vs. without the control plane.
+
+The resilience acceptance scenario: under injected DRX hangs, every
+request the baseline dispatches to a sick unit burns the full per-stage
+deadline *while holding a dispatch slot*, so recovery work scales with
+traffic and goodput collapses at a fraction of the healthy capacity.
+With the control plane armed, the first few failures trip the unit's
+breaker and everything after routes around it up front — recovery cost
+is O(1) in offered load — so the same fault intensity sustains strictly
+more load: the cliff moves right.
+
+The load grid and SLO are calibrated from the model itself (healthy
+batch drain rate, unloaded latency), like the serving-knee benchmark,
+so the sweep straddles both arms' cliffs regardless of cost-model
+drift. A zero-intensity column doubles as the control-plane-overhead
+check: with no faults, arming the plane must not move a single number.
+"""
+
+import pytest
+
+from repro.core import Mode
+from repro.resilience import (
+    BreakerConfig,
+    ChaosSweepConfig,
+    ResilienceConfig,
+    run_chaos_sweep,
+)
+from repro.serve import SweepConfig, calibrate_peak_rps, unloaded_latency
+
+INTENSITY = 1.0
+
+
+def build_config():
+    probe = SweepConfig(
+        offered_loads_rps=(1.0,),
+        benchmark="sound-detection",
+        n_tenants=2,
+    )
+    peak = calibrate_peak_rps(probe, Mode.STANDALONE)
+    lat = unloaded_latency(probe, Mode.STANDALONE)
+    # A generous SLO (20x unloaded latency): the cliff under test is a
+    # throughput collapse from deadline-burning recovery work, not a
+    # tail-latency technicality at the SLO boundary.
+    loads = tuple(f * peak for f in (0.15, 0.25, 0.35, 0.45, 0.55, 0.65))
+    return ChaosSweepConfig(
+        offered_loads_rps=loads,
+        fault_intensities=(0.0, INTENSITY),
+        requests_per_tenant=40,
+        slo_s=20 * lat,
+        # A tight dispatch window makes slot-holding visible: four slots
+        # burning 30 ms deadlines apiece is most of the budget.
+        max_inflight=4,
+        resilience=ResilienceConfig(
+            seed=1,
+            breaker=BreakerConfig(cooldown_s=2.0, cooldown_cap_s=8.0),
+        ),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    config = build_config()
+    return config, run_chaos_sweep(config)
+
+
+def test_cliff_shifts_strictly_right_with_control_plane(sweep):
+    _, result = sweep
+    baseline = result.goodput_cliff_rps(INTENSITY, False)
+    resilient = result.goodput_cliff_rps(INTENSITY, True)
+    assert baseline > 0.0  # the baseline does sustain light load...
+    assert resilient > baseline, (
+        f"control plane should move the goodput cliff right: "
+        f"baseline={baseline:.1f} resilient={resilient:.1f}"
+    )
+    assert result.cliff_shift_rps(INTENSITY) == resilient - baseline
+    # The grid straddles the baseline's cliff (it actually fell off).
+    assert not all(p.sustains(result.goodput_floor)
+                   for p in result.cell(INTENSITY, False))
+
+
+def test_breakers_convert_deadline_burns_into_reroutes(sweep):
+    _, result = sweep
+    baseline = result.cell(INTENSITY, False)
+    resilient = result.cell(INTENSITY, True)
+    assert all(p.rerouted == 0 for p in baseline)
+    for base_point, res_point in zip(baseline, resilient):
+        assert res_point.rerouted > 0
+        # Fewer requests pay the deadline tax on the resilient arm.
+        assert res_point.fallbacks < base_point.fallbacks
+        # No arm loses requests: recovery absorbs what it cannot avoid.
+        assert base_point.failed == res_point.failed == 0
+
+
+def test_tail_latency_tamed_past_the_baseline_cliff(sweep):
+    _, result = sweep
+    baseline = result.cell(INTENSITY, False)
+    resilient = result.cell(INTENSITY, True)
+    # At every load past the baseline's cliff, the resilient arm's tail
+    # is strictly lower — it stopped queueing behind deadline burns.
+    past_cliff = [
+        (b, r) for b, r in zip(baseline, resilient)
+        if not b.sustains(result.goodput_floor)
+    ]
+    assert past_cliff
+    for base_point, res_point in past_cliff:
+        assert res_point.p99_s < base_point.p99_s
+        assert res_point.goodput_rps > base_point.goodput_rps
+
+
+def test_zero_intensity_control_plane_is_free(sweep):
+    _, result = sweep
+    baseline = result.cell(0.0, False)
+    resilient = result.cell(0.0, True)
+    # With nothing to trip on, the armed plane is pure observation: the
+    # two arms produce identical serving outcomes, point for point.
+    for base_point, res_point in zip(baseline, resilient):
+        assert base_point.goodput_rps == res_point.goodput_rps
+        assert base_point.p99_s == res_point.p99_s
+        assert base_point.completed == res_point.completed
+        assert res_point.rerouted == 0
+    assert result.goodput_cliff_rps(0.0, False) == \
+        result.goodput_cliff_rps(0.0, True)
+
+
+def test_chaos_sweep_is_byte_identical_given_seed(run_once):
+    config = build_config()
+    first = run_once(run_chaos_sweep, config)
+    second = run_chaos_sweep(config)
+    assert first.to_json() == second.to_json()

@@ -31,6 +31,7 @@ from ..faults import (
 )
 from ..faults.recovery import shielded
 from ..interconnect import DMACosts, DMAEngine, Fabric, LinkConfig, PCIeGen
+from ..resilience.control import ControlPlane, ResilienceConfig
 from ..runtime.driver import NotificationModel
 from ..sim import AllOf, PhaseAccumulator, Simulator, Trace, WaitTimeout
 from ..sim.tracing import FaultRecord
@@ -88,9 +89,12 @@ class RequestRecord:
     ``retries`` counts re-issued operations (DMA, kernel, notification)
     on the request's behalf; ``fell_back`` marks a request whose DRX path
     blew its deadline budget and degraded to CPU restructuring;
-    ``failed`` marks a request whose recovery was exhausted (its record
-    still exists — a production system answers such requests with an
-    error, it does not hang).
+    ``rerouted`` marks a request the control plane proactively steered
+    away from its home DRX (to an alternate unit or to CPU) *without*
+    burning a timeout — distinct from ``fell_back``, which is the
+    reactive path; ``failed`` marks a request whose recovery was
+    exhausted (its record still exists — a production system answers
+    such requests with an error, it does not hang).
     """
 
     app: str
@@ -99,6 +103,7 @@ class RequestRecord:
     phases: Dict[str, float]
     retries: int = 0
     fell_back: bool = False
+    rerouted: bool = False
     failed: bool = False
     request_id: int = -1
 
@@ -196,6 +201,15 @@ class RunResult:
             if r.fell_back and (app is None or r.app == app)
         )
 
+    def rerouted_count(self, app: Optional[str] = None) -> int:
+        """Requests the control plane steered around an open breaker
+        (proactive — no timeout burned), distinct from fallbacks."""
+        return sum(
+            1
+            for r in self.records
+            if r.rerouted and (app is None or r.app == app)
+        )
+
     def failure_count(self, app: Optional[str] = None) -> int:
         """Requests whose recovery was exhausted."""
         return sum(
@@ -210,6 +224,7 @@ class RunResult:
             "requests": len(self.records),
             "retries": self.total_retries(),
             "fallbacks": self.fallback_count(),
+            "rerouted": self.rerouted_count(),
             "failures": self.failure_count(),
         }
 
@@ -217,12 +232,13 @@ class RunResult:
 class _RequestState:
     """Mutable per-request recovery bookkeeping."""
 
-    __slots__ = ("request_id", "retries", "fell_back", "failed")
+    __slots__ = ("request_id", "retries", "fell_back", "rerouted", "failed")
 
     def __init__(self, request_id: int):
         self.request_id = request_id
         self.retries = 0
         self.fell_back = False
+        self.rerouted = False
         self.failed = False
 
 
@@ -234,6 +250,13 @@ class DMXSystem:
     notification retries, DRX-deadline fallback to CPU restructuring).
     With ``faults=None`` (the default) every code path and timing is
     identical to the fault-free model.
+
+    Pass a :class:`~repro.resilience.ResilienceConfig` to additionally
+    arm the control plane: per-DRX health monitoring and circuit
+    breakers that proactively route motion stages around a sick unit —
+    to an alternate placement or straight to CPU restructuring — before
+    any per-request deadline is burned. With ``resilience=None`` (the
+    default) dispatch is untouched.
     """
 
     def __init__(
@@ -242,6 +265,7 @@ class DMXSystem:
         config: SystemConfig,
         faults: Optional[FaultPlan] = None,
         telemetry_enabled: bool = True,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         if not chains:
             raise ValueError("need at least one application chain")
@@ -270,6 +294,11 @@ class DMXSystem:
         else:
             self.fault_trace = None
             self.injector = None
+        self.control: Optional[ControlPlane] = (
+            ControlPlane(self.sim, self.telemetry, resilience)
+            if resilience is not None
+            else None
+        )
         # Restructuring on the host scales poorly across cores (the paper
         # observes 130-140 ephemeral MKL threads thrashing the shared cache
         # hierarchy and memory bandwidth): a high per-extra-thread overhead
@@ -554,6 +583,80 @@ class DMXSystem:
             return self.drx_devices[f"drx.{switch}"], switch
         raise AssertionError(f"unhandled mode {mode}")  # pragma: no cover
 
+    def _alternate_placements(self, mode: Mode, exclude: str):
+        """Other DRX units (with their staging points) that could serve
+        a leg whose home unit's breaker is open, in deterministic name
+        order. Standalone cards and switch-integrated DRXs are fungible
+        (the fabric routes the extra hops and charges for them);
+        Integrated has a single unit and Bump-in-the-Wire units are
+        private to their wire, so neither has alternates."""
+        if mode == Mode.STANDALONE:
+            return [
+                (self.drx_devices[name], name)
+                for name in sorted(self.drx_devices)
+                if name != exclude
+            ]
+        if mode == Mode.PCIE_INTEGRATED:
+            return [
+                (self.drx_devices[name], name[len("drx."):])
+                for name in sorted(self.drx_devices)
+                if name != exclude
+            ]
+        return []
+
+    def _route_drx(
+        self,
+        mode: Mode,
+        drx: DRXDevice,
+        staging: str,
+        state: Optional[_RequestState],
+        mspan: Optional[ActiveSpan],
+        force_cpu: bool,
+    ):
+        """Control-plane routing for one motion stage's DRX leg.
+
+        Returns ``(drx, staging, probe)`` for the unit the leg should
+        use, or ``None`` when the leg must degrade to CPU restructuring
+        right away (the brownout FORCE_CPU tier, or the home breaker
+        open with no admitting alternate). Rerouted legs never burn the
+        per-request DRX deadline — that is the breaker's whole point.
+        """
+        rid = state.request_id if state is not None else -1
+        record_spans = self.telemetry.enabled and mspan is not None
+        if force_cpu:
+            if state is not None:
+                state.rerouted = True
+            if record_spans:
+                mspan.attrs["forced_cpu"] = True
+            self.telemetry.instant(
+                "brownout_force_cpu", "brownout", actor=drx.name,
+                request_id=rid,
+            )
+            return None
+        decision = self.control.admit(drx.name)
+        if decision.allow:
+            return drx, staging, decision.probe
+        if record_spans:
+            mspan.attrs["breaker_open"] = True
+        if self.control.config.reroute_alternates:
+            for alt, alt_staging in self._alternate_placements(
+                mode, drx.name
+            ):
+                alt_decision = self.control.admit(alt.name)
+                if alt_decision.allow:
+                    if state is not None:
+                        state.rerouted = True
+                    if record_spans:
+                        mspan.attrs["rerouted_to"] = alt.name
+                    self.control.note_reroute(drx.name, alt.name, rid)
+                    return alt, alt_staging, alt_decision.probe
+        if state is not None:
+            state.rerouted = True
+        if record_spans:
+            mspan.attrs["rerouted_to"] = "cpu"
+        self.control.note_reroute(drx.name, "cpu", rid)
+        return None
+
     def _drx_motion(
         self,
         mode: Mode,
@@ -661,6 +764,7 @@ class DMXSystem:
         phases: PhaseAccumulator,
         state: Optional[_RequestState] = None,
         rctx: Optional[SpanContext] = None,
+        force_cpu: bool = False,
     ) -> Generator:
         """The data-motion step between kernel ``kernel_index`` and the
         next one, under the configured placement."""
@@ -678,7 +782,8 @@ class DMXSystem:
         sctx = rctx.child(mspan)
         try:
             yield from self._motion_body(
-                mode, app_index, src, dst, stage, threads, phases, state, sctx
+                mode, app_index, src, dst, stage, threads, phases, state,
+                sctx, mspan, force_cpu,
             )
         except BaseException:
             self.telemetry.end(mspan, abandoned=True)
@@ -696,6 +801,8 @@ class DMXSystem:
         phases: PhaseAccumulator,
         state: Optional[_RequestState],
         sctx: SpanContext,
+        mspan: Optional[ActiveSpan] = None,
+        force_cpu: bool = False,
     ) -> Generator:
         if mode == Mode.ALL_CPU:
             # Data already lives in host memory; only the computation.
@@ -728,6 +835,22 @@ class DMXSystem:
 
         drx, staging = self._drx_placement(mode, src, app_index)
 
+        probe = False
+        if force_cpu or self.control is not None:
+            routed = self._route_drx(
+                mode, drx, staging, state, mspan, force_cpu
+            )
+            if routed is None:
+                # Browned out: the FORCE_CPU tier, or the home breaker
+                # open with every alternate's breaker open too. The
+                # stage restructures on the host immediately — no DRX
+                # deadline budget is burned.
+                yield from self._multi_axl_motion(
+                    src, dst, stage, threads, phases, state, sctx
+                )
+                return
+            drx, staging, probe = routed
+
         # On DRX, the restructuring-op chain is fused through the on-chip
         # scratchpads (the compiler keeps intermediates on chip), so DRAM
         # traffic is just the stage's real input and output — unlike the
@@ -742,10 +865,15 @@ class DMXSystem:
             fused = stage.profile
 
         if self._faults is None:
+            leg_start = self.sim.now
             yield from self._drx_motion(
                 mode, src, dst, staging, drx, stage, fused, phases, state,
                 sctx,
             )
+            if self.control is not None:
+                self.control.record(
+                    drx.name, True, self.sim.now - leg_start, probe=probe
+                )
             return
 
         # Graceful degradation: the DRX leg runs under the request's
@@ -756,6 +884,7 @@ class DMXSystem:
         attempt = sctx.begin(
             "drx-attempt", "attempt",
             deadline_s=self._faults.drx_deadline_s,
+            **({"breaker_probe": True} if probe else {}),
         )
         actx = sctx.child(attempt)
         try:
@@ -769,6 +898,10 @@ class DMXSystem:
                 what=f"drx:{drx.name}",
             )
         except _RECOVERABLE as exc:
+            if self.control is not None:
+                self.control.record(
+                    drx.name, False, self.sim.now - span_start, probe=probe
+                )
             if state is not None:
                 state.fell_back = True
             self._note(
@@ -793,6 +926,10 @@ class DMXSystem:
                 src, dst, stage, threads, phases, state, sctx
             )
         else:
+            if self.control is not None:
+                self.control.record(
+                    drx.name, True, self.sim.now - span_start, probe=probe
+                )
             self.telemetry.end(attempt)
             for phase, duration in local.totals.items():
                 if duration:
@@ -823,6 +960,7 @@ class DMXSystem:
         chain: AppChain,
         records: Optional[List[RequestRecord]] = None,
         parent_span: Optional[int] = None,
+        force_cpu: bool = False,
     ) -> Generator:
         """One end-to-end request; returns its :class:`RequestRecord`
         (and appends it to ``records`` when a sink is given)."""
@@ -883,7 +1021,7 @@ class DMXSystem:
                 else:
                     yield from self._motion(
                         app_index, kernel_index - 1, stage, phases, state,
-                        rctx,
+                        rctx, force_cpu=force_cpu,
                     )
         except _RECOVERABLE as exc:
             # Recovery exhausted: answer the request with an error
@@ -897,11 +1035,12 @@ class DMXSystem:
             app=chain.name, start=start, end=self.sim.now,
             phases=dict(phases.totals),
             retries=state.retries, fell_back=state.fell_back,
-            failed=state.failed, request_id=state.request_id,
+            rerouted=state.rerouted, failed=state.failed,
+            request_id=state.request_id,
         )
         self.telemetry.end(
             root, retries=state.retries, fell_back=state.fell_back,
-            failed=state.failed,
+            rerouted=state.rerouted, failed=state.failed,
         )
         if records is not None:
             records.append(record)
@@ -917,7 +1056,10 @@ class DMXSystem:
         raise KeyError(f"no application chain named {name!r}")
 
     def submit(
-        self, app_index: int, parent_span: Optional[int] = None
+        self,
+        app_index: int,
+        parent_span: Optional[int] = None,
+        force_cpu: bool = False,
     ) -> Generator:
         """Process helper: run one request through the system.
 
@@ -930,7 +1072,9 @@ class DMXSystem:
         drivers, ``submit`` does not touch the simulator loop; the
         caller decides arrival times, concurrency, and admission.
         ``parent_span`` hangs the request's span tree under a caller
-        span (the serving frontend's client span).
+        span (the serving frontend's client span). ``force_cpu=True``
+        restructures every motion stage on the host CPU regardless of
+        placement — the brownout ladder's last tier.
         """
         if not 0 <= app_index < len(self.chains):
             raise IndexError(
@@ -938,7 +1082,8 @@ class DMXSystem:
                 f"(0..{len(self.chains) - 1})"
             )
         record = yield from self._request(
-            app_index, self.chains[app_index], parent_span=parent_span
+            app_index, self.chains[app_index], parent_span=parent_span,
+            force_cpu=force_cpu,
         )
         return record
 

@@ -1,0 +1,79 @@
+"""The resilience control plane: from telemetry signals to decisions.
+
+Where :mod:`repro.faults` recovers *per request* (watchdogs, retries,
+deadline fallback), this package closes the loop at the *system* level:
+
+* :mod:`repro.resilience.health` — windowed health scores per DRX unit,
+  published into the shared metrics registry;
+* :mod:`repro.resilience.breaker` — closed/open/half-open circuit
+  breakers with seeded deterministic probes and anti-flap hysteresis;
+* :mod:`repro.resilience.control` — the :class:`ControlPlane` facade
+  :class:`~repro.core.system.DMXSystem` embeds (pass a
+  :class:`ResilienceConfig`) to proactively route motion stages around
+  sick units — to an alternate placement or to CPU restructuring —
+  before any deadline budget is burned;
+* :mod:`repro.resilience.admission` — per-tenant token buckets for the
+  serving frontend's admission policer;
+* :mod:`repro.resilience.brownout` — the graceful-degradation ladder
+  (shed low priority → coalesce dispatch → force CPU) driven by
+  p99-vs-SLO headroom;
+* :mod:`repro.resilience.chaos` — :func:`run_chaos_sweep`, crossing
+  FaultPlan intensity × offered load to chart the goodput cliff with
+  and without the control plane.
+
+Everything is deterministic given a seed, like the rest of the repo.
+"""
+
+from .admission import TokenBucket, TokenBucketConfig
+from .breaker import (
+    BreakerConfig,
+    BreakerDecision,
+    BreakerState,
+    CircuitBreaker,
+)
+from .brownout import BrownoutConfig, BrownoutController, BrownoutTier
+from .control import ControlPlane, ResilienceConfig
+from .health import HealthConfig, HealthMonitor
+
+__all__ = [
+    "HealthConfig",
+    "HealthMonitor",
+    "BreakerState",
+    "BreakerConfig",
+    "BreakerDecision",
+    "CircuitBreaker",
+    "TokenBucketConfig",
+    "TokenBucket",
+    "BrownoutTier",
+    "BrownoutConfig",
+    "BrownoutController",
+    "ResilienceConfig",
+    "ControlPlane",
+    # lazy (see __getattr__): chaos-sweep entry points
+    "ChaosSweepConfig",
+    "ChaosPoint",
+    "ChaosSweepResult",
+    "run_chaos_sweep",
+    "scale_plan",
+    "DEFAULT_CHAOS_PLAN",
+]
+
+#: Names served lazily from :mod:`repro.resilience.chaos`. The chaos
+#: module drives full serving experiments, so it imports ``repro.core``
+#: and ``repro.serve`` — which themselves import the breaker/brownout
+#: modules above. Deferring the import (PEP 562) keeps this package
+#: importable from inside ``repro.core.system`` without a cycle.
+_CHAOS_EXPORTS = frozenset({
+    "ChaosSweepConfig", "ChaosPoint", "ChaosSweepResult",
+    "run_chaos_sweep", "scale_plan", "DEFAULT_CHAOS_PLAN",
+})
+
+
+def __getattr__(name: str):
+    if name in _CHAOS_EXPORTS:
+        from . import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

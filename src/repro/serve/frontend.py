@@ -10,8 +10,16 @@ arrival→completion latency against the SLO.
 
 The pieces map onto the standard serving pipeline::
 
-    arrivals ──> admission (bounded queue | shed) ──> dispatch (FCFS | WRR)
+    arrivals ──> admission (token bucket | bounded queue | shed)
+        ──> dispatch (FCFS | WRR | EDF | priority)
         ──> DMXSystem.submit ──> SLO accounting (p50/p95/p99, goodput)
+
+Two resilience hooks from :mod:`repro.resilience` plug in here:
+per-tenant **token buckets** police a tenant's sustained admission rate
+at the door (protecting co-tenants from a bursty neighbour), and the
+**brownout ladder** — driven by windowed tail latency vs. the SLO —
+sheds low-priority arrivals, coalesces dispatch by tenant, and finally
+forces motion stages onto the CPU (``submit(..., force_cpu=True)``).
 
 Everything runs on the system's own simulator, and all stochasticity
 comes from one ``random.Random(seed)``, so a serving run — including one
@@ -21,12 +29,16 @@ with a :class:`~repro.faults.FaultPlan` armed — replays exactly.
 from __future__ import annotations
 
 import enum
+import math
 import random
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Generator, List, Optional, Sequence
 
 from ..core.system import DMXSystem, RequestRecord
+from ..resilience.admission import TokenBucket, TokenBucketConfig
+from ..resilience.brownout import BrownoutConfig, BrownoutController, \
+    BrownoutTier
 from ..sim import Event
 from .arrivals import ArrivalProcess
 from .slo import LatencyTracker, QueueSample, ServeResult, TenantStats
@@ -53,10 +65,19 @@ class ShedPolicy(enum.Enum):
 
 
 class Discipline(enum.Enum):
-    """Dispatch order across tenant queues."""
+    """Dispatch order across tenant queues.
+
+    ``FCFS`` takes the globally earliest arrival; ``WRR`` cycles tenants
+    by weight; ``EDF`` takes the earliest absolute deadline (arrival +
+    the tenant's ``deadline_s``, defaulting to the frontend SLO — exact,
+    since per-tenant queues are FIFO and the offset is constant);
+    ``PRIORITY`` is strict priority, FCFS among equals.
+    """
 
     FCFS = "fcfs"
     WRR = "wrr"
+    EDF = "edf"
+    PRIORITY = "priority"
 
 
 @dataclass(frozen=True)
@@ -66,7 +87,11 @@ class TenantSpec:
     ``name`` must match an application chain in the fronted system;
     ``weight`` is the tenant's weighted-round-robin share (ignored under
     FCFS); ``queue_capacity`` bounds the admission queue under
-    ``ShedPolicy.REJECT``.
+    ``ShedPolicy.REJECT``. ``priority`` orders tenants under
+    ``Discipline.PRIORITY`` (higher dispatches first) and marks shedding
+    victims for the brownout ladder; ``deadline_s`` is the tenant's
+    per-request latency budget under ``Discipline.EDF``; ``rate_limit``
+    arms a token-bucket policer at admission.
     """
 
     name: str
@@ -74,6 +99,9 @@ class TenantSpec:
     n_requests: int
     weight: int = 1
     queue_capacity: int = 16
+    priority: int = 1
+    deadline_s: Optional[float] = None
+    rate_limit: Optional[TokenBucketConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_requests <= 0:
@@ -82,6 +110,10 @@ class TenantSpec:
             raise ValueError(f"{self.name}: weight must be >= 1")
         if self.queue_capacity < 1:
             raise ValueError(f"{self.name}: queue_capacity must be >= 1")
+        if self.priority < 0:
+            raise ValueError(f"{self.name}: priority must be >= 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"{self.name}: deadline_s must be positive")
 
 
 @dataclass(frozen=True)
@@ -92,7 +124,9 @@ class FrontendConfig:
     system (the dispatch window); ``slo_s`` is the client-observed
     latency target violations are counted against (None disables);
     ``sample_period_s`` is the queue-depth sampling period on the sim
-    clock (None disables the timeline).
+    clock (None disables the timeline). ``brownout`` arms the graceful-
+    degradation ladder (requires ``slo_s`` — the ladder is driven by
+    p99-vs-SLO headroom).
     """
 
     max_inflight: int = 4
@@ -100,6 +134,7 @@ class FrontendConfig:
     discipline: Discipline = Discipline.FCFS
     slo_s: Optional[float] = None
     sample_period_s: Optional[float] = 1e-3
+    brownout: Optional[BrownoutConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -108,17 +143,23 @@ class FrontendConfig:
             raise ValueError("slo_s must be positive")
         if self.sample_period_s is not None and self.sample_period_s <= 0:
             raise ValueError("sample_period_s must be positive")
+        if self.brownout is not None and self.slo_s is None:
+            raise ValueError("brownout control requires slo_s")
 
 
 class _Admitted:
     """One admitted request waiting for (or holding) a dispatch slot."""
 
-    __slots__ = ("spec", "arrival", "seq")
+    __slots__ = ("spec", "arrival", "seq", "deadline")
 
-    def __init__(self, spec: TenantSpec, arrival: float, seq: int):
+    def __init__(
+        self, spec: TenantSpec, arrival: float, seq: int,
+        deadline: float = math.inf,
+    ):
         self.spec = spec
         self.arrival = arrival
         self.seq = seq
+        self.deadline = deadline
 
 
 class ServingFrontend:
@@ -178,6 +219,21 @@ class ServingFrontend:
         # Weighted-round-robin cursor: current tenant + remaining credit.
         self._wrr_index = 0
         self._wrr_credit = self.tenants[0].weight
+        # Resilience hooks: per-tenant policers + the brownout ladder.
+        self._buckets: Dict[str, TokenBucket] = {
+            t.name: TokenBucket(t.rate_limit)
+            for t in tenants
+            if t.rate_limit is not None
+        }
+        self._brownout: Optional[BrownoutController] = (
+            BrownoutController(config.slo_s, config.brownout)
+            if config.brownout is not None
+            else None
+        )
+        # Tenant whose request was dispatched last — the COALESCE tier
+        # prefers it, so completion notifications batch under the
+        # driver's NAPI-style coalescing window.
+        self._last_tenant: Optional[str] = None
 
     # -- wakeup plumbing -----------------------------------------------------
 
@@ -197,7 +253,15 @@ class ServingFrontend:
         stats = self._stats[spec.name]
         queue = self._queues[spec.name]
         gaps = spec.arrivals.interarrivals(self._rng)
+        bucket = self._buckets.get(spec.name)
+        deadline_offset = (
+            spec.deadline_s
+            if spec.deadline_s is not None
+            else (self.config.slo_s if self.config.slo_s is not None
+                  else math.inf)
+        )
         record_metrics = self.telemetry.enabled
+        rate_limited_counter = None
         if record_metrics:
             arrivals_counter = self.telemetry.counter(
                 "arrivals", tenant=spec.name
@@ -206,11 +270,41 @@ class ServingFrontend:
             admitted_counter = self.telemetry.counter(
                 "admitted", tenant=spec.name
             )
+            if bucket is not None:
+                rate_limited_counter = self.telemetry.counter(
+                    "rate_limited", tenant=spec.name
+                )
         for seq in range(spec.n_requests):
             yield self.sim.timeout(next(gaps))
             stats.arrived += 1
             if record_metrics:
                 arrivals_counter.inc()
+            # Policer first: a bursty tenant is throttled at the door,
+            # before its burst can occupy queue slots.
+            if bucket is not None and not bucket.try_take(self.sim.now):
+                stats.shed += 1
+                stats.rate_limited += 1
+                if record_metrics:
+                    shed_counter.inc()
+                    rate_limited_counter.inc()
+                    self.telemetry.instant(
+                        "rate_limited", "admission", actor=spec.name, seq=seq
+                    )
+                continue
+            if (
+                self._brownout is not None
+                and self._brownout.tier >= BrownoutTier.SHED_LOW
+                and spec.priority <= self.config.brownout.shed_max_priority
+            ):
+                stats.shed += 1
+                stats.brownout_shed += 1
+                if record_metrics:
+                    shed_counter.inc()
+                    self.telemetry.instant(
+                        "brownout_shed", "admission", actor=spec.name,
+                        seq=seq, tier=int(self._brownout.tier),
+                    )
+                continue
             if (
                 self.config.shed is ShedPolicy.REJECT
                 and len(queue) >= spec.queue_capacity
@@ -225,7 +319,12 @@ class ServingFrontend:
             stats.admitted += 1
             if record_metrics:
                 admitted_counter.inc()
-            queue.append(_Admitted(spec, self.sim.now, seq))
+            queue.append(
+                _Admitted(
+                    spec, self.sim.now, seq,
+                    deadline=self.sim.now + deadline_offset,
+                )
+            )
             self._kick()
         self._open_arrivals -= 1
         self._kick()
@@ -255,10 +354,52 @@ class ServingFrontend:
             self._wrr_credit = self.tenants[self._wrr_index].weight
         return None
 
+    def _next_edf(self) -> Optional[_Admitted]:
+        # Per-tenant queues are FIFO and each tenant's deadline offset is
+        # constant, so queue heads are the only EDF candidates — this is
+        # exact earliest-deadline-first, not an approximation.
+        best: Optional[Deque[_Admitted]] = None
+        for spec in self.tenants:
+            queue = self._queues[spec.name]
+            if queue and (
+                best is None
+                or (queue[0].deadline, queue[0].arrival)
+                < (best[0].deadline, best[0].arrival)
+            ):
+                best = queue
+        return best.popleft() if best is not None else None
+
+    def _next_priority(self) -> Optional[_Admitted]:
+        best: Optional[Deque[_Admitted]] = None
+        best_key = None
+        for spec in self.tenants:
+            queue = self._queues[spec.name]
+            if not queue:
+                continue
+            key = (-spec.priority, queue[0].arrival)
+            if best is None or key < best_key:
+                best, best_key = queue, key
+        return best.popleft() if best is not None else None
+
     def _next_item(self) -> Optional[_Admitted]:
+        if (
+            self._brownout is not None
+            and self._brownout.tier >= BrownoutTier.COALESCE
+            and self._last_tenant is not None
+        ):
+            # Tenant-affinity dispatch: runs of the same tenant complete
+            # back to back, so the notification model's coalescing
+            # window batches their completion interrupts.
+            queue = self._queues[self._last_tenant]
+            if queue:
+                return queue.popleft()
         if self.config.discipline is Discipline.FCFS:
             return self._next_fcfs()
-        return self._next_wrr()
+        if self.config.discipline is Discipline.WRR:
+            return self._next_wrr()
+        if self.config.discipline is Discipline.EDF:
+            return self._next_edf()
+        return self._next_priority()
 
     def _dispatch_loop(self) -> Generator:
         while True:
@@ -266,6 +407,7 @@ class ServingFrontend:
                 item = self._next_item()
                 if item is None:
                     break
+                self._last_tenant = item.spec.name
                 self._inflight += 1
                 self.sim.spawn(
                     self._serve_one(item),
@@ -292,8 +434,13 @@ class ServingFrontend:
             f"{item.spec.name}#{item.seq}", "client", actor=item.spec.name,
             start=item.arrival, tenant=item.spec.name, seq=item.seq,
         )
+        force_cpu = (
+            self._brownout is not None
+            and self._brownout.tier >= BrownoutTier.FORCE_CPU
+        )
         record = yield from self.system.submit(
-            self._app_index[item.spec.name], parent_span=client.span_id
+            self._app_index[item.spec.name], parent_span=client.span_id,
+            force_cpu=force_cpu,
         )
         client.request_id = record.request_id
         telemetry.add(
@@ -310,12 +457,33 @@ class ServingFrontend:
         stats.latency.add(latency)
         stats.queue_wait.add(dispatched - item.arrival)
         self._latency.add(latency)
+        if self._brownout is not None:
+            self._brownout.observe(latency)
         self._records.append(record)
         telemetry.end(client, failed=record.failed)
         if self._client_latency is not None:
             self._client_latency[item.spec.name].observe(latency)
         self._inflight -= 1
         self._kick()
+
+    # -- brownout control loop -----------------------------------------------
+
+    def _brownout_loop(self, period: float) -> Generator:
+        # Tier changes land in the metrics registry (gauge timeline) and
+        # the instant stream, so artifacts show when the ladder moved.
+        controller = self._brownout
+        gauge = self.telemetry.metrics.gauge("brownout_tier")
+        gauge.sample(self.sim.now, int(controller.tier))
+        while not self._finished:
+            yield self.sim.timeout(period)
+            change = controller.update(self.sim.now)
+            if change is not None:
+                old, new = change
+                gauge.sample(self.sim.now, int(new))
+                self.telemetry.instant(
+                    "brownout_tier", "brownout",
+                    **{"from": old.name, "to": new.name},
+                )
 
     # -- queue-depth timeline ------------------------------------------------
 
@@ -375,6 +543,11 @@ class ServingFrontend:
             self.sim.spawn(
                 self._sampler_loop(self.config.sample_period_s),
                 name="queue-sampler",
+            )
+        if self._brownout is not None:
+            self.sim.spawn(
+                self._brownout_loop(self.config.brownout.update_period_s),
+                name="brownout-controller",
             )
         self.sim.run()
         self.telemetry.finalize()

@@ -179,6 +179,15 @@ class LatencyTracker:
             )
         return self._estimators[q].value
 
+    def count_over(self, threshold: float) -> int:
+        """How many retained samples exceed ``threshold`` (requires
+        ``retain=True`` — streaming estimators can't answer this)."""
+        if self._samples is None:
+            raise ValueError(
+                "count_over requires retained samples (retain=True)"
+            )
+        return sum(1 for x in self._samples if x > threshold)
+
     def streaming_estimate(self, q: float) -> float:
         """The P² estimate regardless of retention (for comparison)."""
         if q not in self._estimators:
@@ -201,7 +210,10 @@ class TenantStats:
     ``violations`` counts completed, non-failed requests whose
     client-observed latency exceeded the frontend's SLO; ``failed``
     counts requests whose recovery plane gave up (they completed with an
-    error and are excluded from goodput).
+    error and are excluded from goodput). ``rate_limited`` and
+    ``brownout_shed`` break ``shed`` down by cause: the tenant's own
+    token-bucket policer vs. the brownout ladder shedding low-priority
+    arrivals (queue-capacity sheds are the remainder).
     """
 
     name: str
@@ -211,6 +223,8 @@ class TenantStats:
     completed: int = 0
     failed: int = 0
     violations: int = 0
+    rate_limited: int = 0
+    brownout_shed: int = 0
     latency: LatencyTracker = field(default_factory=LatencyTracker)
     queue_wait: LatencyTracker = field(default_factory=LatencyTracker)
 
@@ -285,6 +299,27 @@ class ServeResult:
     def percentile(self, q: float) -> float:
         return self.latency.percentile(q)
 
+    def per_tenant_slo_violations(
+        self, slo_s: Optional[float] = None
+    ) -> Dict[str, int]:
+        """Per-tenant SLO-violation counts.
+
+        With ``slo_s=None`` this reads the counters the frontend
+        accumulated against its configured SLO (failed requests
+        excluded, matching goodput). Passing an explicit ``slo_s``
+        recounts from each tenant's retained latency samples — for
+        what-if SLOs — and then counts *every* completed request,
+        including failed ones.
+        """
+        if slo_s is None:
+            return {name: t.violations for name, t in self.tenants.items()}
+        if slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+        return {
+            name: t.latency.count_over(slo_s)
+            for name, t in self.tenants.items()
+        }
+
     def goodput_rps(self) -> float:
         if self.elapsed <= 0:
             return 0.0
@@ -336,6 +371,8 @@ class ServeResult:
                     "arrived": t.arrived,
                     "admitted": t.admitted,
                     "shed": t.shed,
+                    "rate_limited": t.rate_limited,
+                    "brownout_shed": t.brownout_shed,
                     "completed": t.completed,
                     "failed": t.failed,
                     "violations": t.violations,

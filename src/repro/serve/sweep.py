@@ -201,6 +201,7 @@ def _point(mode: Mode, offered_rps: float, result: ServeResult) -> SweepPoint:
     ]
     total_wait = sum(t.total for t in queue_wait)
     total_count = sum(t.count for t in queue_wait)
+    violations = sum(result.per_tenant_slo_violations().values())
     return SweepPoint(
         mode=mode.value,
         offered_rps=offered_rps,
@@ -212,7 +213,7 @@ def _point(mode: Mode, offered_rps: float, result: ServeResult) -> SweepPoint:
         goodput_rps=result.goodput_rps(),
         completed=result.completed,
         shed=result.shed,
-        violations=result.violations,
+        violations=violations,
         failed=result.failed,
         max_queue_depth=result.max_queue_depth(),
         elapsed_s=result.elapsed,

@@ -248,6 +248,36 @@ def render_report(
             else "off path"
         lines.append(f"  {key:<16} {_fmt_s(seconds)}  {share:6.1%}  {marker}")
 
+    control = [
+        i for i in artifact.instants
+        if i.category in ("breaker", "brownout")
+    ]
+    if control:
+        # Only runs with the resilience control plane armed carry these
+        # events; quiet runs keep the report unchanged.
+        lines.append("")
+        lines.append("control-plane events (breakers, brownout)")
+        shown = 24
+        for instant in control[:shown]:
+            attrs = " ".join(
+                f"{key}={instant.attrs[key]}"
+                for key in sorted(instant.attrs)
+            )
+            target = f" {instant.actor}" if instant.actor else ""
+            lines.append(
+                f"  +{_fmt_s(instant.time).strip():>10}"
+                f" {instant.name:<20}{target}"
+                f"{'  ' + attrs if attrs else ''}"
+            )
+        if len(control) > shown:
+            counts: Dict[str, int] = {}
+            for instant in control[shown:]:
+                counts[instant.name] = counts.get(instant.name, 0) + 1
+            rest = "  ".join(
+                f"{name} x{count}" for name, count in sorted(counts.items())
+            )
+            lines.append(f"  ... {len(control) - shown} more: {rest}")
+
     for request_id in request_ids[:max_waterfalls]:
         spans = artifact.spans_for_request(request_id)
         req_totals = phase_totals(spans)

@@ -160,6 +160,10 @@ def test_exhausted_retries_mark_request_failed_but_keep_record():
 def test_recovery_summary_shape():
     _, result, _ = run_summary(Mode.STANDALONE, ACCEPTANCE_PLAN)
     summary = result.recovery_summary()
-    assert set(summary) == {"requests", "retries", "fallbacks", "failures"}
+    assert set(summary) == {
+        "requests", "retries", "fallbacks", "rerouted", "failures",
+    }
     assert summary["retries"] == result.total_retries()
     assert summary["fallbacks"] == result.fallback_count()
+    # No control plane armed: nothing can be proactively rerouted.
+    assert summary["rerouted"] == result.rerouted_count() == 0

@@ -1,0 +1,253 @@
+"""Circuit-breaker state machine, pinned transition by transition.
+
+The breaker only needs a ``.now`` attribute from its clock, so these
+tests drive it with a plain mutable stub and no simulator at all. With
+``jitter=0.0`` (the default) every cooldown is exact arithmetic, so
+open windows are asserted to the float.
+"""
+
+import random
+
+import pytest
+
+from repro.resilience import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    HealthConfig,
+    HealthMonitor,
+)
+
+
+class Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+CFG = BreakerConfig(
+    failure_threshold=0.5,
+    min_observations=4,
+    cooldown_s=10e-3,
+    cooldown_multiplier=2.0,
+    cooldown_cap_s=80e-3,
+    probe_successes=2,
+)
+
+
+def make_breaker(config=CFG, clock=None):
+    clock = clock or Clock()
+    monitor = HealthMonitor(config=HealthConfig(window=8))
+    return CircuitBreaker(clock, "drx.s0", monitor, config), clock
+
+
+def test_starts_closed_and_allows():
+    breaker, _ = make_breaker()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow() == (True, False)
+
+
+def test_failures_below_min_observations_cannot_trip():
+    breaker, _ = make_breaker()
+    for _ in range(CFG.min_observations - 1):
+        breaker.record(ok=False)
+    # 3 failures out of 3 is a 100% failure fraction, but the evidence
+    # floor has not been met yet.
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_trips_exactly_at_threshold_with_min_observations():
+    breaker, clock = make_breaker()
+    clock.now = 1.0
+    breaker.record(ok=True)
+    breaker.record(ok=True)
+    breaker.record(ok=False)
+    assert breaker.state is BreakerState.CLOSED  # 1/3 failed, below 0.5
+    breaker.record(ok=False)
+    # 2/4 failed == threshold, with min_observations met: trip.
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.trips == 1
+    assert breaker.open_until == pytest.approx(1.0 + CFG.cooldown_s)
+    assert breaker.transitions == [(1.0, BreakerState.OPEN)]
+
+
+def test_successes_cannot_trip_even_with_stale_failures():
+    # Only a *failure* triggers threshold evaluation; a success observed
+    # while the window still holds old failures must not open the breaker.
+    breaker, _ = make_breaker()
+    breaker.record(ok=False)
+    breaker.record(ok=False)
+    breaker.record(ok=False)
+    breaker.record(ok=True)  # 3/4 failed, but this outcome was a success
+    assert breaker.state is BreakerState.CLOSED
+
+
+def tripped_breaker():
+    breaker, clock = make_breaker()
+    for ok in (False, False, False, False):
+        breaker.record(ok=ok)
+    assert breaker.state is BreakerState.OPEN
+    return breaker, clock
+
+
+def test_open_blocks_until_cooldown_then_half_opens_one_probe():
+    breaker, clock = tripped_breaker()
+    assert breaker.allow() == (False, False)
+    clock.now = CFG.cooldown_s / 2
+    assert breaker.allow() == (False, False)
+    clock.now = CFG.cooldown_s
+    decision = breaker.allow()
+    assert decision == (True, True)  # the probe
+    assert breaker.state is BreakerState.HALF_OPEN
+    # Only one probe in flight: everyone else keeps getting rerouted.
+    assert breaker.allow() == (False, False)
+
+
+def test_half_open_closes_after_consecutive_probe_successes():
+    breaker, clock = tripped_breaker()
+    clock.now = CFG.cooldown_s
+    assert breaker.allow().probe
+    breaker.record(ok=True, probe=True)
+    assert breaker.state is BreakerState.HALF_OPEN  # 1 of 2 needed
+    assert breaker.allow().probe
+    breaker.record(ok=True, probe=True)
+    assert breaker.state is BreakerState.CLOSED
+    # Closing turned the page: the monitor window was reset, so the four
+    # old failures cannot contribute to a re-trip.
+    assert breaker.monitor.observations("drx.s0") == 0
+
+
+def test_half_open_probe_failure_reopens_with_doubled_cooldown():
+    breaker, clock = tripped_breaker()
+    clock.now = CFG.cooldown_s
+    assert breaker.allow().probe
+    breaker.record(ok=False, probe=True)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.trips == 2
+    # Second consecutive open: cooldown_s * multiplier^1.
+    assert breaker.open_until == pytest.approx(
+        clock.now + CFG.cooldown_s * CFG.cooldown_multiplier
+    )
+
+
+def test_cooldown_backoff_caps():
+    breaker, clock = tripped_breaker()
+    # Fail the probe repeatedly; each re-trip doubles the cooldown until
+    # the cap pins it.
+    expected = [20e-3, 40e-3, 80e-3, 80e-3, 80e-3]
+    for cooldown in expected:
+        clock.now = breaker.open_until
+        assert breaker.allow().probe
+        breaker.record(ok=False, probe=True)
+        assert breaker.open_until == pytest.approx(clock.now + cooldown)
+
+
+def test_straggler_outcome_is_not_mistaken_for_the_probe():
+    breaker, clock = tripped_breaker()
+    clock.now = CFG.cooldown_s
+    assert breaker.allow().probe
+    # A straggler dispatched before the trip completes now, successfully.
+    # It was not the probe (probe=False), so it must not close the
+    # breaker or consume the probe slot.
+    breaker.record(ok=True, probe=False)
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.allow() == (False, False)  # probe still in flight
+    breaker.record(ok=True, probe=True)
+    assert breaker.state is BreakerState.HALF_OPEN  # only 1 probe counted
+    assert breaker.allow().probe  # straggler freed nothing; this is #2
+    breaker.record(ok=True, probe=True)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_no_flapping_after_close_needs_fresh_evidence():
+    breaker, clock = tripped_breaker()
+    clock.now = CFG.cooldown_s
+    for _ in range(CFG.probe_successes):
+        assert breaker.allow().probe
+        breaker.record(ok=True, probe=True)
+    assert breaker.state is BreakerState.CLOSED
+    # One failure right after closing: without the window reset this
+    # would see 4 old failures + 1 new and flap straight back open.
+    breaker.record(ok=False)
+    assert breaker.state is BreakerState.CLOSED
+    # It takes a full fresh body of evidence to re-open.
+    breaker.record(ok=False)
+    breaker.record(ok=False)
+    assert breaker.state is BreakerState.CLOSED  # 3 < min_observations
+    breaker.record(ok=False)
+    assert breaker.state is BreakerState.OPEN
+    # The close reset the backoff: first cooldown again, not 4x.
+    assert breaker.open_until == pytest.approx(clock.now + CFG.cooldown_s)
+
+
+def test_force_open_and_cooldown_override():
+    breaker, clock = make_breaker()
+    breaker.force_open(cooldown_s=5.0)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.open_until == 5.0
+    # Already open: force_open only extends the window.
+    clock.now = 1.0
+    breaker.force_open(cooldown_s=9.0)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.open_until == 10.0
+    assert breaker.trips == 1
+
+
+def test_jittered_cooldown_is_deterministic_given_seed():
+    def open_until(seed):
+        config = BreakerConfig(
+            cooldown_s=10e-3, cooldown_cap_s=80e-3, jitter=0.5
+        )
+        clock = Clock()
+        monitor = HealthMonitor()
+        breaker = CircuitBreaker(
+            clock, "drx.s0", monitor, config, rng=random.Random(seed)
+        )
+        for _ in range(4):
+            breaker.record(ok=False)
+        return breaker.open_until
+
+    assert open_until(1) == open_until(1)
+    assert open_until(1) != open_until(2)
+    base = BreakerConfig(cooldown_s=10e-3, cooldown_cap_s=80e-3).cooldown_s
+    assert base <= open_until(1) <= base * 1.5
+
+
+def test_transition_callback_fires_in_order():
+    seen = []
+    clock = Clock()
+    monitor = HealthMonitor()
+    breaker = CircuitBreaker(
+        clock, "drx.s0", monitor, CFG,
+        on_transition=lambda b, old, new: seen.append((old, new)),
+    )
+    for _ in range(4):
+        breaker.record(ok=False)
+    clock.now = breaker.open_until
+    breaker.allow()
+    breaker.record(ok=True, probe=True)
+    breaker.allow()
+    breaker.record(ok=True, probe=True)
+    assert seen == [
+        (BreakerState.CLOSED, BreakerState.OPEN),
+        (BreakerState.OPEN, BreakerState.HALF_OPEN),
+        (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+    ]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BreakerConfig(failure_threshold=0.0)
+    with pytest.raises(ValueError):
+        BreakerConfig(failure_threshold=1.5)
+    with pytest.raises(ValueError):
+        BreakerConfig(min_observations=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(cooldown_s=0.0)
+    with pytest.raises(ValueError):
+        BreakerConfig(cooldown_multiplier=0.5)
+    with pytest.raises(ValueError):
+        BreakerConfig(cooldown_s=50e-3, cooldown_cap_s=10e-3)
+    with pytest.raises(ValueError):
+        BreakerConfig(probe_successes=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(jitter=1.0)
