@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Coalesced batching demo: the serving knee with batch formation on/off.
+
+The regime batching is built for (DESIGN.md §11): an RPC-style chain —
+tiny accelerator kernels, 16 KB payloads — with two tenants sharing one
+STANDALONE DRX card. The shared DRX is the bottleneck and its 2 µs
+program load is ~40% of per-job occupancy, so coalescing N jobs into
+one submission (one chained descriptor ring + doorbell, one amortized
+program load, one coalesced completion ISR) buys real bottleneck
+capacity. The price is formation delay, visible as the flat latency
+premium at light load — bounded by the formation window.
+
+Usage::
+
+    python examples/batching_demo.py [max_batch] [window_us]
+"""
+
+import sys
+
+from repro.accelerators.base import AcceleratorSpec
+from repro.core import AppChain, KernelStage, Mode, MotionStage
+from repro.profiles import WorkProfile
+from repro.serve import BatchingConfig, SweepConfig, run_sweep
+
+KB = 1024
+SPEC = AcceleratorSpec(name="accel", domain="d", speedup_vs_cpu=6.0)
+SLO_S = 500e-6
+LOADS = tuple(float(x) for x in
+              (60e3, 140e3, 220e3, 300e3, 340e3, 420e3, 500e3))
+
+
+def make_chains():
+    chains = []
+    for i in range(2):
+        profile = WorkProfile(
+            name="motion", bytes_in=16 * KB, bytes_out=8 * KB,
+            elements=16384, ops_per_element=20.0, gather_fraction=0.3,
+        )
+        chains.append(AppChain(
+            name=f"app{i}",
+            stages=[
+                KernelStage("k1", SPEC, cpu_time_s=30e-6,
+                            accel_time_s=2e-6, output_bytes=16 * KB),
+                MotionStage("m", profile, input_bytes=16 * KB,
+                            output_bytes=8 * KB, cpu_threads=3),
+                KernelStage("k2", SPEC, cpu_time_s=24e-6,
+                            accel_time_s=2e-6, output_bytes=4 * KB),
+            ],
+        ))
+    return chains
+
+
+def sweep(batching):
+    return run_sweep(SweepConfig(
+        offered_loads_rps=LOADS,
+        modes=(Mode.STANDALONE,),
+        requests_per_tenant=150,
+        seed=7,
+        slo_s=SLO_S,
+        max_inflight=8,
+        chain_factory=make_chains,
+        sample_period_s=None,
+        batching=batching,
+    ))
+
+
+def main() -> None:
+    max_batch = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    window_s = (float(sys.argv[2]) if len(sys.argv) > 2 else 50.0) * 1e-6
+    batching = BatchingConfig(max_batch=max_batch, window_s=window_s)
+    print(f"RPC chain, 2 tenants on one STANDALONE card, "
+          f"SLO p99 <= {SLO_S * 1e6:.0f} us")
+    print(f"batching: max_batch={max_batch} window={window_s * 1e6:.0f} us\n")
+    results = {"off": sweep(None), "on": sweep(batching)}
+    header = "load(krps)" + "".join(
+        f"{int(load / 1e3):>8}" for load in LOADS
+    )
+    print(header)
+    for label, result in results.items():
+        row = f"p99 {label:<4}(us)" + "".join(
+            f"{p99 * 1e6:>8.0f}" for _, p99 in result.p99_curve(Mode.STANDALONE)
+        )
+        print(row)
+    for label, result in results.items():
+        knee = result.knee_rps(Mode.STANDALONE)
+        print(f"knee {label}: {knee / 1e3:.0f} krps")
+    assert (results["on"].knee_rps(Mode.STANDALONE)
+            > results["off"].knee_rps(Mode.STANDALONE)), \
+        "batching should move the knee right in this regime"
+
+
+if __name__ == "__main__":
+    main()

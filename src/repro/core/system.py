@@ -954,6 +954,519 @@ class DMXSystem:
             what=f"kernel:{device.name}",
         )
 
+    # -- coalesced (batched) execution -----------------------------------------
+    #
+    # A batch is N same-chain requests executed as ONE submission per
+    # stage: kernels still run per member (the accelerator does real work
+    # for each payload), but every motion leg pays a single control path —
+    # one chained descriptor-ring submission + doorbell on the DMA, one
+    # amortized program load on the DRX, one coalesced completion ISR —
+    # for all N member transfers. This is the serve layer's
+    # :class:`~repro.serve.batching.BatchFormer` execution target and the
+    # ROADMAP "batching / coalescing of restructuring ops" item.
+
+    def _batched_staged_transfer(
+        self,
+        src: str,
+        dst: str,
+        sizes: List[int],
+        state: Optional[_RequestState] = None,
+        ctx: Optional[SpanContext] = None,
+    ) -> Generator:
+        """A chained DMA staging through host memory: one submission for
+        every member payload, one DRAM staging pass over the total."""
+        yield from self.dma.transfer_chained(
+            src, dst, sizes,
+            on_retry=self._retry_cb(state, "dma", f"{src}->{dst}"),
+            ctx=ctx,
+        )
+        nbytes = sum(sizes)
+        span = (
+            ctx.begin("host-staging", "staging", actor="root", bytes=nbytes)
+            if ctx is not None
+            else None
+        )
+        try:
+            yield self.sim.timeout(nbytes / HOST_STAGING_BYTES_PER_S)
+        except BaseException:
+            if span is not None:
+                ctx.end(span, abandoned=True)
+            raise
+        if span is not None:
+            ctx.end(span)
+
+    def _cpu_restructure_batch(
+        self, profile, threads: int, count: int
+    ) -> Generator:
+        """Back-to-back host restructuring of each member payload (the
+        CPU has no program-load overhead to amortize)."""
+        for _ in range(count):
+            yield from self.cpu.restructure(profile, threads=threads)
+
+    def _drx_restructure_batch(
+        self,
+        drx: DRXDevice,
+        fused,
+        count: int,
+        state: Optional[_RequestState],
+        ctx: Optional[SpanContext] = None,
+    ) -> Generator:
+        """One coalesced DRX job for ``count`` member payloads, guarded
+        at the "drx" injection site when faulted."""
+        op = drx.restructure_batch([fused] * count, ctx=ctx)
+        if self.injector is None:
+            return op
+        return self.injector.guard(
+            "drx", op, actor=drx.name,
+            request_id=state.request_id if state is not None else -1,
+        )
+
+    def _batched_multi_axl_motion(
+        self,
+        src: str,
+        dst: str,
+        stage: MotionStage,
+        threads: int,
+        count: int,
+        phases: PhaseAccumulator,
+        state: Optional[_RequestState],
+        ctx: SpanContext,
+    ) -> Generator:
+        """Batched fallback/baseline path: chained staged DMAs through
+        host memory around per-member CPU restructuring."""
+        span, cctx = self._phase_span(
+            ctx, "movement-in", PHASE_MOVEMENT, batch=count
+        )
+        yield from self._timed(
+            phases, PHASE_MOVEMENT,
+            self._batched_staged_transfer(
+                src, "root", [stage.input_bytes] * count, state, cctx
+            ),
+            span=span,
+        )
+        span, _ = self._phase_span(
+            ctx, "cpu-restructure", PHASE_RESTRUCTURE, actor="cpu",
+            threads=threads, batch=count,
+        )
+        yield from self._timed(
+            phases, PHASE_RESTRUCTURE,
+            self._cpu_restructure_batch(stage.profile, threads, count),
+            span=span,
+        )
+        span, cctx = self._phase_span(
+            ctx, "movement-out", PHASE_MOVEMENT, batch=count
+        )
+        yield from self._timed(
+            phases, PHASE_MOVEMENT,
+            self._batched_staged_transfer(
+                "root", dst, [stage.output_bytes] * count, state, cctx
+            ),
+            span=span,
+        )
+
+    def _batched_drx_motion(
+        self,
+        mode: Mode,
+        src: str,
+        dst: str,
+        staging: str,
+        drx: DRXDevice,
+        stage: MotionStage,
+        fused,
+        count: int,
+        phases: PhaseAccumulator,
+        state: Optional[_RequestState],
+        ctx: SpanContext,
+    ) -> Generator:
+        """The coalesced DRX leg: chained ingest, one batch restructuring
+        job, ONE completion notification, chained delivery."""
+        if mode == Mode.PCIE_INTEGRATED:
+            # Line-rate processing still overlaps the (now batched)
+            # inbound stream with the (now coalesced) restructuring job.
+            pspan, pctx = self._phase_span(
+                ctx, "restructure", PHASE_RESTRUCTURE, actor=drx.name,
+                overlapped=True, batch=count,
+            )
+            ingest_op = self.telemetry.wrap(
+                self.fabric.transfer(src, staging, count * stage.input_bytes),
+                "ingest", "ingest", actor=staging, parent=pspan,
+                request_id=ctx.request_id, bytes=count * stage.input_bytes,
+            )
+            work_op = self._drx_restructure_batch(
+                drx, fused, count, state, ctx=pctx
+            )
+            if self._faults is not None:
+                ingest_op, work_op = shielded(ingest_op), shielded(work_op)
+            ingest = self.sim.spawn(ingest_op)
+            work = self.sim.spawn(work_op)
+            start = self.sim.now
+            try:
+                yield AllOf(self.sim, [ingest, work])
+            except BaseException:
+                self.telemetry.end(pspan, abandoned=True)
+                raise
+            phases.add(PHASE_RESTRUCTURE, self.sim.now - start)
+            self.telemetry.end(pspan)
+            if self._faults is not None:
+                for proc in (ingest, work):
+                    ok, value = proc.value
+                    if not ok:
+                        raise value
+        else:
+            span, cctx = self._phase_span(
+                ctx, "movement-in", PHASE_MOVEMENT, batch=count
+            )
+            in_transfer = (
+                self._batched_staged_transfer(
+                    src, staging, [stage.input_bytes] * count, state, cctx
+                )
+                if staging == "root"
+                else self.dma.transfer_chained(
+                    src, staging, [stage.input_bytes] * count,
+                    on_retry=self._retry_cb(state, "dma", f"{src}->{staging}"),
+                    ctx=cctx,
+                )
+            )
+            yield from self._timed(
+                phases, PHASE_MOVEMENT, in_transfer, span=span
+            )
+            span, cctx = self._phase_span(
+                ctx, "restructure", PHASE_RESTRUCTURE, actor=drx.name,
+                batch=count,
+            )
+            yield from self._timed(
+                phases, PHASE_RESTRUCTURE,
+                self._drx_restructure_batch(drx, fused, count, state, cctx),
+                span=span,
+            )
+        # ONE restructure-completion notification for all members: the
+        # chained submission raises a single interrupt; the driver reaps
+        # the remaining completions inside that ISR.
+        span, cctx = self._phase_span(ctx, "control", PHASE_CONTROL, batch=count)
+        yield from self._timed(
+            phases, PHASE_CONTROL,
+            self.notifier.notify_batch(
+                drx.name, count,
+                on_retry=self._retry_cb(state, "notify", drx.name),
+                ctx=cctx,
+            ),
+            span=span,
+        )
+        span, cctx = self._phase_span(
+            ctx, "movement-out", PHASE_MOVEMENT, batch=count
+        )
+        out_transfer = (
+            self._batched_staged_transfer(
+                staging, dst, [stage.output_bytes] * count, state, cctx
+            )
+            if staging == "root"
+            else self.dma.transfer_chained(
+                staging, dst, [stage.output_bytes] * count,
+                on_retry=self._retry_cb(state, "dma", f"{staging}->{dst}"),
+                ctx=cctx,
+            )
+        )
+        yield from self._timed(phases, PHASE_MOVEMENT, out_transfer, span=span)
+
+    def _batched_motion(
+        self,
+        app_index: int,
+        kernel_index: int,
+        stage: MotionStage,
+        count: int,
+        phases: PhaseAccumulator,
+        state: Optional[_RequestState],
+        rctx: SpanContext,
+        force_cpu: bool = False,
+    ) -> Generator:
+        mode = self.config.mode
+        src = self.accel_name(app_index, kernel_index)
+        dst = self.accel_name(app_index, kernel_index + 1)
+        threads = stage.cpu_threads
+        mspan = rctx.begin(
+            f"motion{kernel_index}", "stage", src=src, dst=dst, batch=count
+        )
+        sctx = rctx.child(mspan)
+        try:
+            yield from self._batched_motion_body(
+                mode, app_index, src, dst, stage, threads, count, phases,
+                state, sctx, mspan, force_cpu,
+            )
+        except BaseException:
+            self.telemetry.end(mspan, abandoned=True)
+            raise
+        self.telemetry.end(mspan)
+
+    def _batched_motion_body(
+        self,
+        mode: Mode,
+        app_index: int,
+        src: str,
+        dst: str,
+        stage: MotionStage,
+        threads: int,
+        count: int,
+        phases: PhaseAccumulator,
+        state: Optional[_RequestState],
+        sctx: SpanContext,
+        mspan: Optional[ActiveSpan] = None,
+        force_cpu: bool = False,
+    ) -> Generator:
+        """Mirror of :meth:`_motion_body` for a coalesced batch — same
+        routing, brownout, and deadline-fallback structure, batched
+        control paths. The DRX deadline budget scales with batch size
+        (each member still brings its own budget to the pool)."""
+        if mode == Mode.ALL_CPU:
+            span, _ = self._phase_span(
+                sctx, "cpu-restructure", PHASE_RESTRUCTURE, actor="cpu",
+                threads=threads, batch=count,
+            )
+            yield from self._timed(
+                phases, PHASE_RESTRUCTURE,
+                self._cpu_restructure_batch(stage.profile, threads, count),
+                span=span,
+            )
+            return
+
+        # ONE kernel-completion notification covers every member: the
+        # batch's kernels were submitted as one chain, so the device
+        # raises one interrupt with N completion records behind it.
+        span, cctx = self._phase_span(sctx, "control", PHASE_CONTROL, batch=count)
+        yield from self._timed(
+            phases, PHASE_CONTROL,
+            self.notifier.notify_batch(
+                src, count,
+                on_retry=self._retry_cb(state, "notify", src), ctx=cctx,
+            ),
+            span=span,
+        )
+
+        if mode == Mode.MULTI_AXL:
+            yield from self._batched_multi_axl_motion(
+                src, dst, stage, threads, count, phases, state, sctx
+            )
+            return
+
+        drx, staging = self._drx_placement(mode, src, app_index)
+
+        probe = False
+        if force_cpu or self.control is not None:
+            routed = self._route_drx(
+                mode, drx, staging, state, mspan, force_cpu
+            )
+            if routed is None:
+                yield from self._batched_multi_axl_motion(
+                    src, dst, stage, threads, count, phases, state, sctx
+                )
+                return
+            drx, staging, probe = routed
+
+        if SCRATCHPAD_FUSION:
+            fused = replace(
+                stage.profile,
+                bytes_in=stage.input_bytes,
+                bytes_out=stage.output_bytes,
+            )
+        else:
+            fused = stage.profile
+
+        if self._faults is None:
+            leg_start = self.sim.now
+            yield from self._batched_drx_motion(
+                mode, src, dst, staging, drx, stage, fused, count, phases,
+                state, sctx,
+            )
+            if self.control is not None:
+                self.control.record(
+                    drx.name, True, self.sim.now - leg_start, probe=probe
+                )
+            return
+
+        # A failed batch falls back *as a unit*: no member is lost — all
+        # of them retry on the CPU path via host memory.
+        local = PhaseAccumulator(ALL_PHASES)
+        span_start = self.sim.now
+        deadline = self._faults.drx_deadline_s * count
+        attempt = sctx.begin(
+            "drx-attempt", "attempt", deadline_s=deadline, batch=count,
+            **({"breaker_probe": True} if probe else {}),
+        )
+        actx = sctx.child(attempt)
+        try:
+            yield from with_timeout(
+                self.sim,
+                self._batched_drx_motion(
+                    mode, src, dst, staging, drx, stage, fused, count, local,
+                    state, actx,
+                ),
+                deadline,
+                what=f"drx:{drx.name}",
+            )
+        except _RECOVERABLE as exc:
+            if self.control is not None:
+                self.control.record(
+                    drx.name, False, self.sim.now - span_start, probe=probe
+                )
+            if state is not None:
+                state.fell_back = True
+            self._note(
+                "fallback", drx.name, site="drx",
+                request_id=state.request_id if state is not None else -1,
+                detail=type(exc).__name__,
+            )
+            self.telemetry.end(attempt, error=type(exc).__name__)
+            self.telemetry.mark_abandoned(attempt)
+            phases.add(PHASE_RECOVERY, self.sim.now - span_start)
+            self.telemetry.add(
+                "recovery", PHASE_RECOVERY, start=span_start,
+                end=self.sim.now, actor=drx.name, parent=sctx.parent_id,
+                request_id=sctx.request_id, phase=PHASE_RECOVERY,
+                cause=type(exc).__name__,
+            )
+            yield from self._batched_multi_axl_motion(
+                src, dst, stage, threads, count, phases, state, sctx
+            )
+        else:
+            if self.control is not None:
+                self.control.record(
+                    drx.name, True, self.sim.now - span_start, probe=probe
+                )
+            self.telemetry.end(attempt)
+            for phase, duration in local.totals.items():
+                if duration:
+                    phases.add(phase, duration)
+
+    def _batched_request(
+        self,
+        app_index: int,
+        chain: AppChain,
+        count: int,
+        parent_span: Optional[int] = None,
+        force_cpu: bool = False,
+    ) -> Generator:
+        """Run ``count`` same-chain requests as one coalesced batch.
+
+        Returns one :class:`RequestRecord` per member. All members share
+        the batch's wall-clock interval; phase time is split evenly
+        across members so per-member records still sum to the batch's
+        booked phase totals (and thus reconcile with span-derived
+        totals). Retries/fallback/reroute bookkeeping is tracked on the
+        lead member and propagated to all — a batch degrades or fails as
+        a unit, never losing individual members.
+        """
+        phases = PhaseAccumulator(ALL_PHASES)
+        states = [_RequestState(next(self._request_ids)) for _ in range(count)]
+        lead = states[0]
+        start = self.sim.now
+        kernel_index = 0
+        root = self.telemetry.begin(
+            f"{chain.name}#b{lead.request_id}x{count}", "batch-exec",
+            actor=chain.name, parent=parent_span,
+            request_id=lead.request_id, mode=self.config.mode.name,
+            app=chain.name, batch=count,
+        )
+        # Every member keeps an addressable request span in the trace,
+        # parented under the batch-exec span (phase spans hang off the
+        # shared batch context — the work is genuinely shared).
+        member_spans = [
+            self.telemetry.begin(
+                f"{chain.name}#r{st.request_id}", "request",
+                actor=chain.name, parent=root, request_id=st.request_id,
+                mode=self.config.mode.name, app=chain.name, batched=True,
+            )
+            for st in states
+        ]
+        member_ctxs = [
+            self.telemetry.context(span, st.request_id)
+            for span, st in zip(member_spans, states)
+        ]
+        rctx = self.telemetry.context(root, lead.request_id)
+        try:
+            for stage in chain.stages:
+                if isinstance(stage, KernelStage):
+                    if self.config.mode == Mode.ALL_CPU:
+                        threads = max(
+                            1,
+                            min(stage.cpu_threads,
+                                self.cpu.spec.cores // len(self.chains)),
+                        )
+                        for st, mctx in zip(states, member_ctxs):
+                            span, _ = self._phase_span(
+                                mctx, f"kernel{kernel_index}", PHASE_KERNEL,
+                                actor="cpu", threads=threads,
+                            )
+                            yield from self._timed(
+                                phases, PHASE_KERNEL,
+                                self.cpu.run_kernel(
+                                    stage.cpu_latency(threads),
+                                    threads=threads,
+                                ),
+                                span=span,
+                            )
+                    else:
+                        device = self.accel_devices[
+                            self.accel_name(app_index, kernel_index)
+                        ]
+                        # Kernels execute per member — the accelerator
+                        # computes every payload; only control coalesces.
+                        for st, mctx in zip(states, member_ctxs):
+                            span, _ = self._phase_span(
+                                mctx, f"kernel{kernel_index}", PHASE_KERNEL,
+                                actor=device.name,
+                            )
+                            if self._faults is None:
+                                yield from self._timed(
+                                    phases, PHASE_KERNEL, device.execute(),
+                                    span=span,
+                                )
+                            else:
+                                yield from self._timed(
+                                    phases, PHASE_KERNEL,
+                                    self._recovering_kernel(device, st),
+                                    span=span,
+                                )
+                    kernel_index += 1
+                else:
+                    yield from self._batched_motion(
+                        app_index, kernel_index - 1, stage, count, phases,
+                        lead, rctx, force_cpu=force_cpu,
+                    )
+        except _RECOVERABLE as exc:
+            for st in states:
+                st.failed = True
+            self._note(
+                "giveup", chain.name, site="request",
+                request_id=lead.request_id, detail=type(exc).__name__,
+            )
+        # Batch-level outcomes live on the lead state; mirror them onto
+        # every member so no record under-reports its degradation.
+        for st in states[1:]:
+            st.fell_back = st.fell_back or lead.fell_back
+            st.rerouted = st.rerouted or lead.rerouted
+            st.failed = st.failed or lead.failed
+        end = self.sim.now
+        share = {
+            phase: duration / count for phase, duration in phases.totals.items()
+        }
+        records = []
+        for st, span in zip(states, member_spans):
+            self.telemetry.end(
+                span, retries=st.retries, fell_back=st.fell_back,
+                rerouted=st.rerouted, failed=st.failed,
+            )
+            records.append(RequestRecord(
+                app=chain.name, start=start, end=end,
+                phases=dict(share),
+                retries=st.retries, fell_back=st.fell_back,
+                rerouted=st.rerouted, failed=st.failed,
+                request_id=st.request_id,
+            ))
+        self.telemetry.end(
+            root, retries=lead.retries, fell_back=lead.fell_back,
+            rerouted=lead.rerouted, failed=lead.failed,
+        )
+        return records
+
     def _request(
         self,
         app_index: int,
@@ -1087,6 +1600,43 @@ class DMXSystem:
         )
         return record
 
+    def submit_batch(
+        self,
+        app_index: int,
+        count: int,
+        parent_span: Optional[int] = None,
+        force_cpu: bool = False,
+    ) -> Generator:
+        """Process helper: run ``count`` requests on chain ``app_index``
+        as one coalesced batch; returns a list of ``count``
+        :class:`RequestRecord` objects.
+
+        Each motion leg pays a single control path for all members (one
+        chained descriptor submission + doorbell, one amortized DRX
+        program load, one coalesced completion ISR), while kernels and
+        payload restructuring still execute per member. A batch of one
+        takes the exact single-request code path, so
+        ``submit_batch(i, 1)`` is bit-identical to ``submit(i)``.
+        """
+        if not 0 <= app_index < len(self.chains):
+            raise IndexError(
+                f"app_index {app_index} out of range "
+                f"(0..{len(self.chains) - 1})"
+            )
+        if count < 1:
+            raise ValueError(f"batch needs count >= 1: {count}")
+        if count == 1:
+            record = yield from self._request(
+                app_index, self.chains[app_index], parent_span=parent_span,
+                force_cpu=force_cpu,
+            )
+            return [record]
+        records = yield from self._batched_request(
+            app_index, self.chains[app_index], count,
+            parent_span=parent_span, force_cpu=force_cpu,
+        )
+        return records
+
     # -- run modes ------------------------------------------------------------
 
     def run_latency(self, requests_per_app: int = 4) -> RunResult:
@@ -1166,6 +1716,7 @@ class DMXSystem:
                 device=name,
             )
         t.counter("dma_transfers").inc(self.dma.transfers_completed)
+        t.counter("dma_descriptors").inc(self.dma.descriptors_submitted)
         t.counter("dma_bytes").inc(self.dma.bytes_transferred)
         t.counter("fabric_bytes").inc(self.bytes_moved())
         stats = self.notifier.stats

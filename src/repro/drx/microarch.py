@@ -125,6 +125,22 @@ class DRXTimingModel:
         memory_time = profile.total_bytes / cfg.dram_bandwidth
         return cfg.kernel_launch_overhead_s + max(compute_time, memory_time)
 
+    def time_for_profile_batch(self, profiles: "list[WorkProfile]") -> float:
+        """Analytical latency for a coalesced batch of restructuring jobs.
+
+        A batched submission loads one program and pays one SYNC pair
+        (``kernel_launch_overhead_s``) for the whole batch; each member's
+        data-dependent work (the ``max(compute, memory)`` steady state)
+        still runs in full. This is the amortized-setup model the serve
+        layer's :class:`~repro.serve.batching.BatchFormer` buys.
+        """
+        if not profiles:
+            raise ValueError("batch needs at least one profile")
+        launch = self.config.kernel_launch_overhead_s
+        return launch + sum(
+            self.time_for_profile(p) - launch for p in profiles
+        )
+
     def bound_for_profile(self, profile: WorkProfile) -> str:
         """Which side of the roofline binds: "compute" or "memory"."""
         cfg = self.config
@@ -189,6 +205,43 @@ class DRXDevice:
                 ctx.end(span, abandoned=True, error=type(exc).__name__)
             raise
         self.jobs_completed += 1
+        self.busy_seconds += duration
+        elapsed = self.sim.now - start
+        if span is not None:
+            ctx.end(span, queued_s=elapsed - duration)
+        return elapsed
+
+    def restructure_batch(
+        self,
+        profiles: "list[WorkProfile]",
+        ctx: Optional["SpanContext"] = None,
+    ) -> Generator:
+        """Process: run a coalesced batch of restructuring jobs as ONE
+        occupancy of this DRX unit.
+
+        The batch holds the unit for
+        :meth:`DRXTimingModel.time_for_profile_batch` — one program load +
+        SYNC pair amortized over all members — and counts every member in
+        ``jobs_completed``. A single-member batch is identical to
+        :meth:`restructure`.
+        """
+        duration = self.timing.time_for_profile_batch(profiles)
+        start = self.sim.now
+        span = (
+            ctx.begin(
+                self.name, "drx", actor=self.name, service_s=duration,
+                batch=len(profiles),
+            )
+            if ctx is not None
+            else None
+        )
+        try:
+            yield from self._server.transfer(duration)
+        except BaseException as exc:
+            if span is not None:
+                ctx.end(span, abandoned=True, error=type(exc).__name__)
+            raise
+        self.jobs_completed += len(profiles)
         self.busy_seconds += duration
         elapsed = self.sim.now - start
         if span is not None:

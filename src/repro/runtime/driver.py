@@ -187,6 +187,73 @@ class NotificationModel:
             ctx.end(span)
         return cost
 
+    def notify_batch(
+        self,
+        device: str,
+        count: int,
+        on_retry: Optional[Callable[[int, BaseException, bool], None]] = None,
+        ctx: Optional["SpanContext"] = None,
+    ) -> Generator:
+        """Process: deliver ONE coalesced completion for ``count`` members.
+
+        A batched submission raises a single interrupt when the whole
+        descriptor chain completes; the remaining ``count - 1`` member
+        completions are reaped inside that same ISR at the (much cheaper)
+        coalesced rate — the driver walks the completion ring once. In
+        polling mode every member still pays the amortized poll cost.
+        The delivery (and any watchdog retry of it) happens as a unit:
+        a lost batch notification is re-delivered whole.
+        """
+        if count < 1:
+            raise ValueError(f"batch notification needs count >= 1: {count}")
+        if count == 1:
+            cost = yield from self.notify(device, on_retry=on_retry, ctx=ctx)
+            return cost
+        now = self.sim.now
+        history = self._arrivals.setdefault(
+            device, deque(maxlen=self._RATE_WINDOW)
+        )
+        # The rate estimator sees every member completion land at once —
+        # exactly what the completion ring records.
+        for _ in range(min(count, self._RATE_WINDOW)):
+            history.append(now)
+        self._update_mode(device)
+
+        if self._polling.get(device, False):
+            cost = count * self.costs.poll_s
+            mode = "poll"
+            self.stats.polled += count
+        else:
+            last = self._last_isr.get(device)
+            if last is not None and now - last < self.costs.coalesce_window_s:
+                base = self.costs.coalesced_s
+                mode = "coalesced"
+                self.stats.coalesced += count
+            else:
+                base = self.costs.interrupt_s
+                mode = "interrupt"
+                self.stats.interrupts += 1
+                self.stats.coalesced += count - 1
+            cost = base + (count - 1) * self.costs.coalesced_s
+            self._last_isr[device] = now
+        span = (
+            ctx.begin(
+                "notify", "notify", actor=device, mode=mode, cost_s=cost,
+                batch=count,
+            )
+            if ctx is not None
+            else None
+        )
+        try:
+            yield from self._notify_timed(device, cost, on_retry)
+        except BaseException as exc:
+            if span is not None:
+                ctx.end(span, abandoned=True, error=type(exc).__name__)
+            raise
+        if span is not None:
+            ctx.end(span)
+        return cost
+
     def _notify_timed(
         self,
         device: str,

@@ -9,6 +9,10 @@ fixed request counts, this package models *sustained online traffic*:
 * :mod:`repro.serve.frontend` — per-tenant bounded admission queues,
   reject-vs-queue shedding, FCFS / weighted-round-robin dispatch into
   the shared system via :meth:`DMXSystem.submit`;
+* :mod:`repro.serve.batching` — per-tenant batch formation (size-out +
+  time-out window) feeding coalesced submissions via
+  :meth:`DMXSystem.submit_batch` (one descriptor chain + doorbell +
+  completion ISR per batch);
 * :mod:`repro.serve.slo` — streaming p50/p95/p99 latency percentiles
   (P² + exact), per-tenant goodput, shed/violation counts, queue-depth
   timelines on the sim clock;
@@ -26,6 +30,7 @@ from .arrivals import (
     arrival_times,
     make_arrivals,
 )
+from .batching import BatchFormer, BatchingConfig, FormingBatch
 from .frontend import (
     Discipline,
     FrontendConfig,
@@ -63,6 +68,9 @@ __all__ = [
     "TenantSpec",
     "FrontendConfig",
     "ServingFrontend",
+    "BatchingConfig",
+    "BatchFormer",
+    "FormingBatch",
     "DEFAULT_QUANTILES",
     "P2Quantile",
     "LatencyTracker",

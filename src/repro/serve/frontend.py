@@ -21,6 +21,15 @@ at the door (protecting co-tenants from a bursty neighbour), and the
 sheds low-priority arrivals, coalesces dispatch by tenant, and finally
 forces motion stages onto the CPU (``submit(..., force_cpu=True)``).
 
+Orthogonally to the dispatch discipline, a
+:class:`~repro.serve.batching.BatchingConfig` arms **batch formation**:
+dispatched same-tenant requests accumulate in a
+:class:`~repro.serve.batching.BatchFormer` and execute as one coalesced
+submission (:meth:`DMXSystem.submit_batch`) — one descriptor chain +
+doorbell + completion ISR for all members. The brownout ``COALESCE``
+tier escalates the formation window, turning the tier from a dispatch
+heuristic into real control-path coalescing.
+
 Everything runs on the system's own simulator, and all stochasticity
 comes from one ``random.Random(seed)``, so a serving run — including one
 with a :class:`~repro.faults.FaultPlan` armed — replays exactly.
@@ -41,6 +50,7 @@ from ..resilience.brownout import BrownoutConfig, BrownoutController, \
     BrownoutTier
 from ..sim import Event
 from .arrivals import ArrivalProcess
+from .batching import BatchFormer, BatchingConfig, FormingBatch
 from .slo import LatencyTracker, QueueSample, ServeResult, TenantStats
 
 __all__ = [
@@ -56,8 +66,11 @@ class ShedPolicy(enum.Enum):
     """What admission does when a tenant's queue is full.
 
     ``REJECT`` sheds the new arrival (bounded queue, load shedding);
-    ``QUEUE`` admits unconditionally (unbounded queue — latency, not
-    errors, absorbs overload; the right setting for knee curves).
+    ``QUEUE`` admits unconditionally — ``TenantSpec.queue_capacity`` is
+    *deliberately ignored* under this policy: the queue is unbounded and
+    latency, not errors, absorbs overload (the right setting for knee
+    curves, where a capacity bound would clip the very tail the sweep
+    measures). This is by design, not an oversight; a test pins it.
     """
 
     REJECT = "reject"
@@ -127,6 +140,16 @@ class FrontendConfig:
     clock (None disables the timeline). ``brownout`` arms the graceful-
     degradation ladder (requires ``slo_s`` — the ladder is driven by
     p99-vs-SLO headroom).
+
+    ``batching`` arms batch formation: dispatched requests accumulate
+    per tenant and execute as coalesced submissions (orthogonal to
+    ``discipline``, which still decides *which* request is dispatched
+    next). ``max_affinity_run`` caps the brownout ``COALESCE`` tier's
+    tenant-affinity fast path — at most this many consecutive dispatches
+    may bypass the discipline for the last-served tenant (default: the
+    tenant's WRR weight), after which dispatch falls through to the
+    configured discipline so a backlogged tenant cannot starve its
+    neighbours for as long as the tier holds.
     """
 
     max_inflight: int = 4
@@ -135,6 +158,8 @@ class FrontendConfig:
     slo_s: Optional[float] = None
     sample_period_s: Optional[float] = 1e-3
     brownout: Optional[BrownoutConfig] = None
+    batching: Optional[BatchingConfig] = None
+    max_affinity_run: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -145,6 +170,8 @@ class FrontendConfig:
             raise ValueError("sample_period_s must be positive")
         if self.brownout is not None and self.slo_s is None:
             raise ValueError("brownout control requires slo_s")
+        if self.max_affinity_run is not None and self.max_affinity_run < 1:
+            raise ValueError("max_affinity_run must be >= 1")
 
 
 class _Admitted:
@@ -232,8 +259,28 @@ class ServingFrontend:
         )
         # Tenant whose request was dispatched last — the COALESCE tier
         # prefers it, so completion notifications batch under the
-        # driver's NAPI-style coalescing window.
+        # driver's NAPI-style coalescing window. The affinity run is
+        # capped (``_affinity_cap``) so the fast path cannot starve
+        # other tenants while the tier holds.
         self._last_tenant: Optional[str] = None
+        self._affinity_run = 0
+        self._tenant_spec: Dict[str, TenantSpec] = {
+            t.name: t for t in self.tenants
+        }
+        # Batch formation (None = per-request dispatch, the exact
+        # pre-batching code path).
+        self._former: Optional[BatchFormer] = (
+            BatchFormer(self.sim, self._launch_batch)
+            if config.batching is not None
+            else None
+        )
+        self._batch_size_hist = None
+        self._formation_delay_gauge = None
+        if self._former is not None and self.telemetry.enabled:
+            self._batch_size_hist = self.telemetry.histogram("batch_size")
+            self._formation_delay_gauge = self.telemetry.metrics.gauge(
+                "batch_formation_delay_s"
+            )
 
     # -- wakeup plumbing -----------------------------------------------------
 
@@ -249,17 +296,26 @@ class ServingFrontend:
 
     # -- admission -----------------------------------------------------------
 
+    def _deadline_offset(self, spec: TenantSpec) -> float:
+        """The tenant's per-request deadline budget, resolved *now*.
+
+        Resolved per arrival (not hoisted out of the arrival loop): the
+        EDF deadline must track the SLO in effect when the request
+        arrives, so a config- or controller-driven SLO change mid-run
+        reaches subsequent arrivals instead of being frozen at
+        arrival-loop start.
+        """
+        if spec.deadline_s is not None:
+            return spec.deadline_s
+        if self.config.slo_s is not None:
+            return self.config.slo_s
+        return math.inf
+
     def _arrival_loop(self, spec: TenantSpec) -> Generator:
         stats = self._stats[spec.name]
         queue = self._queues[spec.name]
         gaps = spec.arrivals.interarrivals(self._rng)
         bucket = self._buckets.get(spec.name)
-        deadline_offset = (
-            spec.deadline_s
-            if spec.deadline_s is not None
-            else (self.config.slo_s if self.config.slo_s is not None
-                  else math.inf)
-        )
         record_metrics = self.telemetry.enabled
         rate_limited_counter = None
         if record_metrics:
@@ -322,7 +378,7 @@ class ServingFrontend:
             queue.append(
                 _Admitted(
                     spec, self.sim.now, seq,
-                    deadline=self.sim.now + deadline_offset,
+                    deadline=self.sim.now + self._deadline_offset(spec),
                 )
             )
             self._kick()
@@ -381,6 +437,42 @@ class ServingFrontend:
                 best, best_key = queue, key
         return best.popleft() if best is not None else None
 
+    def _affinity_cap(self, tenant: str) -> int:
+        """Longest same-tenant run the COALESCE fast path may extend."""
+        if self.config.max_affinity_run is not None:
+            return self.config.max_affinity_run
+        return max(1, self._tenant_spec[tenant].weight)
+
+    def _next_affinity(self) -> Optional[_Admitted]:
+        """The COALESCE tenant-affinity fast path — capped and
+        credit-honest.
+
+        Two fairness bugs lived here: the path (1) popped the last
+        tenant's queue with no run-length cap, so one backlogged tenant
+        starved every other (including higher-priority and earlier-
+        deadline work) for as long as the tier held, and (2) bypassed
+        WRR credit accounting entirely, corrupting fairness state past
+        the brownout episode. Now the run is capped at
+        :meth:`_affinity_cap` before falling through to the configured
+        discipline, and under WRR an affinity pop is only allowed when
+        it is the cursor tenant's turn with credit remaining — which it
+        then debits, exactly as :meth:`_next_wrr` would.
+        """
+        tenant = self._last_tenant
+        if self._affinity_run >= self._affinity_cap(tenant):
+            return None
+        queue = self._queues[tenant]
+        if not queue:
+            return None
+        if self.config.discipline is Discipline.WRR:
+            if (
+                self.tenants[self._wrr_index].name != tenant
+                or self._wrr_credit <= 0
+            ):
+                return None
+            self._wrr_credit -= 1
+        return queue.popleft()
+
     def _next_item(self) -> Optional[_Admitted]:
         if (
             self._brownout is not None
@@ -390,9 +482,9 @@ class ServingFrontend:
             # Tenant-affinity dispatch: runs of the same tenant complete
             # back to back, so the notification model's coalescing
             # window batches their completion interrupts.
-            queue = self._queues[self._last_tenant]
-            if queue:
-                return queue.popleft()
+            item = self._next_affinity()
+            if item is not None:
+                return item
         if self.config.discipline is Discipline.FCFS:
             return self._next_fcfs()
         if self.config.discipline is Discipline.WRR:
@@ -407,12 +499,21 @@ class ServingFrontend:
                 item = self._next_item()
                 if item is None:
                     break
+                if item.spec.name == self._last_tenant:
+                    self._affinity_run += 1
+                else:
+                    self._affinity_run = 1
                 self._last_tenant = item.spec.name
+                if self._former is not None:
+                    self._form(item)
+                    continue
                 self._inflight += 1
                 self.sim.spawn(
                     self._serve_one(item),
                     name=f"serve:{item.spec.name}#{item.seq}",
                 )
+            if self._former is not None:
+                self._feed_formers()
             if (
                 self._open_arrivals == 0
                 and self._queued_total() == 0
@@ -463,6 +564,126 @@ class ServingFrontend:
         telemetry.end(client, failed=record.failed)
         if self._client_latency is not None:
             self._client_latency[item.spec.name].observe(latency)
+        self._inflight -= 1
+        self._kick()
+
+    # -- batched dispatch ----------------------------------------------------
+
+    def _batch_terms(self) -> "tuple[int, float]":
+        """(max_batch, window_s) for a batch opened *now*: the brownout
+        COALESCE tier stretches the window (and optionally the cap) so
+        overload buys more amortization per control-path invocation."""
+        cfg = self.config.batching
+        max_batch, window_s = cfg.max_batch, cfg.window_s
+        if (
+            self._brownout is not None
+            and self._brownout.tier >= BrownoutTier.COALESCE
+        ):
+            window_s *= cfg.coalesce_window_factor
+            if cfg.coalesce_max_batch is not None:
+                max_batch = cfg.coalesce_max_batch
+        return max_batch, window_s
+
+    def _form(self, item: _Admitted) -> None:
+        """Route one dispatched item into its tenant's forming batch.
+
+        A forming batch holds one ``max_inflight`` slot from the moment
+        it opens until its execution completes — formation must consume
+        dispatch capacity, or it would drain admission queues without
+        backpressure and void the discipline's ordering guarantees.
+        """
+        if not self._former.is_forming(item.spec.name):
+            self._inflight += 1
+        max_batch, window_s = self._batch_terms()
+        self._former.add(item, max_batch, window_s)
+
+    def _feed_formers(self) -> None:
+        """Drain queued same-tenant work into open forming batches.
+
+        Joining an open batch consumes no dispatch slot, so this runs
+        even when the inflight window is full — otherwise a forming
+        batch would idle out its whole window while the members that
+        could seal it sit in the admission queue behind a closed window
+        (the worst case at small ``max_inflight``). At high load this is
+        what makes batches size-out instantly instead of waiting.
+        Within a tenant the queue is FIFO, so joining preserves the
+        discipline's ordering guarantees.
+        """
+        for spec in self.tenants:
+            if not self._former.is_forming(spec.name):
+                continue
+            queue = self._queues[spec.name]
+            max_batch, window_s = self._batch_terms()
+            while queue and self._former.is_forming(spec.name):
+                self._former.add(queue.popleft(), max_batch, window_s)
+
+    def _launch_batch(self, batch: FormingBatch) -> None:
+        self.sim.spawn(
+            self._serve_batch(batch),
+            name=f"serve-batch:{batch.tenant}#{batch.seq}",
+        )
+
+    def _serve_batch(self, batch: FormingBatch) -> Generator:
+        items = batch.members
+        spec = items[0].spec
+        stats = self._stats[spec.name]
+        dispatched = self.sim.now
+        telemetry = self.telemetry
+        # The batch span parents every member's client span (and, via
+        # ``parent_span``, the system's batch-exec span tree); it opens
+        # at formation start so its extent covers formation delay too.
+        bspan = telemetry.begin(
+            f"batch:{spec.name}#{batch.seq}", "batch", actor=spec.name,
+            start=batch.created, tenant=spec.name,
+            batch_size=len(items), sealed_by=batch.sealed_by,
+        )
+        clients = [
+            telemetry.begin(
+                f"{item.spec.name}#{item.seq}", "client",
+                actor=item.spec.name, start=item.arrival,
+                tenant=item.spec.name, seq=item.seq, parent=bspan,
+            )
+            for item in items
+        ]
+        force_cpu = (
+            self._brownout is not None
+            and self._brownout.tier >= BrownoutTier.FORCE_CPU
+        )
+        records = yield from self.system.submit_batch(
+            self._app_index[spec.name], len(items),
+            parent_span=bspan.span_id, force_cpu=force_cpu,
+        )
+        stats.batches += 1
+        if self._batch_size_hist is not None:
+            self._batch_size_hist.observe(float(len(items)))
+            self._formation_delay_gauge.sample(
+                self.sim.now, dispatched - batch.created
+            )
+        for item, client, record in zip(items, clients, records):
+            client.request_id = record.request_id
+            telemetry.add(
+                "admission", "queue", start=item.arrival, end=dispatched,
+                actor=item.spec.name, parent=client,
+                request_id=record.request_id, phase="queue",
+            )
+            latency = self.sim.now - item.arrival
+            stats.completed += 1
+            if record.failed:
+                stats.failed += 1
+            elif (
+                self.config.slo_s is not None and latency > self.config.slo_s
+            ):
+                stats.violations += 1
+            stats.latency.add(latency)
+            stats.queue_wait.add(dispatched - item.arrival)
+            self._latency.add(latency)
+            if self._brownout is not None:
+                self._brownout.observe(latency)
+            self._records.append(record)
+            telemetry.end(client, failed=record.failed)
+            if self._client_latency is not None:
+                self._client_latency[item.spec.name].observe(latency)
+        telemetry.end(bspan)
         self._inflight -= 1
         self._kick()
 

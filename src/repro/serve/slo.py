@@ -213,7 +213,9 @@ class TenantStats:
     error and are excluded from goodput). ``rate_limited`` and
     ``brownout_shed`` break ``shed`` down by cause: the tenant's own
     token-bucket policer vs. the brownout ladder shedding low-priority
-    arrivals (queue-capacity sheds are the remainder).
+    arrivals (queue-capacity sheds are the remainder). ``batches``
+    counts coalesced submissions executed on the tenant's behalf when
+    batch formation is armed (0 with batching off).
     """
 
     name: str
@@ -225,6 +227,7 @@ class TenantStats:
     violations: int = 0
     rate_limited: int = 0
     brownout_shed: int = 0
+    batches: int = 0
     latency: LatencyTracker = field(default_factory=LatencyTracker)
     queue_wait: LatencyTracker = field(default_factory=LatencyTracker)
 
@@ -376,6 +379,7 @@ class ServeResult:
                     "completed": t.completed,
                     "failed": t.failed,
                     "violations": t.violations,
+                    "batches": t.batches,
                     "latency": t.latency.summary() if t.latency.count else {},
                     "queue_wait": (
                         t.queue_wait.summary() if t.queue_wait.count else {}

@@ -29,6 +29,7 @@ from ..core.placement import Mode, SystemConfig
 from ..core.system import DMXSystem
 from ..faults import FaultPlan
 from .arrivals import make_arrivals
+from .batching import BatchingConfig
 from .frontend import (
     Discipline,
     FrontendConfig,
@@ -56,6 +57,10 @@ class SweepConfig:
     JSON-lines run artifact plus a Chrome-trace/Perfetto export
     (``<mode>-pt<index>.jsonl`` / ``.trace.json``) — deterministic
     filenames, byte-identical contents across equal-seed sweeps.
+
+    ``batching`` arms batch formation at every grid point (None keeps
+    the exact per-request dispatch path) — the on/off comparison the
+    batching knee benchmark sweeps.
     """
 
     offered_loads_rps: Tuple[float, ...]
@@ -74,6 +79,7 @@ class SweepConfig:
     faults: Optional[FaultPlan] = None
     chain_factory: Optional[Callable[[], List[AppChain]]] = None
     artifact_dir: Optional[str] = None
+    batching: Optional[BatchingConfig] = None
 
     def __post_init__(self) -> None:
         if not self.offered_loads_rps:
@@ -276,6 +282,7 @@ def run_sweep(config: SweepConfig) -> SweepResult:
                     discipline=config.discipline,
                     slo_s=config.slo_s,
                     sample_period_s=config.sample_period_s,
+                    batching=config.batching,
                 ),
                 seed=config.seed,
             )
