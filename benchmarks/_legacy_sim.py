@@ -1,0 +1,663 @@
+"""Pre-rework DES engine snapshot (PR 6) — benchmark reference only.
+
+A verbatim vendored copy of ``repro.sim.engine`` + ``repro.sim.resources``
+as they stood *before* the hot-path rework, so
+``benchmarks/test_engine_speed.py`` can run the same synthetic workload
+against both engines and assert the speedup and the allocation savings.
+
+Two deliberate deviations from the snapshot, both benchmark plumbing:
+
+* ``Simulator.events_processed`` counts processed events (the reworked
+  engine grew the same counter, so event counts are comparable);
+* the ``resources`` module's relative import is rewritten to load from
+  this file.
+
+Do not import this from library code and do not "fix" bugs here — it
+intentionally preserves the pre-rework behavior (including the latent
+bugs fixed in PR 6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+import copy
+import heapq
+import itertools
+from typing import Callable, Iterable
+
+__all__ = [
+    "Event", "Timeout", "Process", "AllOf", "AnyOf", "Interrupt",
+    "Simulator", "SimulationError", "WaitTimeout",
+    "Request", "Resource", "Server", "Store", "PriorityResource",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (double-trigger, bad yields)."""
+
+
+class WaitTimeout(Exception):
+    """A timeout-raced wait exceeded its deadline.
+
+    Raised by the timeout-race helpers (:meth:`~repro.sim.resources.Store.get_or_timeout`,
+    :func:`repro.faults.with_timeout`) so callers can distinguish a missed
+    deadline from a failed operation.
+    """
+
+
+def _waiter_copy(exc: BaseException) -> BaseException:
+    """A per-waiter copy of ``exc`` with a fresh traceback.
+
+    A failed event may have many waiters; re-raising the *same* exception
+    instance into each one makes tracebacks accrete frames across waiters
+    and lets one waiter's handling mutate what the others observe. Each
+    waiter gets a shallow copy instead (falling back to the shared
+    instance only for exceptions that cannot be reconstructed).
+    """
+    try:
+        clone = copy.copy(exc)
+    except Exception:
+        return exc
+    if type(clone) is not type(exc):
+        return exc
+    clone.__cause__ = exc.__cause__
+    clone.__context__ = exc.__context__
+    clone.__suppress_context__ = exc.__suppress_context__
+    clone.__traceback__ = None
+    return clone
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    Events start *pending*, become *triggered* when given a value (or an
+    exception), and are *processed* once the simulator has run their
+    callbacks. Processes wait on events by yielding them.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value or an exception."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the simulator has fired this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (no exception)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event triggered with.
+
+        Raises :class:`SimulationError` when the event is still pending.
+        """
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise _waiter_copy(self._exception)
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have the exception thrown into them.
+        """
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._queue_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self._triggered = True
+        self._value = value
+        sim._queue_event(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers when it returns.
+
+    The process event's value is the generator's return value; if the
+    generator raises, waiting processes observe the exception.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the process at the current time. Tracked as
+        # ``_waiting_on`` so an interrupt delivered before the first resume
+        # detaches it cleanly instead of double-resuming the process.
+        bootstrap = Event(sim)
+        bootstrap._triggered = True
+        bootstrap.add_callback(self._resume)
+        self._waiting_on = bootstrap
+        sim._queue_event(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self._waiting_on is not None:
+            target = self._waiting_on
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup._triggered = True
+        wakeup._exception = Interrupt(cause)
+        wakeup.add_callback(self._resume)
+        self.sim._queue_event(wakeup)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return  # stale wakeup for a process that already finished
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event._exception is not None:
+                target = self._generator.throw(_waiter_copy(event._exception))
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt kills the process but is not an error
+            # of the simulation itself.
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if self.sim.strict:
+                raise
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("yielded event belongs to another simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composition events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events: List[Event] = list(events)
+        self._pending = 0
+        for event in self.events:
+            if event.sim is not self.sim:
+                raise SimulationError("cannot combine events across simulators")
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            self._pending += 1
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value for ev in self.events if ev.processed and ev.ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every component event has triggered."""
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any component event triggers."""
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, tiebreak, event).
+
+    Parameters
+    ----------
+    strict:
+        When True (default) exceptions escaping a process propagate out of
+        :meth:`run`; when False they fail the process event instead so
+        joiners can observe them.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.now: float = 0.0
+        self.events_processed = 0
+        self.strict = strict
+        self._heap: List = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator`` at the current time."""
+        return Process(self, generator, name=name)
+
+    # Alias mirroring SimPy naming, some callers read better with it.
+    process = spawn
+
+    # -- scheduling core ----------------------------------------------------
+
+    def _queue_event(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._counter), event))
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback()`` after ``delay``; returns the underlying event."""
+        event = Timeout(self, delay)
+        event.add_callback(lambda _ev: callback())
+        return event
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _tie, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event scheduled in the past")
+        self.now = when
+        self.events_processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or virtual time reaches ``until``."""
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            if until is not None and self.peek() > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+
+# -- vendored repro.sim.resources snapshot -------------------------------------
+
+
+
+
+
+class Request(Event):
+    """The event returned by :meth:`Resource.request`.
+
+    Triggers when the slot is granted. Use as a context token: pass it back
+    to :meth:`Resource.release` when done.
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """A counted resource with FIFO (or priority) granting.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Number of slots that may be held simultaneously.
+    name:
+        Optional label used in error messages and tracing.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+        # Statistics for utilization reporting. ``total_wait_time`` covers
+        # granted requests only; canceled requests are tracked separately
+        # so cancellations don't skew the wait-per-grant figures.
+        self.total_wait_time = 0.0
+        self.granted_count = 0
+        self.canceled_count = 0
+        self.canceled_wait_time = 0.0
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held slots."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def busy_time(self) -> float:
+        """Integrated (slots-held x time), for utilization accounting."""
+        return self._busy_time + self.in_use * (self.sim.now - self._last_change)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self, priority: int = 0) -> Request:
+        """Ask for a slot; the returned event triggers when granted."""
+        req = Request(self, priority)
+        req._requested_at = self.sim.now
+        if self.in_use < self.capacity and not self._queue:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        if request not in self._users:
+            raise SimulationError(
+                f"release of a request not holding {self.name or 'resource'}"
+            )
+        self._account()
+        self._users.remove(request)
+        self._grant_waiters()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a request that has not been granted yet."""
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            raise SimulationError(
+                f"cancel of a request that is not queued on "
+                f"{self.name or 'resource'}"
+            ) from None
+        self.canceled_count += 1
+        if getattr(request, "_requested_at", None) is not None:
+            self.canceled_wait_time += self.sim.now - request._requested_at
+            request._requested_at = None
+
+    def relinquish(self, request: Request) -> None:
+        """Release a granted request, or cancel a still-queued one.
+
+        The cleanup primitive for interrupted processes, which cannot know
+        whether their request was granted before the interrupt landed.
+        """
+        if request in self._users:
+            self.release(request)
+        else:
+            self.cancel(request)
+
+    def _grant(self, request: Request) -> None:
+        self._account()
+        self._users.append(request)
+        self.granted_count += 1
+        self.total_wait_time += self.sim.now - request._requested_at
+        request.succeed(request)
+
+    def _select_next(self) -> Request:
+        return self._queue.popleft()
+
+    def _grant_waiters(self) -> None:
+        while self._queue and self.in_use < self.capacity:
+            self._grant(self._select_next())
+
+    def acquire(self) -> Generator:
+        """Process helper: ``req = yield from res.acquire()``."""
+        req = self.request()
+        yield req
+        return req
+
+    def use(self, duration: float) -> Generator:
+        """Process helper: hold one slot for ``duration`` time units.
+
+        Interruption-safe: a process interrupted while still *queued*
+        withdraws its request (it never held the slot, so releasing
+        would corrupt the user list); once granted, the slot is always
+        released.
+        """
+        req = self.request()
+        try:
+            yield req
+            yield self.sim.timeout(duration)
+        finally:
+            self.relinquish(req)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` that grants the lowest-priority-number first.
+
+    Ties break FIFO. Useful for modeling interrupt handling preempting
+    batch restructuring work on CPU cores.
+    """
+
+    def _select_next(self) -> Request:
+        best_index = 0
+        best = self._queue[0]
+        for index, req in enumerate(self._queue):
+            if req.priority < best.priority:
+                best, best_index = req, index
+        del self._queue[best_index]
+        return best
+
+
+class Server:
+    """A resource where each job's occupancy time is known on entry.
+
+    ``transfer(duration)`` is a process helper that waits for a free slot,
+    occupies it for ``duration``, then releases — exactly the store-and-
+    forward contention model used for PCIe links and DRAM channels.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._resource = Resource(sim, capacity=capacity, name=name)
+        self.total_service_time = 0.0
+        self.jobs_served = 0
+
+    @property
+    def queue_length(self) -> int:
+        return self._resource.queue_length
+
+    @property
+    def in_use(self) -> int:
+        return self._resource.in_use
+
+    def busy_time(self) -> float:
+        return self._resource.busy_time()
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the server was busy (capacity-1 view)."""
+        if self.sim.now == 0:
+            return 0.0
+        return self.busy_time() / (self.sim.now * self._resource.capacity)
+
+    def transfer(self, duration: float) -> Generator:
+        """Occupy one slot for ``duration``; yields until complete.
+
+        Interruption-safe: an interrupt delivered while the job is still
+        queued withdraws the request instead of releasing an unheld slot.
+        """
+        if duration < 0:
+            raise ValueError(f"negative service time: {duration}")
+        req = self._resource.request()
+        try:
+            yield req
+            yield self.sim.timeout(duration)
+            self.total_service_time += duration
+            self.jobs_served += 1
+        finally:
+            self._resource.relinquish(req)
+
+
+class Store:
+    """Unbounded FIFO with blocking ``get`` for producer/consumer processes."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.put_count = 0
+        self.canceled_getters = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add an item; wakes the oldest waiting getter, if any."""
+        self.put_count += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event triggering with the next item (immediately if available)."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a waiting getter (e.g. the loser of an ``AnyOf`` race).
+
+        An abandoned getter left in the queue silently swallows the next
+        :meth:`put`, starving whichever consumer actually needed the item —
+        every timeout race over :meth:`get` must cancel the losing event.
+        Returns True when the getter was still waiting.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        self.canceled_getters += 1
+        return True
+
+    def get_or_timeout(self, timeout_s: float) -> Generator:
+        """Process helper: next item, or :class:`WaitTimeout` after ``timeout_s``.
+
+        The losing getter is canceled on timeout so it cannot swallow an
+        item a later consumer needed.
+        """
+        get = self.get()
+        yield AnyOf(self.sim, [get, Timeout(self.sim, timeout_s)])
+        if get.triggered:
+            return get.value
+        self.cancel(get)
+        raise WaitTimeout(
+            f"get on {self.name or 'store'} exceeded {timeout_s} s"
+        )
+
+    def peek_all(self) -> List[Any]:
+        """Snapshot of queued items (does not consume)."""
+        return list(self._items)

@@ -1,0 +1,288 @@
+"""Engine hot-path microbenchmark: reworked DES core vs the vendored
+pre-rework engine (``_legacy_sim``).
+
+Two modes:
+
+* **Speed mode** (default, local runs): a serving-shaped synthetic
+  workload — many clients contending on a ``PriorityResource``, a
+  store-and-forward ``Server`` link, a producer/consumer ``Store``, and
+  interrupt churn against crowded wait lists — is run on both engines
+  and the reworked engine must process events at >= 2x the legacy rate.
+* **Check mode** (``ENGINE_SPEED_CHECK=1``, used by CI): no wall-clock
+  assertions (shared runners make timing meaningless); instead both
+  engines must do *identical work* — same processed-event count (pinned
+  to a constant so workload drift is caught), same final clock — and the
+  reworked engine must allocate no more memory than the legacy one.
+
+The workload deliberately stresses the paths the rework changed:
+``PriorityResource`` grants under a deep wait queue (legacy: O(n) scan
+per grant; reworked: lazily-pruned heap), interrupt delivery to
+processes parked on shared events (legacy: O(n) ``callbacks.remove``;
+reworked: O(1) identity detach), and the per-event dispatch loop
+(legacy: a list allocation per event; reworked: single-slot fast path).
+
+Byte-identity pins: the rework must not change simulation *results*,
+only their cost. A fixed-seed serving sweep and a fixed system-level
+``RunResult`` are hashed against goldens recorded when the engine
+correctness fixes landed; any engine change that shifts event ordering
+or timing will break these.
+"""
+
+import hashlib
+import json
+import os
+import time
+import tracemalloc
+
+import pytest
+
+import _legacy_sim as legacy
+
+import repro.sim.engine as _new_engine
+import repro.sim.resources as _new_resources
+
+CHECK_MODE = os.environ.get("ENGINE_SPEED_CHECK") == "1"
+
+# Workload shape: 640 clients x 25 iterations over a 4-slot priority
+# resource keeps ~600 requests queued (the legacy linear scan's worst
+# case), plus 40 rounds of 64 interrupted sleepers on a shared gate.
+N_CLIENTS = 640
+ITERATIONS = 25
+CHURN_ROUNDS = 40
+CHURN_WAITERS = 64
+
+#: Processed-event count for the workload above. Identical on both
+#: engines by construction; pinned so a silent workload change (or an
+#: engine change that skips/duplicates events) fails loudly.
+EXPECTED_EVENTS = 89_084
+EXPECTED_FINAL_NOW = 4.166510
+
+#: Required wall-clock speedup of the reworked engine (speed mode).
+REQUIRED_SPEEDUP = 2.0
+
+# Golden result hashes, recorded after the engine correctness fixes
+# (stale-AllOf counting, lost-Timeout drag, interrupt detach) landed.
+# The hot-path rework must reproduce these byte-for-byte.
+SWEEP_GOLDEN_SHA256 = (
+    "6bcfff1d02a48e441c6f0bca515a52de48b2d0c0f4a4780a6a1302d1f923a9f5"
+)
+RUNRESULT_GOLDEN_SHA256 = (
+    "0f15504502dfd6a5ce29bcdd8ad1a64304df72b563c16bb3d9488ba60b5949e5"
+)
+
+
+class _NewEngine:
+    """Namespace adapter so both engines run the same workload code."""
+
+    Simulator = _new_engine.Simulator
+    Interrupt = _new_engine.Interrupt
+    PriorityResource = _new_resources.PriorityResource
+    Server = _new_resources.Server
+    Store = _new_resources.Store
+
+
+def run_workload(M):
+    """Run the serving-shaped workload on engine namespace ``M``.
+
+    Returns ``(events_processed, final_now)`` — identical across
+    engines when both are correct, which makes wall-clock comparisons
+    apples-to-apples and gives check mode its work measure.
+    """
+    sim = M.Simulator()
+    cores = M.PriorityResource(sim, capacity=4, name="cores")
+    link = M.Server(sim, capacity=2, name="link")
+    queue = M.Store(sim, name="cmds")
+
+    def client(sim, i, n):
+        for j in range(n):
+            req = cores.request(priority=(i + j) % 3)
+            yield req
+            yield sim.timeout(0.001 + (i % 7) * 1e-5)
+            cores.release(req)
+            yield from link.transfer(0.0005 + (j % 5) * 1e-5)
+            queue.put((i, j))
+
+    def consumer(sim, total):
+        for _ in range(total):
+            yield queue.get()
+
+    def sleeper(sim, gate):
+        try:
+            yield gate
+        except M.Interrupt:
+            pass
+
+    def churn(sim, rounds):
+        for _ in range(rounds):
+            # The gate outlives the interrupts (so every sleeper is
+            # still parked on it when interrupted) but fires soon after,
+            # draining the stale callbacks the O(1) detach leaves behind.
+            gate = sim.timeout(0.0003)
+            sleepers = [
+                sim.spawn(sleeper(sim, gate)) for _ in range(CHURN_WAITERS)
+            ]
+            yield sim.timeout(0.0001)
+            for proc in sleepers:
+                proc.interrupt("churn")
+            yield sim.timeout(0.0001)
+
+    for i in range(N_CLIENTS):
+        sim.spawn(client(sim, i, ITERATIONS))
+    sim.spawn(consumer(sim, N_CLIENTS * ITERATIONS))
+    sim.spawn(churn(sim, CHURN_ROUNDS))
+    sim.run()
+    return sim.events_processed, sim.now
+
+
+def _best_of(fn, rounds=3):
+    best = None
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+# -- work identity (runs in both modes) ----------------------------------
+
+
+def test_both_engines_do_identical_work():
+    legacy_work = run_workload(legacy)
+    new_work = run_workload(_NewEngine)
+    assert legacy_work == new_work
+    events, now = new_work
+    assert events == EXPECTED_EVENTS
+    assert now == pytest.approx(EXPECTED_FINAL_NOW, abs=1e-9)
+
+
+# -- speed mode ----------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    CHECK_MODE, reason="wall-clock asserts disabled under ENGINE_SPEED_CHECK"
+)
+def test_reworked_engine_is_at_least_2x_faster():
+    legacy_best, legacy_work = _best_of(lambda: run_workload(legacy))
+    new_best, new_work = _best_of(lambda: run_workload(_NewEngine))
+    assert legacy_work == new_work  # same work, or the timing is a lie
+    speedup = legacy_best / new_best
+    legacy_rate = legacy_work[0] / legacy_best
+    new_rate = new_work[0] / new_best
+    print(
+        f"\nlegacy: {legacy_best:.3f}s ({legacy_rate / 1e3:.0f}k ev/s)  "
+        f"new: {new_best:.3f}s ({new_rate / 1e3:.0f}k ev/s)  "
+        f"speedup: {speedup:.2f}x"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"reworked engine only {speedup:.2f}x faster "
+        f"(required {REQUIRED_SPEEDUP}x)"
+    )
+
+
+# -- check mode (CI) -----------------------------------------------------
+
+
+@pytest.mark.skipif(
+    not CHECK_MODE, reason="allocation check runs under ENGINE_SPEED_CHECK=1"
+)
+def test_reworked_engine_allocates_no_more_than_legacy():
+    def peak_alloc(fn):
+        tracemalloc.start()
+        try:
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    legacy_peak = peak_alloc(lambda: run_workload(legacy))
+    new_peak = peak_alloc(lambda: run_workload(_NewEngine))
+    print(
+        f"\npeak allocations — legacy: {legacy_peak / 1e6:.1f} MB  "
+        f"new: {new_peak / 1e6:.1f} MB"
+    )
+    # __slots__ events and the single-callback fast path should only
+    # ever shrink the footprint; a small tolerance absorbs interpreter
+    # noise without letting a real regression through.
+    assert new_peak <= legacy_peak * 1.05
+
+
+# -- byte-identity goldens (runs in both modes) --------------------------
+
+
+def _sweep_json():
+    from repro.accelerators.base import AcceleratorSpec
+    from repro.core import AppChain, KernelStage, Mode, MotionStage
+    from repro.profiles import WorkProfile
+    from repro.serve import SweepConfig, run_sweep
+
+    MB = 1024 * 1024
+    spec = AcceleratorSpec(name="accel", domain="d", speedup_vs_cpu=6.0)
+
+    def make_chain(i):
+        profile = WorkProfile(
+            name="motion", bytes_in=24 * MB, bytes_out=6 * MB,
+            elements=3 * MB, ops_per_element=20.0, gather_fraction=0.3,
+        )
+        return AppChain(
+            name=f"app{i}",
+            stages=[
+                KernelStage("k1", spec, cpu_time_s=5e-3, accel_time_s=1e-3,
+                            output_bytes=12 * MB),
+                MotionStage("m", profile, input_bytes=12 * MB,
+                            output_bytes=6 * MB, cpu_threads=3),
+                KernelStage("k2", spec, cpu_time_s=4e-3, accel_time_s=8e-4,
+                            output_bytes=MB),
+            ],
+        )
+
+    config = SweepConfig(
+        offered_loads_rps=(40.0, 160.0),
+        chain_factory=lambda: [make_chain(i) for i in range(2)],
+        requests_per_tenant=10,
+        slo_s=50e-3,
+        modes=(Mode.MULTI_AXL, Mode.BUMP_IN_WIRE),
+        sample_period_s=None,
+        seed=1234,
+    )
+    return run_sweep(config).to_json()
+
+
+def _run_result_json():
+    from repro.core import DMXSystem, Mode, SystemConfig
+    from repro.workloads import build_benchmark_chains
+
+    chains = build_benchmark_chains("sound-detection", 2)
+    system = DMXSystem(chains, SystemConfig(mode=Mode.BUMP_IN_WIRE))
+    result = system.run_throughput(requests_per_app=6)
+    return json.dumps(
+        {
+            "mode": result.mode.name,
+            "elapsed": result.elapsed,
+            "records": [
+                {
+                    "app": r.app, "start": r.start, "end": r.end,
+                    "phases": r.phases, "retries": r.retries,
+                    "fell_back": r.fell_back, "rerouted": r.rerouted,
+                    "failed": r.failed, "request_id": r.request_id,
+                }
+                for r in sorted(
+                    result.records, key=lambda r: (r.app, r.request_id)
+                )
+            ],
+        },
+        sort_keys=True,
+    )
+
+
+def test_sweep_result_matches_golden():
+    digest = hashlib.sha256(_sweep_json().encode()).hexdigest()
+    assert digest == SWEEP_GOLDEN_SHA256
+
+
+def test_run_result_matches_golden():
+    digest = hashlib.sha256(_run_result_json().encode()).hexdigest()
+    assert digest == RUNRESULT_GOLDEN_SHA256

@@ -52,4 +52,34 @@ __all__ = [
     "Banner",
     "format_ratio",
     "format_table",
+    "ExperimentStore",
+    "IncompleteGridError",
+    "OrchestratorError",
+    "collect",
+    "decode_experiment",
+    "encode_experiment",
+    "fill_store",
+    "grid_points",
+    "point_key",
+    "run_grid",
+    "run_workers",
 ]
+
+#: Names served lazily from :mod:`repro.eval.orchestrator` (PEP 562).
+#: Deferring the import keeps ``python -m repro.eval.orchestrator``
+#: clean (runpy warns when the package body already imported the
+#: submodule it is about to execute) and keeps sqlite/multiprocessing
+#: out of the figure drivers' import path.
+_ORCHESTRATOR_EXPORTS = frozenset({
+    "ExperimentStore", "IncompleteGridError", "OrchestratorError",
+    "collect", "decode_experiment", "encode_experiment", "fill_store",
+    "grid_points", "point_key", "run_grid", "run_workers",
+})
+
+
+def __getattr__(name):
+    if name in _ORCHESTRATOR_EXPORTS:
+        from . import orchestrator
+
+        return getattr(orchestrator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

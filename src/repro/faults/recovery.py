@@ -112,8 +112,13 @@ def with_timeout(
     if timeout_s < 0:
         raise ValueError(f"negative timeout: {timeout_s}")
     proc = sim.spawn(shielded(op), name=f"deadline:{what or 'op'}")
-    yield AnyOf(sim, [proc, sim.timeout(timeout_s)])
+    deadline = sim.timeout(timeout_s)
+    yield AnyOf(sim, [proc, deadline])
     if proc.triggered:
+        # The op won: cancel the deadline so the unfired timeout does
+        # not drag final ``sim.now`` (and every utilization denominator)
+        # out to a deadline nothing is waiting on anymore.
+        deadline.cancel()
         ok, value = proc.value
         if not ok:
             raise value

@@ -54,6 +54,7 @@ __all__ = [
     "ChaosPoint",
     "ChaosSweepResult",
     "run_chaos_sweep",
+    "run_chaos_cell",
     "scale_plan",
     "DEFAULT_CHAOS_PLAN",
 ]
@@ -65,7 +66,8 @@ __all__ = [
 #: importable from inside ``repro.core.system`` without a cycle.
 _CHAOS_EXPORTS = frozenset({
     "ChaosSweepConfig", "ChaosPoint", "ChaosSweepResult",
-    "run_chaos_sweep", "scale_plan", "DEFAULT_CHAOS_PLAN",
+    "run_chaos_sweep", "run_chaos_cell", "scale_plan",
+    "DEFAULT_CHAOS_PLAN",
 })
 
 

@@ -46,7 +46,8 @@ from .brownout import BrownoutConfig
 from .control import ResilienceConfig
 
 __all__ = ["ChaosSweepConfig", "ChaosPoint", "ChaosSweepResult",
-           "run_chaos_sweep", "scale_plan", "DEFAULT_CHAOS_PLAN"]
+           "run_chaos_sweep", "run_chaos_cell", "scale_plan",
+           "DEFAULT_CHAOS_PLAN"]
 
 #: A base plan worth scaling: at intensity 1.0 half the DRX legs hang
 #: (caught by the deadline watchdog) and DMA occasionally faults. The
@@ -365,6 +366,31 @@ def _write_cell_artifact(
     )
 
 
+def run_chaos_cell(
+    config: ChaosSweepConfig,
+    intensity_index: int,
+    resilient: bool,
+    load_index: int,
+) -> ChaosPoint:
+    """Run one (intensity, arm, load) cell of ``config``'s grid.
+
+    The unit of work sharded chaos execution distributes
+    (:mod:`repro.eval.orchestrator`); :func:`run_chaos_sweep` is exactly
+    this over the whole grid, so a cell computed here is byte-identical
+    to the same cell inside a full sweep.
+    """
+    intensity = config.fault_intensities[intensity_index]
+    load = config.offered_loads_rps[load_index]
+    plan = scale_plan(config.base_plan, intensity)
+    result = _run_cell(config, plan, resilient, load)
+    if config.artifact_dir is not None:
+        _write_cell_artifact(
+            config, resilient, intensity_index, load_index,
+            intensity, load, result,
+        )
+    return _point(resilient, intensity, load, result)
+
+
 def run_chaos_sweep(config: ChaosSweepConfig) -> ChaosSweepResult:
     """Run the full {arm} × intensity × load grid of one chaos sweep."""
     sweep = ChaosSweepResult(
@@ -372,17 +398,12 @@ def run_chaos_sweep(config: ChaosSweepConfig) -> ChaosSweepResult:
         seed=config.seed,
         goodput_floor=config.goodput_floor,
     )
-    for intensity_index, intensity in enumerate(config.fault_intensities):
-        plan = scale_plan(config.base_plan, intensity)
+    for intensity_index in range(len(config.fault_intensities)):
         for resilient in config.control_plane:
-            for load_index, load in enumerate(config.offered_loads_rps):
-                result = _run_cell(config, plan, resilient, load)
-                if config.artifact_dir is not None:
-                    _write_cell_artifact(
-                        config, resilient, intensity_index, load_index,
-                        intensity, load, result,
-                    )
+            for load_index in range(len(config.offered_loads_rps)):
                 sweep.points.append(
-                    _point(resilient, intensity, load, result)
+                    run_chaos_cell(
+                        config, intensity_index, resilient, load_index
+                    )
                 )
     return sweep

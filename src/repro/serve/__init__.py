@@ -52,6 +52,7 @@ from .sweep import (
     SweepResult,
     calibrate_peak_rps,
     run_sweep,
+    run_sweep_point,
     unloaded_latency,
 )
 
@@ -81,6 +82,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "run_sweep",
+    "run_sweep_point",
     "calibrate_peak_rps",
     "unloaded_latency",
 ]

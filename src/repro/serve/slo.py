@@ -141,6 +141,10 @@ class LatencyTracker:
             q: P2Quantile(q) for q in quantiles
         }
         self._samples: Optional[List[float]] = [] if retain else None
+        # Sorted view of ``_samples``, invalidated on add: ``summary()``
+        # asks for one percentile per tracked quantile, and re-sorting
+        # the full sample list per quantile dominated large sweeps.
+        self._sorted: Optional[List[float]] = None
         self.count = 0
         self.total = 0.0
         self.max = 0.0
@@ -160,6 +164,7 @@ class LatencyTracker:
             estimator.add(x)
         if self._samples is not None:
             self._samples.append(x)
+            self._sorted = None
 
     def mean(self) -> float:
         if self.count == 0:
@@ -167,11 +172,19 @@ class LatencyTracker:
         return self.total / self.count
 
     def percentile(self, q: float) -> float:
-        """Exact when samples are retained, else the P² estimate."""
+        """Exact when samples are retained, else the P² estimate.
+
+        Exact answers come from a cached sorted view built on the first
+        percentile query after an :meth:`add` — one sort amortized over
+        every quantile a summary asks for.
+        """
         if self.count == 0:
             raise ValueError("percentile of an empty tracker")
         if self._samples is not None:
-            return _exact_percentile(sorted(self._samples), q)
+            ordered = self._sorted
+            if ordered is None:
+                ordered = self._sorted = sorted(self._samples)
+            return _exact_percentile(ordered, q)
         if q not in self._estimators:
             raise KeyError(
                 f"quantile {q} not tracked (streaming mode tracks "

@@ -40,7 +40,7 @@ from .frontend import (
 from .slo import ServeResult
 
 __all__ = ["SweepConfig", "SweepPoint", "SweepResult", "run_sweep",
-           "calibrate_peak_rps", "unloaded_latency"]
+           "run_sweep_point", "calibrate_peak_rps", "unloaded_latency"]
 
 
 @dataclass(frozen=True)
@@ -254,44 +254,56 @@ def _write_point_artifacts(
     write_chrome_trace(f"{stem}.trace.json", result.telemetry)
 
 
+def run_sweep_point(
+    config: SweepConfig, mode: Mode, point_index: int
+) -> SweepPoint:
+    """Run one (mode, offered load) grid point of ``config``.
+
+    The unit of work sharded sweep execution distributes
+    (:mod:`repro.eval.orchestrator`); :func:`run_sweep` is exactly this
+    over the whole grid, so a point computed here is byte-identical to
+    the same point inside a full sweep.
+    """
+    load = config.offered_loads_rps[point_index]
+    chains = config.build_chains()
+    system = DMXSystem(
+        chains, SystemConfig(mode=mode), faults=config.faults
+    )
+    per_tenant = load / len(chains)
+    tenants = [
+        TenantSpec(
+            name=chain.name,
+            arrivals=make_arrivals(config.arrival_kind, per_tenant),
+            n_requests=config.requests_per_tenant,
+            queue_capacity=config.queue_capacity,
+        )
+        for chain in chains
+    ]
+    frontend = ServingFrontend(
+        system,
+        tenants,
+        FrontendConfig(
+            max_inflight=config.max_inflight,
+            shed=config.shed,
+            discipline=config.discipline,
+            slo_s=config.slo_s,
+            sample_period_s=config.sample_period_s,
+            batching=config.batching,
+        ),
+        seed=config.seed,
+    )
+    result = frontend.run()
+    if config.artifact_dir is not None:
+        _write_point_artifacts(config, mode, point_index, load, result)
+    return _point(mode, load, result)
+
+
 def run_sweep(config: SweepConfig) -> SweepResult:
     """Run the full (mode x offered load) grid of one sweep."""
     sweep = SweepResult(slo_s=config.slo_s, seed=config.seed)
     for mode in config.modes:
-        for point_index, load in enumerate(config.offered_loads_rps):
-            chains = config.build_chains()
-            system = DMXSystem(
-                chains, SystemConfig(mode=mode), faults=config.faults
-            )
-            per_tenant = load / len(chains)
-            tenants = [
-                TenantSpec(
-                    name=chain.name,
-                    arrivals=make_arrivals(config.arrival_kind, per_tenant),
-                    n_requests=config.requests_per_tenant,
-                    queue_capacity=config.queue_capacity,
-                )
-                for chain in chains
-            ]
-            frontend = ServingFrontend(
-                system,
-                tenants,
-                FrontendConfig(
-                    max_inflight=config.max_inflight,
-                    shed=config.shed,
-                    discipline=config.discipline,
-                    slo_s=config.slo_s,
-                    sample_period_s=config.sample_period_s,
-                    batching=config.batching,
-                ),
-                seed=config.seed,
-            )
-            result = frontend.run()
-            if config.artifact_dir is not None:
-                _write_point_artifacts(
-                    config, mode, point_index, load, result
-                )
-            sweep.points.append(_point(mode, load, result))
+        for point_index in range(len(config.offered_loads_rps)):
+            sweep.points.append(run_sweep_point(config, mode, point_index))
     return sweep
 
 

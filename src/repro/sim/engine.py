@@ -9,6 +9,14 @@ The engine is deliberately minimal but complete enough for the DMX system
 model: timeouts, process joining, event composition (:class:`AllOf` /
 :class:`AnyOf`), and interruption.
 
+Hot-path design (see DESIGN.md §12): every class on the event path uses
+``__slots__``; the common single-waiter case stores its callback in a
+dedicated slot (``_cb0``) so no per-event list is allocated; the
+:meth:`Simulator.run` loop is inlined with the heap and ``heappop``
+hoisted to locals; and losers of timeout races are :meth:`Timeout.cancel`-ed
+— the loop skips them without advancing the clock, so final ``sim.now``
+is the last *useful* event, not the most generous unfired deadline.
+
 Example
 -------
 >>> sim = Simulator()
@@ -25,8 +33,7 @@ Example
 from __future__ import annotations
 
 import copy
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -95,14 +102,33 @@ class Event:
     Events start *pending*, become *triggered* when given a value (or an
     exception), and are *processed* once the simulator has run their
     callbacks. Processes wait on events by yielding them.
+
+    Callback storage is two-tier: the first callback lands in the
+    ``_cb0`` slot (almost every event has exactly one waiter — the
+    process that yielded it), and only a second registration allocates
+    the overflow list ``_cbs``.
     """
+
+    __slots__ = (
+        "sim",
+        "_value",
+        "_exception",
+        "_triggered",
+        "_processed",
+        "_defunct",
+        "_cb0",
+        "_cbs",
+    )
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._triggered = False
+        self._processed = False
+        self._defunct = False
+        self._cb0: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[List[Callable[["Event"], None]]] = None
 
     @property
     def triggered(self) -> bool:
@@ -112,7 +138,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the simulator has fired this event's callbacks."""
-        return self.callbacks is None
+        return self._processed
 
     @property
     def ok(self) -> bool:
@@ -137,7 +163,8 @@ class Event:
             raise SimulationError("event already triggered")
         self._triggered = True
         self._value = value
-        self.sim._queue_event(self)
+        sim = self.sim
+        heappush(sim._heap, (sim.now, sim._next_seq(), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -151,7 +178,8 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._triggered = True
         self._exception = exception
-        self.sim._queue_event(self)
+        sim = self.sim
+        heappush(sim._heap, (sim.now, sim._next_seq(), self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -160,22 +188,56 @@ class Event:
         If the event has already been processed the callback runs
         immediately.
         """
-        if self.callbacks is None:
+        if self._processed:
             callback(self)
+        elif self._cb0 is None:
+            self._cb0 = callback
+        elif self._cbs is None:
+            self._cbs = [callback]
         else:
-            self.callbacks.append(callback)
+            self._cbs.append(callback)
 
 
 class Timeout(Event):
-    """An event that triggers automatically after a fixed delay."""
+    """An event that triggers automatically after a fixed delay.
+
+    A timeout that lost a race (the operation it guarded completed
+    first) should be :meth:`cancel`-ed: the event loop then discards it
+    without advancing the clock or firing callbacks, so an unfired
+    deadline never defines the end of a simulation.
+    """
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self._triggered = True
+        # Inlined Event.__init__ — timeouts are the hottest allocation
+        # in the engine and the extra super() call is measurable.
+        self.sim = sim
         self._value = value
-        sim._queue_event(self, delay=delay)
+        self._exception = None
+        self._triggered = True
+        self._processed = False
+        self._defunct = False
+        self._cb0 = None
+        self._cbs = None
+        heappush(sim._heap, (sim.now + delay, sim._next_seq(), self))
+
+    def cancel(self) -> bool:
+        """Discard a scheduled timeout that nothing waits on anymore.
+
+        The heap entry is abandoned in place (O(1)); :meth:`Simulator.run`
+        skips defunct entries without touching ``sim.now``. Returns True
+        when the timeout was still live; canceling an already-processed
+        or already-canceled timeout is a no-op returning False. Only
+        safe when no live waiter still depends on the event — its
+        callbacks will never fire.
+        """
+        if self._processed or self._defunct:
+            return False
+        self._defunct = True
+        return True
 
 
 class Process(Event):
@@ -185,21 +247,28 @@ class Process(Event):
     generator raises, waiting processes observe the exception.
     """
 
+    __slots__ = ("name", "_generator", "_send", "_throw", "_waiting_on",
+                 "_on_wake")
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(generator, "send"):
             raise TypeError(f"Process requires a generator, got {generator!r}")
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
+        # Bound methods are cached once: attribute access would
+        # otherwise allocate a fresh bound-method object on every yield.
+        self._send = generator.send
+        self._throw = generator.throw
+        self._on_wake: Callable[[Event], None] = self._resume
         # Bootstrap: resume the process at the current time. Tracked as
-        # ``_waiting_on`` so an interrupt delivered before the first resume
-        # detaches it cleanly instead of double-resuming the process.
+        # ``_waiting_on`` so a wakeup delivered for anything *else* (a
+        # stale event, an earlier interrupt) is ignored by identity.
         bootstrap = Event(sim)
         bootstrap._triggered = True
-        bootstrap.add_callback(self._resume)
-        self._waiting_on = bootstrap
-        sim._queue_event(bootstrap)
+        bootstrap._cb0 = self._on_wake
+        self._waiting_on: Optional[Event] = bootstrap
+        heappush(sim._heap, (sim.now, sim._next_seq(), bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -207,77 +276,125 @@ class Process(Event):
         return not self._triggered
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Detaching from the currently-awaited event is O(1) and explicit:
+        ``_waiting_on`` is simply cleared, and :meth:`_resume` discards
+        any wakeup whose event is not the current wait target (the old
+        event's callback later fires into a stale reference and is
+        ignored by identity — no list scan, no silent miss). Interrupt
+        wakeups are a dedicated event type that bypasses the identity
+        check, so several interrupts queued back to back all deliver,
+        in order.
+        """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt dead process {self.name}")
-        if self._waiting_on is not None:
-            target = self._waiting_on
-            if target.callbacks is not None and self._resume in target.callbacks:
-                target.callbacks.remove(self._resume)
-            self._waiting_on = None
-        wakeup = Event(self.sim)
+        sim = self.sim
+        wakeup = _InterruptWakeup(sim)
         wakeup._triggered = True
         wakeup._exception = Interrupt(cause)
-        wakeup.add_callback(self._resume)
-        self.sim._queue_event(wakeup)
+        wakeup._cb0 = self._on_wake
+        self._waiting_on = None
+        heappush(sim._heap, (sim.now, sim._next_seq(), wakeup))
+
+    def _release_generator(self) -> None:
+        # ``_on_wake`` is a bound method, so a finished process would
+        # otherwise sit in a self-referential cycle (and pin its whole
+        # generator frame) until the gc's next pass. Dropping the cached
+        # references on death restores prompt refcount collection; any
+        # stale callback still holding the old bound method fires into
+        # the staleness check below and is ignored.
+        self._generator = None
+        self._send = None
+        self._throw = None
+        self._on_wake = None
 
     def _resume(self, event: Event) -> None:
-        if self._triggered:
-            return  # stale wakeup for a process that already finished
+        if event is not self._waiting_on and (
+            type(event) is not _InterruptWakeup or self._triggered
+        ):
+            return  # stale wakeup: detached by an interrupt, or finished
         self._waiting_on = None
-        self.sim._active_process = self
+        sim = self.sim
         try:
             if event._exception is not None:
-                target = self._generator.throw(_waiter_copy(event._exception))
+                target = self._throw(_waiter_copy(event._exception))
             else:
-                target = self._generator.send(event._value)
+                target = self._send(event._value)
         except StopIteration as stop:
-            self.sim._active_process = None
             self.succeed(stop.value)
+            self._release_generator()
             return
         except Interrupt as exc:
             # An unhandled interrupt kills the process but is not an error
             # of the simulation itself.
-            self.sim._active_process = None
             self.fail(exc)
+            self._release_generator()
             return
         except BaseException as exc:
-            self.sim._active_process = None
-            if self.sim.strict:
+            if sim.strict:
                 raise
             self.fail(exc)
+            self._release_generator()
             return
-        self.sim._active_process = None
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"
             )
-        if target.sim is not self.sim:
+        if target.sim is not sim:
             raise SimulationError("yielded event belongs to another simulator")
         self._waiting_on = target
-        target.add_callback(self._resume)
+        if target._processed:
+            self._resume(target)
+        elif target._cb0 is None:
+            target._cb0 = self._on_wake
+        elif target._cb0 is self._on_wake:
+            pass  # stale registration from a pre-interrupt wait; reuse it
+        elif target._cbs is None:
+            target._cbs = [self._on_wake]
+        else:
+            target._cbs.append(self._on_wake)
+
+
+class _InterruptWakeup(Event):
+    """Out-of-band wakeup queued by :meth:`Process.interrupt`.
+
+    Delivered to the process even while it waits on something else, so
+    queued interrupts are never lost; the normal staleness check ignores
+    every other event that is not the current wait target.
+    """
+
+    __slots__ = ()
 
 
 class _Condition(Event):
-    """Base for AllOf / AnyOf composition events."""
+    """Base for AllOf / AnyOf composition events.
+
+    All pending components are counted *before* any callback is
+    registered: an already-processed component fires ``_check``
+    synchronously during registration, and counting one event at a time
+    let ``AllOf([processed, still_pending])`` succeed before the
+    remaining components were even seen.
+    """
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events: List[Event] = list(events)
-        self._pending = 0
+        self._pending = len(self.events)
         for event in self.events:
-            if event.sim is not self.sim:
+            if event.sim is not sim:
                 raise SimulationError("cannot combine events across simulators")
         if not self.events:
             self.succeed({})
             return
         for event in self.events:
-            self._pending += 1
             event.add_callback(self._check)
 
     def _collect(self) -> dict:
         return {
-            ev: ev._value for ev in self.events if ev.processed and ev.ok
+            ev: ev._value for ev in self.events if ev._processed and ev.ok
         }
 
     def _check(self, event: Event) -> None:
@@ -286,6 +403,8 @@ class _Condition(Event):
 
 class AllOf(_Condition):
     """Triggers when every component event has triggered."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self._triggered:
@@ -300,6 +419,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Triggers as soon as any component event triggers."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self._triggered:
@@ -325,8 +446,16 @@ class Simulator:
         self.now: float = 0.0
         self.strict = strict
         self._heap: List = []
-        self._counter = itertools.count()
-        self._active_process: Optional[Process] = None
+        self._seq = 0
+        #: Events processed since construction (canceled entries that
+        #: were skipped do not count) — the engine-speed benchmark's
+        #: deterministic work measure.
+        self.events_processed = 0
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
 
     # -- event factories ---------------------------------------------------
 
@@ -348,7 +477,7 @@ class Simulator:
     # -- scheduling core ----------------------------------------------------
 
     def _queue_event(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self.now + delay, next(self._counter), event))
+        heappush(self._heap, (self.now + delay, self._next_seq(), event))
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Run ``callback()`` after ``delay``; returns the underlying event."""
@@ -357,30 +486,86 @@ class Simulator:
         return event
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next *live* scheduled event, or ``inf`` when idle."""
+        heap = self._heap
+        while heap:
+            if heap[0][2]._defunct:
+                heappop(heap)
+            else:
+                return heap[0][0]
+        return float("inf")
+
+    def _fire(self, event: Event) -> None:
+        """Mark ``event`` processed and run its callbacks in order."""
+        event._processed = True
+        self.events_processed += 1
+        cb0 = event._cb0
+        if cb0 is not None:
+            event._cb0 = None
+            cb0(event)
+            cbs = event._cbs
+            if cbs is not None:
+                event._cbs = None
+                for callback in cbs:
+                    callback(event)
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event queue")
-        when, _tie, event = heapq.heappop(self._heap)
+        """Process exactly one live event (skipping canceled entries)."""
+        heap = self._heap
+        while True:
+            if not heap:
+                raise SimulationError("step() on an empty event queue")
+            when, _tie, event = heappop(heap)
+            if not event._defunct:
+                break
         if when < self.now:
             raise SimulationError("event scheduled in the past")
         self.now = when
-        callbacks, event.callbacks = event.callbacks, None
-        if callbacks:
-            for callback in callbacks:
-                callback(event)
+        self._fire(event)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or virtual time reaches ``until``."""
+        """Run until the queue drains or virtual time reaches ``until``.
+
+        Canceled (defunct) entries are discarded without advancing the
+        clock, so a drained queue leaves ``now`` at the last event that
+        actually fired callbacks.
+        """
         if until is not None and until < self.now:
             raise ValueError(f"until={until} is in the past (now={self.now})")
-        while self._heap:
-            if until is not None and self.peek() > until:
-                self.now = until
-                return
-            self.step()
-        if until is not None:
-            self.now = until
+        heap = self._heap
+        pop = heappop
+        if until is None:
+            # The hot loop: locals only, callbacks fired inline, the
+            # processed-event counter flushed once at the end.
+            processed = 0
+            try:
+                while heap:
+                    when, _tie, event = pop(heap)
+                    if event._defunct:
+                        continue
+                    self.now = when
+                    event._processed = True
+                    processed += 1
+                    cb0 = event._cb0
+                    if cb0 is not None:
+                        event._cb0 = None
+                        cb0(event)
+                        cbs = event._cbs
+                        if cbs is not None:
+                            event._cbs = None
+                            for callback in cbs:
+                                callback(event)
+            finally:
+                self.events_processed += processed
+            return
+        while heap:
+            head = heap[0]
+            if head[2]._defunct:
+                pop(heap)
+                continue
+            if head[0] > until:
+                break
+            when, _tie, event = pop(heap)
+            self.now = when
+            self._fire(event)
+        self.now = until

@@ -12,12 +12,20 @@ Three resource flavours cover everything the DMX model needs:
 
 All acquisitions are events, so processes compose them with timeouts and
 conditions freely.
+
+Hot-path notes (DESIGN.md §12): held slots live in an insertion-ordered
+dict so membership/release are O(1) (the old list made every ``release``
+an O(n) scan); :class:`PriorityResource` selects its next grantee from a
+lazily-pruned heap instead of scanning the whole queue; and
+:meth:`Store.get_or_timeout` cancels the losing :class:`Timeout` so a
+generous unfired deadline never drags out final ``sim.now``.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Deque, Dict, Generator, List, Optional
 
 from .engine import AnyOf, Event, SimulationError, Simulator, Timeout, WaitTimeout
 
@@ -31,10 +39,14 @@ class Request(Event):
     to :meth:`Resource.release` when done.
     """
 
+    __slots__ = ("resource", "priority", "_requested_at", "_queued")
+
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.sim)
         self.resource = resource
         self.priority = priority
+        self._requested_at: Optional[float] = None
+        self._queued = False
 
 
 class Resource:
@@ -56,7 +68,8 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
-        self._users: List[Request] = []
+        # Insertion-ordered; used as an O(1)-membership set.
+        self._users: Dict[Request, None] = {}
         self._queue: Deque[Request] = deque()
         # Statistics for utilization reporting. ``total_wait_time`` covers
         # granted requests only; canceled requests are tracked separately
@@ -84,40 +97,55 @@ class Resource:
 
     def _account(self) -> None:
         now = self.sim.now
-        self._busy_time += self.in_use * (now - self._last_change)
+        self._busy_time += len(self._users) * (now - self._last_change)
         self._last_change = now
 
     def request(self, priority: int = 0) -> Request:
         """Ask for a slot; the returned event triggers when granted."""
         req = Request(self, priority)
-        req._requested_at = self.sim.now
-        if self.in_use < self.capacity and not self._queue:
-            self._grant(req)
+        sim = self.sim
+        now = sim.now
+        req._requested_at = now
+        users = self._users
+        if len(users) < self.capacity and self.queue_length == 0:
+            # Uncontended fast path: grant inline (zero wait, the event
+            # is fresh so the triggered check of ``succeed`` is moot).
+            self._busy_time += len(users) * (now - self._last_change)
+            self._last_change = now
+            users[req] = None
+            self.granted_count += 1
+            req._triggered = True
+            req._value = req
+            heappush(sim._heap, (now, sim._next_seq(), req))
         else:
-            self._queue.append(req)
+            self._enqueue(req)
         return req
 
     def release(self, request: Request) -> None:
         """Return a previously granted slot."""
-        if request not in self._users:
+        users = self._users
+        if request not in users:
             raise SimulationError(
                 f"release of a request not holding {self.name or 'resource'}"
             )
-        self._account()
-        self._users.remove(request)
+        now = self.sim.now
+        self._busy_time += len(users) * (now - self._last_change)
+        self._last_change = now
+        del users[request]
         self._grant_waiters()
 
     def cancel(self, request: Request) -> None:
         """Withdraw a request that has not been granted yet."""
-        try:
-            self._queue.remove(request)
-        except ValueError:
+        if not request._queued:
+            # ``from None`` keeps the contract of the pre-rework
+            # implementation (which suppressed an internal ValueError).
             raise SimulationError(
                 f"cancel of a request that is not queued on "
                 f"{self.name or 'resource'}"
             ) from None
+        self._remove_queued(request)
         self.canceled_count += 1
-        if getattr(request, "_requested_at", None) is not None:
+        if request._requested_at is not None:
             self.canceled_wait_time += self.sim.now - request._requested_at
             request._requested_at = None
 
@@ -133,18 +161,40 @@ class Resource:
             self.cancel(request)
 
     def _grant(self, request: Request) -> None:
-        self._account()
-        self._users.append(request)
+        sim = self.sim
+        now = sim.now
+        self._busy_time += len(self._users) * (now - self._last_change)
+        self._last_change = now
+        self._users[request] = None
         self.granted_count += 1
-        self.total_wait_time += self.sim.now - request._requested_at
-        request.succeed(request)
+        self.total_wait_time += now - request._requested_at
+        request._triggered = True
+        request._value = request
+        heappush(sim._heap, (now, sim._next_seq(), request))
+
+    # -- wait-queue strategy (overridden by PriorityResource) ----------------
+
+    def _enqueue(self, request: Request) -> None:
+        request._queued = True
+        self._queue.append(request)
 
     def _select_next(self) -> Request:
-        return self._queue.popleft()
+        request = self._queue.popleft()
+        request._queued = False
+        return request
+
+    def _remove_queued(self, request: Request) -> None:
+        self._queue.remove(request)
+        request._queued = False
 
     def _grant_waiters(self) -> None:
-        while self._queue and self.in_use < self.capacity:
-            self._grant(self._select_next())
+        queue = self._queue
+        users = self._users
+        capacity = self.capacity
+        while queue and len(users) < capacity:
+            request = queue.popleft()
+            request._queued = False
+            self._grant(request)
 
     def acquire(self) -> Generator:
         """Process helper: ``req = yield from res.acquire()``."""
@@ -173,16 +223,46 @@ class PriorityResource(Resource):
 
     Ties break FIFO. Useful for modeling interrupt handling preempting
     batch restructuring work on CPU cores.
+
+    The wait queue is a ``(priority, seq, request)`` heap with lazy
+    pruning: cancellation just clears the request's queued flag, and
+    :meth:`_select_next` discards dead entries as they surface — O(log n)
+    per grant instead of the old O(n) scan of the whole queue.
     """
 
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        super().__init__(sim, capacity=capacity, name=name)
+        self._pheap: List = []
+        self._pseq = 0
+        self._plive = 0
+
+    @property
+    def queue_length(self) -> int:
+        return self._plive
+
+    def _enqueue(self, request: Request) -> None:
+        request._queued = True
+        heappush(self._pheap, (request.priority, self._pseq, request))
+        self._pseq += 1
+        self._plive += 1
+
     def _select_next(self) -> Request:
-        best_index = 0
-        best = self._queue[0]
-        for index, req in enumerate(self._queue):
-            if req.priority < best.priority:
-                best, best_index = req, index
-        del self._queue[best_index]
-        return best
+        heap = self._pheap
+        while True:
+            request = heappop(heap)[2]
+            if request._queued:
+                request._queued = False
+                self._plive -= 1
+                return request
+
+    def _remove_queued(self, request: Request) -> None:
+        # Lazy deletion: the heap entry stays until it surfaces.
+        request._queued = False
+        self._plive -= 1
+
+    def _grant_waiters(self) -> None:
+        while self._plive and len(self._users) < self.capacity:
+            self._grant(self._select_next())
 
 
 class Server:
@@ -284,12 +364,16 @@ class Store:
     def get_or_timeout(self, timeout_s: float) -> Generator:
         """Process helper: next item, or :class:`WaitTimeout` after ``timeout_s``.
 
-        The losing getter is canceled on timeout so it cannot swallow an
-        item a later consumer needed.
+        Whichever side loses the race is canceled: a timed-out getter
+        cannot swallow an item a later consumer needed, and a beaten
+        :class:`Timeout` cannot drag the end of the simulation (and every
+        utilization denominator) out to its unfired deadline.
         """
         get = self.get()
-        yield AnyOf(self.sim, [get, Timeout(self.sim, timeout_s)])
+        deadline = Timeout(self.sim, timeout_s)
+        yield AnyOf(self.sim, [get, deadline])
         if get.triggered:
+            deadline.cancel()
             return get.value
         self.cancel(get)
         raise WaitTimeout(

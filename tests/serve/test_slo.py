@@ -135,3 +135,25 @@ def test_mean_queue_depth_empty_and_single_sample():
     single = _depth_result([(0.0, 3)], elapsed=0.0)
     # Zero span: falls back to the plain average.
     assert single.mean_queue_depth() == pytest.approx(3.0)
+
+
+def test_tracker_percentile_cache_survives_interleaved_adds():
+    """The cached sorted view must be invalidated by every add, so
+    percentile-query/add interleavings always answer from fresh data."""
+    from repro.sim.tracing import exact_percentile
+
+    rng = random.Random(11)
+    tracker = LatencyTracker()
+    shadow = []
+    for _ in range(200):
+        x = rng.expovariate(1.0)
+        tracker.add(x)
+        shadow.append(x)
+        if len(shadow) % 7 == 0:
+            for q in (0.5, 0.95, 0.99):
+                assert tracker.percentile(q) == pytest.approx(
+                    exact_percentile(sorted(shadow), q)
+                )
+    # Repeated queries with no adds in between reuse the cached sort.
+    first = tracker.percentile(0.99)
+    assert tracker.percentile(0.99) == first
