@@ -1,0 +1,289 @@
+"""Backend-planner crossover benchmark: where DSA, DRX, and XDMA each
+win, and that the cost-based planner never loses to a fixed backend.
+
+The sweep builds single-motion-leg chains at payload points chosen to
+sit *away* from the crossovers (so the pins are robust to small model
+retunes, while still breaking if a cost model regresses wholesale):
+
+* **DSA wins small payloads** — its portal submission + descriptor cost
+  is tiny next to the DRX's per-job kernel-launch overhead, which
+  cannot amortize over an 8 KB job.
+* **XDMA wins descriptor-expressible small/medium transforms** — the
+  layout transform rides the chained DMA descriptor, so the leg pays
+  zero extra hop; only affine/strided shapes under the descriptor's
+  payload reach qualify.
+* **DRX wins large restructures** — above the XDMA descriptor's
+  address reach (and for gather-heavy shapes, at any size) the DRX's
+  bandwidth + scratchpad fusion dominates, and batching amortizes its
+  program load where XDMA pays per-member descriptor programming.
+* **The planner curve is <= every single-backend curve** at each swept
+  payload point: scoring live estimates per leg can only pick the
+  cheapest eligible path.
+
+Everything here is a DES result, so it must also be *byte-identical*
+across runs, and a planner restricted to the pre-refactor backend set
+{DRX, CPU} must reproduce the engine-speed golden hashes exactly —
+the refactor moved code behind an interface, it did not change a
+single event.
+"""
+
+import hashlib
+import json
+
+import test_engine_speed as _golden
+
+from repro.accelerators.base import AcceleratorSpec
+from repro.backends import (
+    BACKEND_CPU,
+    BACKEND_DRX,
+    BACKEND_DSA,
+    BACKEND_XDMA,
+    PlannerConfig,
+)
+from repro.core import (
+    AppChain,
+    DMXSystem,
+    KernelStage,
+    Mode,
+    MotionStage,
+    SystemConfig,
+)
+from repro.profiles import WorkProfile
+
+KB = 1024
+MB = 1024 * 1024
+
+#: Planner actual-vs-best-single tolerance. The planner ranks *a
+#: priori* estimates; queueing realized during execution can differ
+#: from the estimate by a sliver, so the dominance pin allows 2%.
+DOMINANCE_SLACK = 0.02
+
+_SPEC = AcceleratorSpec(name="accel", domain="d", speedup_vs_cpu=6.0)
+
+
+def _affine(nbytes: int) -> WorkProfile:
+    """Strided reshape: descriptor-expressible (XDMA-eligible)."""
+    return WorkProfile(
+        name="affine", bytes_in=nbytes, bytes_out=nbytes,
+        elements=max(1, nbytes // 4), ops_per_element=2.0,
+        branch_fraction=0.02, gather_fraction=0.0,
+    )
+
+
+def _gathery(nbytes: int) -> WorkProfile:
+    """Gather-heavy, compute-rich transform: never XDMA-expressible."""
+    return WorkProfile(
+        name="gathery", bytes_in=2 * nbytes, bytes_out=nbytes,
+        elements=max(1, nbytes // 4), ops_per_element=20.0,
+        gather_fraction=0.3,
+    )
+
+
+def _chain(payload: int, profile: WorkProfile) -> AppChain:
+    """kernel - motion - kernel, with fixed tiny kernels so the motion
+    leg dominates the latency differences between backends."""
+    return AppChain(
+        name=f"leg{payload}",
+        stages=[
+            KernelStage("k1", _SPEC, cpu_time_s=6e-4, accel_time_s=1e-4,
+                        output_bytes=payload),
+            MotionStage("m", profile, input_bytes=payload,
+                        output_bytes=payload, cpu_threads=4),
+            KernelStage("k2", _SPEC, cpu_time_s=6e-4, accel_time_s=1e-4,
+                        output_bytes=max(1, payload // 4)),
+        ],
+    )
+
+
+def _system(payload, profile, candidates):
+    return DMXSystem(
+        [_chain(payload, profile)],
+        SystemConfig(mode=Mode.BUMP_IN_WIRE),
+        backends=PlannerConfig(candidates=candidates),
+    )
+
+
+def _mean_latency(payload, profile, candidates, requests=6):
+    result = _system(payload, profile, candidates).run_throughput(
+        requests_per_app=requests
+    )
+    latencies = [r.end - r.start for r in result.records]
+    return sum(latencies) / len(latencies), result
+
+
+def _batched_mean(payload, profile, candidates, count=8):
+    system = _system(payload, profile, candidates)
+    records = []
+
+    def driver():
+        batch = yield from system.submit_batch(0, count)
+        records.extend(batch)
+
+    system.sim.spawn(driver())
+    system.sim.run()
+    latencies = [r.end - r.start for r in records]
+    return sum(latencies) / len(latencies), records
+
+
+def _executed(result, kind):
+    return result.backend_legs[kind]["executed"]
+
+
+# -- crossover pins ------------------------------------------------------
+
+
+def test_dsa_wins_small_payloads():
+    """4 KB gathery leg: the DRX's kernel-launch overhead has nothing
+    to amortize over, the DSA's portal submit is ~10x cheaper. (The
+    crossover sits near 8 KB, where the DRX's restructure bandwidth
+    starts paying back the launch cost.)"""
+    dsa, dsa_result = _mean_latency(4 * KB, _gathery(4 * KB), (BACKEND_DSA,))
+    drx, _ = _mean_latency(4 * KB, _gathery(4 * KB), (BACKEND_DRX,))
+    assert dsa < drx, f"dsa {dsa:.6e} !< drx {drx:.6e}"
+    assert _executed(dsa_result, BACKEND_DSA) > 0
+
+
+def test_xdma_wins_expressible_medium():
+    """1 MB affine reshape: in-flight transform fuses the restructure
+    into the move — DRX pays an extra hop, DSA an extra bounce through
+    host staging."""
+    profile = _affine(1 * MB)
+    xdma, xdma_result = _mean_latency(1 * MB, profile, (BACKEND_XDMA,))
+    drx, _ = _mean_latency(1 * MB, profile, (BACKEND_DRX,))
+    dsa, _ = _mean_latency(1 * MB, profile, (BACKEND_DSA,))
+    assert xdma < drx, f"xdma {xdma:.6e} !< drx {drx:.6e}"
+    assert xdma < dsa, f"xdma {xdma:.6e} !< dsa {dsa:.6e}"
+    assert _executed(xdma_result, BACKEND_XDMA) > 0
+
+
+def test_drx_wins_large_payloads():
+    """32 MB gathery leg: DRX bandwidth + scratchpad fusion; DSA's
+    move/transform engines are an order of magnitude slower there."""
+    profile = _gathery(32 * MB)
+    drx, drx_result = _mean_latency(32 * MB, profile, (BACKEND_DRX,))
+    dsa, _ = _mean_latency(32 * MB, profile, (BACKEND_DSA,))
+    cpu, _ = _mean_latency(32 * MB, profile, (BACKEND_CPU,))
+    assert drx < dsa, f"drx {drx:.6e} !< dsa {dsa:.6e}"
+    assert drx < cpu, f"drx {drx:.6e} !< cpu {cpu:.6e}"
+    assert _executed(drx_result, BACKEND_DRX) > 0
+
+
+def test_xdma_ineligible_above_descriptor_reach():
+    """32 MB exceeds the descriptor's address reach: an XDMA-only
+    candidate set degrades to the CPU fallback, with the reason
+    recorded on the request."""
+    _, result = _mean_latency(
+        32 * MB, _affine(32 * MB), (BACKEND_XDMA,), requests=2
+    )
+    for record in result.records:
+        assert record.backend == [BACKEND_CPU]
+        assert "no-eligible-backend" in record.planner_reason[0]
+        assert "xdma:ineligible" in record.planner_reason[0]
+    assert _executed(result, BACKEND_CPU) == len(result.records)
+
+
+def test_drx_wins_large_batched_restructures():
+    """A coalesced large batch is DRX territory: the program load and
+    completion ISR amortize across members, XDMA's descriptor cannot
+    reach the payload, and the DSA engines are bandwidth-starved."""
+    profile = _gathery(32 * MB)
+    drx, drx_records = _batched_mean(32 * MB, profile, (BACKEND_DRX,))
+    dsa, _ = _batched_mean(32 * MB, profile, (BACKEND_DSA,))
+    cpu, _ = _batched_mean(32 * MB, profile, (BACKEND_CPU,))
+    xdma, xdma_records = _batched_mean(32 * MB, profile, (BACKEND_XDMA,))
+    assert drx < dsa, f"drx {drx:.6e} !< dsa {dsa:.6e}"
+    assert drx < cpu, f"drx {drx:.6e} !< cpu {cpu:.6e}"
+    assert drx < xdma, f"drx {drx:.6e} !< xdma-fallback {xdma:.6e}"
+    # Batch members agree on the planned backend: one plan, one leg.
+    assert {tuple(r.backend) for r in drx_records} == {(BACKEND_DRX,)}
+    # The XDMA-only batch degraded to the CPU fallback as one unit.
+    assert {tuple(r.backend) for r in xdma_records} == {(BACKEND_CPU,)}
+
+
+# -- planner dominance ---------------------------------------------------
+
+#: (payload, profile factory) points spanning the crossover map.
+SWEEP_POINTS = (
+    (8 * KB, _gathery),
+    (64 * KB, _affine),
+    (1 * MB, _affine),
+    (4 * MB, _gathery),
+    (32 * MB, _gathery),
+)
+
+SINGLE_BACKENDS = (BACKEND_DRX, BACKEND_DSA, BACKEND_XDMA, BACKEND_CPU)
+
+
+def test_planner_curve_dominates_every_single_backend_curve():
+    for payload, make_profile in SWEEP_POINTS:
+        profile = make_profile(payload)
+        planner_mean, _ = _mean_latency(
+            payload, profile, PlannerConfig().candidates
+        )
+        for kind in SINGLE_BACKENDS:
+            single_mean, _ = _mean_latency(payload, profile, (kind,))
+            assert planner_mean <= single_mean * (1 + DOMINANCE_SLACK), (
+                f"payload={payload} profile={profile.name}: planner "
+                f"{planner_mean:.6e} > {kind} {single_mean:.6e}"
+            )
+
+
+# -- determinism ---------------------------------------------------------
+
+
+def _serialized_run(payload, profile, candidates):
+    result = _system(payload, profile, candidates).run_throughput(
+        requests_per_app=6
+    )
+    return json.dumps(
+        {
+            "mode": result.mode.name,
+            "elapsed": result.elapsed,
+            "backend_legs": result.backend_legs,
+            "records": [
+                {
+                    "app": r.app, "start": r.start, "end": r.end,
+                    "phases": r.phases, "backend": r.backend,
+                    "planner_reason": r.planner_reason,
+                    "request_id": r.request_id,
+                }
+                for r in sorted(
+                    result.records, key=lambda r: (r.app, r.request_id)
+                )
+            ],
+        },
+        sort_keys=True,
+    )
+
+
+def test_planner_results_byte_identical_across_runs():
+    candidates = PlannerConfig().candidates
+    profile = _affine(1 * MB)
+    first = _serialized_run(1 * MB, profile, candidates)
+    second = _serialized_run(1 * MB, profile, candidates)
+    assert first == second
+    assert (
+        hashlib.sha256(first.encode()).hexdigest()
+        == hashlib.sha256(second.encode()).hexdigest()
+    )
+
+
+# -- pre-refactor identity ----------------------------------------------
+
+_LEGACY = PlannerConfig(candidates=(BACKEND_DRX, BACKEND_CPU))
+
+
+def test_drx_cpu_planner_reproduces_sweep_golden():
+    """The {DRX, CPU} planner IS the pre-refactor engine: the fixed-seed
+    serving sweep hashes to the same golden byte-for-byte."""
+    digest = hashlib.sha256(
+        _golden._sweep_json(backends=_LEGACY).encode()
+    ).hexdigest()
+    assert digest == _golden.SWEEP_GOLDEN_SHA256
+
+
+def test_drx_cpu_planner_reproduces_run_result_golden():
+    digest = hashlib.sha256(
+        _golden._run_result_json(backends=_LEGACY).encode()
+    ).hexdigest()
+    assert digest == _golden.RUNRESULT_GOLDEN_SHA256

@@ -213,7 +213,7 @@ def test_reworked_engine_allocates_no_more_than_legacy():
 # -- byte-identity goldens (runs in both modes) --------------------------
 
 
-def _sweep_json():
+def _sweep_json(backends=None):
     from repro.accelerators.base import AcceleratorSpec
     from repro.core import AppChain, KernelStage, Mode, MotionStage
     from repro.profiles import WorkProfile
@@ -247,16 +247,19 @@ def _sweep_json():
         modes=(Mode.MULTI_AXL, Mode.BUMP_IN_WIRE),
         sample_period_s=None,
         seed=1234,
+        backends=backends,
     )
     return run_sweep(config).to_json()
 
 
-def _run_result_json():
+def _run_result_json(backends=None):
     from repro.core import DMXSystem, Mode, SystemConfig
     from repro.workloads import build_benchmark_chains
 
     chains = build_benchmark_chains("sound-detection", 2)
-    system = DMXSystem(chains, SystemConfig(mode=Mode.BUMP_IN_WIRE))
+    system = DMXSystem(
+        chains, SystemConfig(mode=Mode.BUMP_IN_WIRE), backends=backends
+    )
     result = system.run_throughput(requests_per_app=6)
     return json.dumps(
         {

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Backend-planner demo: one mixed-shape chain, per-leg decisions.
+
+A single application chain whose three motion legs have deliberately
+different shapes — a tiny gather-heavy shuffle, a medium affine
+reshape, and a large gather-heavy restructure — so the cost-based
+planner (DESIGN.md §13) routes each leg to a *different* backend:
+
+* the 4 KB gathery shuffle goes to the **DSA** (sub-µs portal submit
+  beats the DRX's kernel-launch overhead at this size),
+* the 1 MB affine reshape rides an **XDMA** descriptor (the transform
+  is fused into the chained DMA — zero extra hop),
+* the 32 MB gathery restructure lands on the **DRX** (beyond the XDMA
+  descriptor's reach; the 128-lane array out-streams the DSA).
+
+The demo prints the planner's full per-leg ranking (every backend's
+priced bid) and the run's per-backend leg attribution.
+
+Usage::
+
+    python examples/backend_planner_demo.py
+"""
+
+from repro.accelerators.base import AcceleratorSpec
+from repro.backends import PlannerConfig
+from repro.core import (
+    AppChain,
+    DMXSystem,
+    KernelStage,
+    Mode,
+    MotionStage,
+    SystemConfig,
+)
+from repro.profiles import WorkProfile
+
+KB = 1024
+MB = 1024 * 1024
+SPEC = AcceleratorSpec(name="accel", domain="d", speedup_vs_cpu=6.0)
+
+
+def make_chain():
+    def kernel(name, out_bytes):
+        return KernelStage(name, SPEC, cpu_time_s=6e-4, accel_time_s=1e-4,
+                           output_bytes=out_bytes)
+
+    shuffle = WorkProfile(
+        name="shuffle", bytes_in=8 * KB, bytes_out=4 * KB,
+        elements=1024, ops_per_element=20.0, gather_fraction=0.3,
+    )
+    reshape = WorkProfile(
+        name="reshape", bytes_in=1 * MB, bytes_out=1 * MB,
+        elements=256 * KB, ops_per_element=2.0,
+        branch_fraction=0.02, gather_fraction=0.0,
+    )
+    restructure = WorkProfile(
+        name="restructure", bytes_in=64 * MB, bytes_out=32 * MB,
+        elements=8 * MB, ops_per_element=20.0, gather_fraction=0.3,
+    )
+    return AppChain(
+        name="mixed",
+        stages=[
+            kernel("k1", 4 * KB),
+            MotionStage("tiny-shuffle", shuffle, input_bytes=4 * KB,
+                        output_bytes=4 * KB, cpu_threads=4),
+            kernel("k2", 1 * MB),
+            MotionStage("affine-reshape", reshape, input_bytes=1 * MB,
+                        output_bytes=1 * MB, cpu_threads=4),
+            kernel("k3", 32 * MB),
+            MotionStage("bulk-restructure", restructure,
+                        input_bytes=32 * MB, output_bytes=32 * MB,
+                        cpu_threads=8),
+            kernel("k4", 1 * MB),
+        ],
+    )
+
+
+def main():
+    chain = make_chain()
+    system = DMXSystem(
+        [chain],
+        SystemConfig(mode=Mode.BUMP_IN_WIRE),
+        backends=PlannerConfig(),
+    )
+    result = system.run_latency(requests_per_app=1)
+    (record,) = result.records
+
+    legs = [s.name for s in chain.motion_stages]
+    print(f"chain '{chain.name}': {len(legs)} motion legs, "
+          f"{result.elapsed * 1e3:.3f} ms end to end\n")
+    print("per-leg planner decisions:")
+    for name, kind, reason in zip(legs, record.backend,
+                                  record.planner_reason):
+        print(f"  {name:<16} -> {kind:<5} ({reason})")
+
+    print("\nper-backend leg attribution:")
+    summary = result.recovery_summary()
+    for kind, stats in summary["backends"].items():
+        row = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+        print(f"  {kind:<5} {row}")
+
+    print("\nphase totals (ms):")
+    for phase, seconds in sorted(record.phases.items()):
+        if seconds:
+            print(f"  {phase:<14} {seconds * 1e3:8.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

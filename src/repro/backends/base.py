@@ -1,0 +1,257 @@
+"""The restructuring-backend interface the per-leg planner scores.
+
+A *backend* is one way to execute the restructuring half of a motion
+stage — the existing DRX units and host-CPU path, plus the two engines
+modeled from the related work: an Intel-DSA-style on-chip streaming
+engine (shared work queue, descriptor batching, on-core completion
+polling) and XDMA-style layout transformation fused into the DMA
+descriptor itself (restructuring in-flight, no separate accelerator
+hop).
+
+Every backend answers the same three questions about one
+:class:`LegSpec` (a motion stage bound to concrete endpoints):
+
+* **can it run this leg at all?** — :meth:`RestructureBackend.eligible`
+  (XDMA only expresses affine layout transforms; everything else is
+  universal);
+* **what would it cost right now?** — :meth:`RestructureBackend.estimate`
+  returns a :class:`CostEstimate` splitting contention-free service time
+  from the expected queueing behind the backend's *current* occupancy
+  (the live signal the planner keys on);
+* **run it** — :meth:`RestructureBackend.execute` delegates to the
+  owning :class:`~repro.core.system.DMXSystem`'s motion helpers so
+  span/phase accounting stays identical to the non-planned paths.
+
+Estimates are pure functions of the leg and the current DES state: no
+randomness, no clock advancement — a planner consultation costs zero
+simulated time and two equal-seed runs score identically.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..core.chain import MotionStage
+from ..core.placement import Mode
+from ..profiles import WorkProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.system import DMXSystem, PhaseAccumulator, _RequestState
+    from ..drx.microarch import DRXDevice
+    from ..telemetry import SpanContext
+
+__all__ = [
+    "BACKEND_DRX", "BACKEND_CPU", "BACKEND_DSA", "BACKEND_XDMA",
+    "BACKEND_KINDS", "LegSpec", "CostEstimate", "RestructureBackend",
+    "DRXBackend", "CPUBackend",
+]
+
+BACKEND_DRX = "drx"
+BACKEND_CPU = "cpu"
+BACKEND_DSA = "dsa"
+BACKEND_XDMA = "xdma"
+
+#: Every backend kind, in the planner's deterministic evaluation order.
+BACKEND_KINDS = (BACKEND_XDMA, BACKEND_DSA, BACKEND_DRX, BACKEND_CPU)
+
+
+@dataclass(frozen=True)
+class LegSpec:
+    """One motion stage's restructuring leg, bound to endpoints.
+
+    ``fused`` is the profile the DRX/DSA engines would execute (with
+    scratchpad fusion applied); eligibility checks read the *unfused*
+    ``stage.profile`` character, which describes the transform itself.
+    ``count`` > 1 marks a coalesced batch leg: all members execute on
+    the one backend the planner picks (batch members always agree on a
+    backend by construction — the decision is per coalesced leg).
+    ``drx`` is the home DRX unit the placement mode assigns this leg.
+    """
+
+    mode: Mode
+    src: str
+    dst: str
+    staging: str
+    stage: MotionStage
+    fused: WorkProfile
+    threads: int
+    count: int = 1
+    drx: Optional["DRXDevice"] = None
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """One backend's priced bid for a leg (seconds).
+
+    ``service_s`` is the contention-free end-to-end leg estimate
+    (movement + restructuring + control overheads); ``queue_s`` the
+    expected wait behind the backend's current queue depth. The planner
+    ranks on ``total_s``.
+    """
+
+    service_s: float
+    queue_s: float
+    depth: int
+    #: Estimated energy for the leg (engine + host control time); carried
+    #: for attribution/figures — the planner ranks on time, not energy.
+    energy_j: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.service_s + self.queue_s
+
+
+class RestructureBackend(abc.ABC):
+    """One way to run a motion stage's restructuring leg."""
+
+    kind: str = ""
+
+    def __init__(self, system: "DMXSystem", queue_weight: float = 1.0):
+        self.system = system
+        self.queue_weight = queue_weight
+
+    def eligible(self, leg: LegSpec) -> bool:
+        """Can this backend execute ``leg`` at all?"""
+        return True
+
+    def target(self, leg: LegSpec) -> str:
+        """Health/breaker target name for this leg (empty: ungated)."""
+        return self.kind
+
+    @abc.abstractmethod
+    def queue_depth(self, leg: LegSpec) -> int:
+        """Jobs currently occupying + waiting on the backend's resource."""
+
+    @abc.abstractmethod
+    def estimate(self, leg: LegSpec) -> CostEstimate:
+        """Price ``leg`` under current contention (pure, zero sim time)."""
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        leg: LegSpec,
+        phases: "PhaseAccumulator",
+        state: Optional["_RequestState"],
+        ctx: "SpanContext",
+    ) -> Generator:
+        """Process: run the leg end to end (movement + restructuring)."""
+
+
+class DRXBackend(RestructureBackend):
+    """The existing DRX path behind the backend interface.
+
+    Estimation and execution both use the leg's *home* unit (the one the
+    placement mode assigns), so a planner restricted to ``{drx, cpu}``
+    reproduces the pre-planner engine exactly.
+    """
+
+    kind = BACKEND_DRX
+
+    def eligible(self, leg: LegSpec) -> bool:
+        return leg.drx is not None
+
+    def target(self, leg: LegSpec) -> str:
+        return leg.drx.name
+
+    def queue_depth(self, leg: LegSpec) -> int:
+        server = leg.drx._server
+        return server.queue_length + server.in_use
+
+    def estimate(self, leg: LegSpec) -> CostEstimate:
+        s = self.system
+        n = leg.count
+        timing = leg.drx.timing
+        if n > 1:
+            restructure = timing.time_for_profile_batch([leg.fused] * n)
+        else:
+            restructure = timing.time_for_profile(leg.fused)
+        chain_extra = (n - 1) * s.dma.costs.chained_descriptor_s
+        notify = s.notifier.costs.interrupt_s
+        out_est = s.transfer_estimate(
+            leg.staging, leg.dst, n * leg.stage.output_bytes
+        ) + chain_extra
+        if leg.mode is Mode.PCIE_INTEGRATED:
+            # Line-rate processing: ingest overlaps the restructuring.
+            ingest = s.fabric.unloaded_latency(
+                leg.src, leg.staging, n * leg.stage.input_bytes
+            )
+            service = max(ingest, restructure) + notify + out_est
+        else:
+            in_est = s.transfer_estimate(
+                leg.src, leg.staging, n * leg.stage.input_bytes
+            ) + chain_extra
+            service = in_est + restructure + notify + out_est
+        depth = self.queue_depth(leg)
+        queue = depth * timing.time_for_profile(leg.fused) * self.queue_weight
+        energy = restructure * leg.drx.config.power_w
+        return CostEstimate(
+            service_s=service, queue_s=queue, depth=depth, energy_j=energy
+        )
+
+    def execute(self, leg, phases, state, ctx) -> Generator:
+        s = self.system
+        if leg.count == 1:
+            yield from s._drx_motion(
+                leg.mode, leg.src, leg.dst, leg.staging, leg.drx, leg.stage,
+                leg.fused, phases, state, ctx,
+            )
+        else:
+            yield from s._batched_drx_motion(
+                leg.mode, leg.src, leg.dst, leg.staging, leg.drx, leg.stage,
+                leg.fused, leg.count, phases, state, ctx,
+            )
+
+
+class CPUBackend(RestructureBackend):
+    """Host-CPU restructuring via host memory (the Multi-Axl path).
+
+    Always eligible and never breaker-gated: the CPU is the system's
+    unconditional fallback, exactly as in the pre-planner recovery plane.
+    """
+
+    kind = BACKEND_CPU
+
+    def target(self, leg: LegSpec) -> str:
+        return ""
+
+    def queue_depth(self, leg: LegSpec) -> int:
+        return self.system.cpu.cores.queue_length
+
+    def estimate(self, leg: LegSpec) -> CostEstimate:
+        s = self.system
+        cpu = s.cpu
+        n = leg.count
+        threads = max(1, min(leg.threads, cpu.max_threads))
+        if threads > 1:
+            per_job = cpu.parallel_time(leg.stage.profile, threads)
+        else:
+            per_job = cpu.serial_time(leg.stage.profile)
+        in_est = s.transfer_estimate(
+            leg.src, "root", n * leg.stage.input_bytes
+        )
+        out_est = s.transfer_estimate(
+            "root", leg.dst, n * leg.stage.output_bytes
+        )
+        service = in_est + n * per_job + out_est
+        depth = self.queue_depth(leg)
+        queue = (
+            depth / cpu.spec.cores * per_job * self.queue_weight
+        )
+        energy = n * per_job * threads * 10.5  # cpu_core_active_w
+        return CostEstimate(
+            service_s=service, queue_s=queue, depth=depth, energy_j=energy
+        )
+
+    def execute(self, leg, phases, state, ctx) -> Generator:
+        s = self.system
+        if leg.count == 1:
+            yield from s._multi_axl_motion(
+                leg.src, leg.dst, leg.stage, leg.threads, phases, state, ctx
+            )
+        else:
+            yield from s._batched_multi_axl_motion(
+                leg.src, leg.dst, leg.stage, leg.threads, leg.count, phases,
+                state, ctx,
+            )

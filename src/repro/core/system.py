@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional
 
 from ..cpu import HostCPU
 from ..drx.microarch import DRXDevice
@@ -38,6 +38,9 @@ from ..sim.tracing import FaultRecord
 from ..telemetry import ActiveSpan, SpanContext, Telemetry
 from .chain import AppChain, KernelStage, MotionStage
 from .placement import Mode, SystemConfig, drx_config_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.planner import PlanDecision, PlannerConfig
 
 __all__ = ["RequestRecord", "RunResult", "DMXSystem",
            "PHASE_KERNEL", "PHASE_RESTRUCTURE", "PHASE_MOVEMENT",
@@ -106,6 +109,12 @@ class RequestRecord:
     rerouted: bool = False
     failed: bool = False
     request_id: int = -1
+    #: Per-motion-leg planner decisions (backend kind chosen per leg) and
+    #: the matching ranking strings. ``None`` unless the system was built
+    #: with ``backends=`` (the planner armed) — golden serializations of
+    #: planner-free runs are unaffected by the planner subsystem.
+    backend: Optional[List[str]] = None
+    planner_reason: Optional[List[str]] = None
 
     @property
     def latency(self) -> float:
@@ -123,6 +132,10 @@ class RunResult:
     #: The run's telemetry (spans + metrics); write it out with
     #: :func:`repro.telemetry.write_artifact`.
     telemetry: Optional[Telemetry] = None
+    #: Per-backend leg attribution — ``{kind: {planned, executed,
+    #: rerouted, fallen_back}}`` — populated only when the per-leg
+    #: planner is armed (``backends=`` on the system).
+    backend_legs: Optional[Dict[str, Dict[str, int]]] = None
 
     def apps(self) -> List[str]:
         seen: List[str] = []
@@ -218,21 +231,36 @@ class RunResult:
             if r.failed and (app is None or r.app == app)
         )
 
-    def recovery_summary(self) -> Dict[str, int]:
-        """Run-wide recovery counters for reporting."""
-        return {
+    def recovery_summary(self) -> Dict[str, object]:
+        """Run-wide recovery counters for reporting.
+
+        When the per-leg planner was armed, a ``"backends"`` key carries
+        the per-backend leg attribution (legs planned / executed /
+        rerouted / fallen-back per backend kind); planner-free runs keep
+        the historical five-key shape exactly.
+        """
+        summary: Dict[str, object] = {
             "requests": len(self.records),
             "retries": self.total_retries(),
             "fallbacks": self.fallback_count(),
             "rerouted": self.rerouted_count(),
             "failures": self.failure_count(),
         }
+        if self.backend_legs is not None:
+            summary["backends"] = {
+                kind: dict(stats)
+                for kind, stats in sorted(self.backend_legs.items())
+            }
+        return summary
 
 
 class _RequestState:
     """Mutable per-request recovery bookkeeping."""
 
-    __slots__ = ("request_id", "retries", "fell_back", "rerouted", "failed")
+    __slots__ = (
+        "request_id", "retries", "fell_back", "rerouted", "failed",
+        "leg_backends", "leg_reasons",
+    )
 
     def __init__(self, request_id: int):
         self.request_id = request_id
@@ -240,6 +268,8 @@ class _RequestState:
         self.fell_back = False
         self.rerouted = False
         self.failed = False
+        self.leg_backends: List[str] = []
+        self.leg_reasons: List[str] = []
 
 
 class DMXSystem:
@@ -257,6 +287,13 @@ class DMXSystem:
     to an alternate placement or straight to CPU restructuring — before
     any per-request deadline is burned. With ``resilience=None`` (the
     default) dispatch is untouched.
+
+    Pass a :class:`~repro.backends.PlannerConfig` as ``backends`` to arm
+    the cost-based per-leg planner: every motion stage's restructuring
+    leg is priced on each eligible candidate backend (DRX / CPU / DSA /
+    XDMA) under live contention and the cheapest admitted one runs it.
+    With ``backends=None`` (the default) routing is the classic
+    DRX-with-CPU-fallback engine, byte-for-byte.
     """
 
     def __init__(
@@ -266,6 +303,7 @@ class DMXSystem:
         faults: Optional[FaultPlan] = None,
         telemetry_enabled: bool = True,
         resilience: Optional[ResilienceConfig] = None,
+        backends: Optional["PlannerConfig"] = None,
     ):
         if not chains:
             raise ValueError("need at least one application chain")
@@ -328,6 +366,20 @@ class DMXSystem:
         self._switch_of: Dict[str, str] = {}
         self._standalone_drx_of: Dict[int, str] = {}
         self._build_topology()
+        # The per-leg backend planner (lazy import: repro.backends pulls
+        # repro.core back in for chain/placement types).
+        self.backend_stats: Dict[str, Dict[str, int]] = {}
+        if backends is not None:
+            from ..backends.planner import LegPlanner
+
+            self.planner: Optional[LegPlanner] = LegPlanner(self, backends)
+            for kind in self.planner.kinds():
+                self.backend_stats[kind] = {
+                    "planned": 0, "executed": 0,
+                    "rerouted": 0, "fallen_back": 0,
+                }
+        else:
+            self.planner = None
 
     # -- topology ------------------------------------------------------------
 
@@ -514,6 +566,15 @@ class DMXSystem:
             raise
         if span is not None:
             ctx.end(span)
+
+    def transfer_estimate(self, src: str, dst: str, nbytes: int) -> float:
+        """Contention-free estimate of one DMA leg, including the host
+        DRAM-staging pass when an endpoint is host memory. Pure — used
+        by the backend planner's cost models, never by execution."""
+        est = self.dma.unloaded_latency(src, dst, nbytes)
+        if src == "root" or dst == "root":
+            est += nbytes / HOST_STAGING_BYTES_PER_S
+        return est
 
     def _drx_restructure(
         self,
@@ -830,6 +891,13 @@ class DMXSystem:
         if mode == Mode.MULTI_AXL:
             yield from self._multi_axl_motion(
                 src, dst, stage, threads, phases, state, sctx
+            )
+            return
+
+        if self.planner is not None:
+            yield from self._planned_motion(
+                mode, app_index, src, dst, stage, threads, 1, phases,
+                state, sctx, mspan, force_cpu,
             )
             return
 
@@ -1247,6 +1315,13 @@ class DMXSystem:
             )
             return
 
+        if self.planner is not None:
+            yield from self._planned_motion(
+                mode, app_index, src, dst, stage, threads, count, phases,
+                state, sctx, mspan, force_cpu,
+            )
+            return
+
         drx, staging = self._drx_placement(mode, src, app_index)
 
         probe = False
@@ -1335,6 +1410,180 @@ class DMXSystem:
             for phase, duration in local.totals.items():
                 if duration:
                     phases.add(phase, duration)
+
+    # -- cost-based per-leg backend planning ------------------------------------
+    #
+    # With ``backends=`` armed, the planner replaces the static
+    # DRX-with-CPU-fallback routing for every non-Multi-Axl motion leg:
+    # each eligible backend prices the leg under live contention, the
+    # cheapest admitted one executes it, and the decision (plus the full
+    # ranking) lands on the motion span and the request record. Batched
+    # legs plan once for the whole batch — members agree on a backend by
+    # construction.
+
+    def _record_plan(
+        self,
+        decision: "PlanDecision",
+        target: str,
+        state: Optional[_RequestState],
+        mspan: Optional[ActiveSpan],
+    ) -> None:
+        """Book one planning decision: stats, span attrs, reroute notes."""
+        kind = decision.kind
+        rid = state.request_id if state is not None else -1
+        self.backend_stats[kind]["planned"] += 1
+        for skipped_kind, skipped_target in decision.skipped:
+            # A cheaper backend was breaker-denied: the leg was steered
+            # around it proactively — the planner's reroute.
+            self.backend_stats[skipped_kind]["rerouted"] += 1
+            if state is not None:
+                state.rerouted = True
+            if self.control is not None:
+                self.control.note_reroute(skipped_target, target or kind, rid)
+        if state is not None:
+            state.leg_backends.append(kind)
+            state.leg_reasons.append(decision.reason)
+        if self.telemetry.enabled:
+            if mspan is not None:
+                mspan.attrs["backend"] = kind
+                mspan.attrs["planner_reason"] = decision.reason
+                if decision.skipped:
+                    mspan.attrs["rerouted_to"] = kind
+            self.telemetry.counter("planner_decisions", backend=kind).inc()
+            if decision.estimate is not None:
+                self.telemetry.sample_gauge(
+                    "planner_queue_depth", float(decision.estimate.depth),
+                    backend=kind,
+                )
+
+    def _planned_motion(
+        self,
+        mode: Mode,
+        app_index: int,
+        src: str,
+        dst: str,
+        stage: MotionStage,
+        threads: int,
+        count: int,
+        phases: PhaseAccumulator,
+        state: Optional[_RequestState],
+        sctx: SpanContext,
+        mspan: Optional[ActiveSpan] = None,
+        force_cpu: bool = False,
+    ) -> Generator:
+        """One motion leg (single or coalesced batch) under the planner.
+
+        Mirrors the deadline-fallback structure of :meth:`_motion_body`:
+        fault-free runs execute the chosen backend directly; faulted
+        runs race it against the per-request deadline budget and degrade
+        to the CPU backend on a recoverable failure.
+        """
+        from ..backends.base import BACKEND_CPU, LegSpec
+
+        planner = self.planner
+        drx, staging = self._drx_placement(mode, src, app_index)
+        if SCRATCHPAD_FUSION:
+            fused = replace(
+                stage.profile,
+                bytes_in=stage.input_bytes,
+                bytes_out=stage.output_bytes,
+            )
+        else:
+            fused = stage.profile
+        leg = LegSpec(
+            mode=mode, src=src, dst=dst, staging=staging, stage=stage,
+            fused=fused, threads=threads, count=count, drx=drx,
+        )
+        if force_cpu:
+            # The brownout FORCE_CPU tier overrides the cost model, just
+            # as it overrides the static router.
+            if state is not None:
+                state.rerouted = True
+            if self.telemetry.enabled and mspan is not None:
+                mspan.attrs["forced_cpu"] = True
+            self.telemetry.instant(
+                "brownout_force_cpu", "brownout", actor=drx.name,
+                request_id=state.request_id if state is not None else -1,
+            )
+            decision = planner.forced_cpu()
+        else:
+            decision = planner.plan(leg)
+        backend = decision.backend
+        kind = decision.kind
+        target = backend.target(leg)
+        self._record_plan(decision, target, state, mspan)
+
+        if kind == BACKEND_CPU:
+            # The CPU path is never breaker-gated or deadline-raced: it
+            # IS the fallback.
+            yield from backend.execute(leg, phases, state, sctx)
+            self.backend_stats[kind]["executed"] += 1
+            return
+
+        if self._faults is None:
+            leg_start = self.sim.now
+            yield from backend.execute(leg, phases, state, sctx)
+            self.backend_stats[kind]["executed"] += 1
+            if self.control is not None and target:
+                self.control.record(
+                    target, True, self.sim.now - leg_start,
+                    probe=decision.probe,
+                )
+            return
+
+        local = PhaseAccumulator(ALL_PHASES)
+        span_start = self.sim.now
+        deadline = self._faults.drx_deadline_s * count
+        attempt = sctx.begin(
+            f"{kind}-attempt", "attempt", deadline_s=deadline,
+            **({"batch": count} if count > 1 else {}),
+            **({"breaker_probe": True} if decision.probe else {}),
+        )
+        actx = sctx.child(attempt)
+        try:
+            yield from with_timeout(
+                self.sim,
+                backend.execute(leg, local, state, actx),
+                deadline,
+                what=f"{kind}:{target}",
+            )
+        except _RECOVERABLE as exc:
+            if self.control is not None and target:
+                self.control.record(
+                    target, False, self.sim.now - span_start,
+                    probe=decision.probe,
+                )
+            if state is not None:
+                state.fell_back = True
+            self._note(
+                "fallback", target or kind, site=kind,
+                request_id=state.request_id if state is not None else -1,
+                detail=type(exc).__name__,
+            )
+            self.telemetry.end(attempt, error=type(exc).__name__)
+            self.telemetry.mark_abandoned(attempt)
+            phases.add(PHASE_RECOVERY, self.sim.now - span_start)
+            self.telemetry.add(
+                "recovery", PHASE_RECOVERY, start=span_start,
+                end=self.sim.now, actor=target or kind,
+                parent=sctx.parent_id, request_id=sctx.request_id,
+                phase=PHASE_RECOVERY, cause=type(exc).__name__,
+            )
+            self.backend_stats[kind]["fallen_back"] += 1
+            cpu = planner.backend(BACKEND_CPU)
+            yield from cpu.execute(leg, phases, state, sctx)
+            self.backend_stats[BACKEND_CPU]["executed"] += 1
+        else:
+            if self.control is not None and target:
+                self.control.record(
+                    target, True, self.sim.now - span_start,
+                    probe=decision.probe,
+                )
+            self.telemetry.end(attempt)
+            for phase, duration in local.totals.items():
+                if duration:
+                    phases.add(phase, duration)
+            self.backend_stats[kind]["executed"] += 1
 
     def _batched_request(
         self,
@@ -1460,6 +1709,15 @@ class DMXSystem:
                 retries=st.retries, fell_back=st.fell_back,
                 rerouted=st.rerouted, failed=st.failed,
                 request_id=st.request_id,
+                # The batch plans once; every member shares the decision.
+                backend=(
+                    list(lead.leg_backends)
+                    if self.planner is not None else None
+                ),
+                planner_reason=(
+                    list(lead.leg_reasons)
+                    if self.planner is not None else None
+                ),
             ))
         self.telemetry.end(
             root, retries=lead.retries, fell_back=lead.fell_back,
@@ -1550,6 +1808,12 @@ class DMXSystem:
             retries=state.retries, fell_back=state.fell_back,
             rerouted=state.rerouted, failed=state.failed,
             request_id=state.request_id,
+            backend=(
+                list(state.leg_backends) if self.planner is not None else None
+            ),
+            planner_reason=(
+                list(state.leg_reasons) if self.planner is not None else None
+            ),
         )
         self.telemetry.end(
             root, retries=state.retries, fell_back=state.fell_back,
@@ -1664,6 +1928,7 @@ class DMXSystem:
             elapsed=self.sim.now,
             requests_per_app=requests_per_app,
             telemetry=self.telemetry,
+            backend_legs=self._backend_legs_snapshot(),
         )
 
     def run_throughput(self, requests_per_app: int = 12) -> RunResult:
@@ -1693,7 +1958,15 @@ class DMXSystem:
             elapsed=self.sim.now,
             requests_per_app=requests_per_app,
             telemetry=self.telemetry,
+            backend_legs=self._backend_legs_snapshot(),
         )
+
+    def _backend_legs_snapshot(self) -> Optional[Dict[str, Dict[str, int]]]:
+        """Copy of the per-backend leg attribution; None unless the
+        planner is armed (so planner-free results keep their shape)."""
+        if self.planner is None:
+            return None
+        return {kind: dict(stats) for kind, stats in self.backend_stats.items()}
 
     # -- post-run accounting (energy model inputs) ---------------------------------
 

@@ -93,6 +93,9 @@ class IncompleteGridError(OrchestratorError):
 
 
 def _registry() -> Dict[str, type]:
+    from ..backends.dsa import DSAConfig
+    from ..backends.planner import PlannerConfig
+    from ..backends.xdma import XDMAConfig
     from ..core.placement import Mode
     from ..faults.injector import FaultPolicy
     from ..faults.plan import FaultPlan
@@ -114,6 +117,7 @@ def _registry() -> Dict[str, type]:
             FaultPlan, FaultPolicy, RetryPolicy,
             ResilienceConfig, HealthConfig, BreakerConfig,
             BrownoutConfig, BatchingConfig,
+            PlannerConfig, DSAConfig, XDMAConfig,
         )
     }
 

@@ -1,0 +1,357 @@
+"""Turn run artifacts into figures: latency-vs-load knees, backend crossovers.
+
+``python -m repro.eval.plot`` renders the two figure families the
+evaluation leans on, from artifacts the sweep/orchestrator layers
+already emit — no simulation rerun:
+
+* ``knee`` — offered load vs p99 latency per placement mode, from a
+  :meth:`~repro.serve.sweep.SweepResult.to_json` file, a JSON-lines file
+  of sweep-point dicts, or an orchestrator SQLite store
+  (``repro.eval.orchestrator`` collect output);
+* ``crossover`` — payload size vs mean leg latency per restructuring
+  backend, from a JSON file of ``{payload_bytes, backend, mean_s}``
+  records (the shape ``benchmarks/test_backend_planner.py`` sweeps).
+
+Figures are written to **deterministic output paths** under
+``--out-dir``: always a self-contained SVG rendered by the in-tree
+writer (byte-identical across runs for identical inputs), plus a PNG
+when matplotlib is importable. matplotlib is strictly optional — the
+module, the CLI, and the smoke tests run without it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sqlite3
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Series",
+    "load_sweep_points",
+    "load_crossover_records",
+    "render_svg",
+    "knee_figure",
+    "crossover_figure",
+    "main",
+]
+
+# Deliberately small, fixed palette: series color assignment follows
+# sorted label order, so output bytes never depend on dict ordering.
+_PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+            "#8c564b", "#17becf")
+
+_W, _H = 640, 420
+_ML, _MR, _MT, _MB = 72, 16, 36, 56  # margins: left/right/top/bottom
+
+
+class Series:
+    """One labeled polyline: ``points`` are ascending (x, y) pairs."""
+
+    def __init__(self, label: str, points: Sequence[Tuple[float, float]]):
+        self.label = label
+        self.points = sorted((float(x), float(y)) for x, y in points)
+
+
+# -- artifact loading ----------------------------------------------------------
+
+
+def load_sweep_points(path: str) -> List[Dict[str, object]]:
+    """Sweep-point dicts from a JSON sweep result, a JSON-lines file, or
+    an orchestrator SQLite store (done rows' result payloads)."""
+    if path.endswith((".db", ".sqlite", ".sqlite3")):
+        with sqlite3.connect(path) as conn:
+            rows = conn.execute(
+                "SELECT result_json FROM experiments "
+                "WHERE status = 'done' ORDER BY point_key"
+            ).fetchall()
+        return [json.loads(row[0]) for row in rows if row[0]]
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.strip()
+    if not stripped:
+        return []
+    if path.endswith(".jsonl"):
+        return [json.loads(line) for line in stripped.splitlines() if line]
+    doc = json.loads(stripped)
+    if isinstance(doc, dict) and "points" in doc:
+        return list(doc["points"])
+    if isinstance(doc, list):
+        return doc
+    raise ValueError(f"unrecognized sweep artifact shape in {path}")
+
+
+def load_crossover_records(path: str) -> List[Dict[str, object]]:
+    """Backend-crossover records: ``{payload_bytes, backend, mean_s}``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict) and "records" in doc:
+        doc = doc["records"]
+    if not isinstance(doc, list):
+        raise ValueError(f"unrecognized crossover artifact shape in {path}")
+    return doc
+
+
+# -- deterministic SVG rendering -----------------------------------------------
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate/label formatting: determinism anchor."""
+    return f"{value:.2f}"
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    return [lo + (hi - lo) * i / (n - 1) for i in range(n)]
+
+
+def render_svg(
+    series: Sequence[Series],
+    path: str,
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    log_x: bool = False,
+) -> str:
+    """Write a line chart as a standalone SVG; returns ``path``.
+
+    Pure function of its inputs: fixed canvas, fixed palette in sorted
+    label order, fixed-precision coordinates — identical inputs yield
+    byte-identical files on every platform.
+    """
+    series = sorted(series, key=lambda s: s.label)
+    xs = [x for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    if not xs:
+        raise ValueError("nothing to plot: no points in any series")
+    tx = (lambda v: math.log10(v)) if log_x else (lambda v: v)
+    x_lo, x_hi = min(tx(x) for x in xs), max(tx(x) for x in xs)
+    y_lo, y_hi = 0.0, max(ys) * 1.05 or 1.0
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    plot_w = _W - _ML - _MR
+    plot_h = _H - _MT - _MB
+
+    def px(x: float) -> float:
+        return _ML + (tx(x) - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return _MT + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    out: List[str] = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" '
+        f'height="{_H}" viewBox="0 0 {_W} {_H}" '
+        f'font-family="monospace" font-size="11">'
+    )
+    out.append(f'<rect width="{_W}" height="{_H}" fill="white"/>')
+    out.append(
+        f'<text x="{_W // 2}" y="20" text-anchor="middle" '
+        f'font-size="13">{title}</text>'
+    )
+    # Axes + gridlines + tick labels.
+    for t in _ticks(y_lo, y_hi):
+        y = py(t)
+        out.append(
+            f'<line x1="{_ML}" y1="{_fmt(y)}" x2="{_W - _MR}" '
+            f'y2="{_fmt(y)}" stroke="#dddddd"/>'
+        )
+        out.append(
+            f'<text x="{_ML - 6}" y="{_fmt(y + 4)}" '
+            f'text-anchor="end">{_fmt(t)}</text>'
+        )
+    for t in _ticks(x_lo, x_hi):
+        x = _ML + (t - x_lo) / (x_hi - x_lo) * plot_w
+        label = 10.0 ** t if log_x else t
+        out.append(
+            f'<line x1="{_fmt(x)}" y1="{_MT}" x2="{_fmt(x)}" '
+            f'y2="{_MT + plot_h}" stroke="#eeeeee"/>'
+        )
+        out.append(
+            f'<text x="{_fmt(x)}" y="{_MT + plot_h + 16}" '
+            f'text-anchor="middle">{_fmt(label)}</text>'
+        )
+    out.append(
+        f'<rect x="{_ML}" y="{_MT}" width="{plot_w}" height="{plot_h}" '
+        f'fill="none" stroke="#333333"/>'
+    )
+    out.append(
+        f'<text x="{_W // 2}" y="{_H - 12}" '
+        f'text-anchor="middle">{xlabel}</text>'
+    )
+    out.append(
+        f'<text x="16" y="{_MT + plot_h // 2}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {_MT + plot_h // 2})">{ylabel}</text>'
+    )
+    # Series polylines + markers + legend.
+    for index, s in enumerate(series):
+        color = _PALETTE[index % len(_PALETTE)]
+        coords = " ".join(
+            f"{_fmt(px(x))},{_fmt(py(y))}" for x, y in s.points
+        )
+        out.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5"/>'
+        )
+        for x, y in s.points:
+            out.append(
+                f'<circle cx="{_fmt(px(x))}" cy="{_fmt(py(y))}" r="2.5" '
+                f'fill="{color}"/>'
+            )
+        ly = _MT + 14 + index * 14
+        out.append(
+            f'<line x1="{_ML + 8}" y1="{ly - 4}" x2="{_ML + 28}" '
+            f'y2="{ly - 4}" stroke="{color}" stroke-width="1.5"/>'
+        )
+        out.append(f'<text x="{_ML + 34}" y="{ly}">{s.label}</text>')
+    out.append("</svg>")
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write("\n".join(out))
+        fh.write("\n")
+    return path
+
+
+def _maybe_png(
+    series: Sequence[Series],
+    path: str,
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    log_x: bool = False,
+) -> Optional[str]:
+    """Additionally render via matplotlib when it is importable; the
+    SVG path is the contract, the PNG is a convenience."""
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except Exception:
+        return None
+    fig, ax = plt.subplots(figsize=(6.4, 4.2))
+    for index, s in enumerate(sorted(series, key=lambda x: x.label)):
+        xs = [x for x, _ in s.points]
+        ys = [y for _, y in s.points]
+        ax.plot(xs, ys, marker="o", label=s.label,
+                color=_PALETTE[index % len(_PALETTE)])
+    if log_x:
+        ax.set_xscale("log")
+    ax.set_title(title)
+    ax.set_xlabel(xlabel)
+    ax.set_ylabel(ylabel)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(path)
+    plt.close(fig)
+    return path
+
+
+# -- figure families -----------------------------------------------------------
+
+
+def knee_figure(
+    points: Sequence[Dict[str, object]],
+    out_dir: str,
+    stem: str = "knee",
+    metric: str = "p99_s",
+) -> List[str]:
+    """Latency-vs-load knee: one series per mode, ``metric`` in ms."""
+    by_mode: Dict[str, List[Tuple[float, float]]] = {}
+    for point in points:
+        by_mode.setdefault(str(point["mode"]), []).append(
+            (float(point["offered_rps"]), float(point[metric]) * 1e3)
+        )
+    if not by_mode:
+        raise ValueError("no sweep points to plot")
+    series = [Series(mode, pts) for mode, pts in by_mode.items()]
+    os.makedirs(out_dir, exist_ok=True)
+    svg = os.path.join(out_dir, f"{stem}.svg")
+    written = [render_svg(
+        series, svg, title=f"latency-vs-load knee ({metric})",
+        xlabel="offered load (req/s)", ylabel=f"{metric} (ms)",
+    )]
+    png = _maybe_png(
+        series, os.path.join(out_dir, f"{stem}.png"),
+        title=f"latency-vs-load knee ({metric})",
+        xlabel="offered load (req/s)", ylabel=f"{metric} (ms)",
+    )
+    if png:
+        written.append(png)
+    return written
+
+
+def crossover_figure(
+    records: Sequence[Dict[str, object]],
+    out_dir: str,
+    stem: str = "backend-crossover",
+) -> List[str]:
+    """Backend-crossover: payload size (log x) vs mean leg latency per
+    restructuring backend — the DSA/DRX/XDMA/planner comparison."""
+    by_backend: Dict[str, List[Tuple[float, float]]] = {}
+    for record in records:
+        by_backend.setdefault(str(record["backend"]), []).append(
+            (float(record["payload_bytes"]), float(record["mean_s"]) * 1e6)
+        )
+    if not by_backend:
+        raise ValueError("no crossover records to plot")
+    series = [Series(backend, pts) for backend, pts in by_backend.items()]
+    os.makedirs(out_dir, exist_ok=True)
+    svg = os.path.join(out_dir, f"{stem}.svg")
+    written = [render_svg(
+        series, svg, title="restructuring-backend crossover",
+        xlabel="payload (bytes, log10 ticks)", ylabel="mean leg (us)",
+        log_x=True,
+    )]
+    png = _maybe_png(
+        series, os.path.join(out_dir, f"{stem}.png"),
+        title="restructuring-backend crossover",
+        xlabel="payload (bytes)", ylabel="mean leg (us)", log_x=True,
+    )
+    if png:
+        written.append(png)
+    return written
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.plot",
+        description="Render figures from sweep/orchestrator artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    knee = sub.add_parser("knee", help="latency-vs-load knee figure")
+    knee.add_argument("--input", required=True,
+                      help="sweep JSON / JSONL / orchestrator .db")
+    knee.add_argument("--out-dir", required=True)
+    knee.add_argument("--stem", default="knee")
+    knee.add_argument("--metric", default="p99_s",
+                      choices=("p50_s", "p95_s", "p99_s", "mean_s"))
+    cross = sub.add_parser("crossover", help="backend-crossover figure")
+    cross.add_argument("--input", required=True,
+                       help="JSON of {payload_bytes, backend, mean_s}")
+    cross.add_argument("--out-dir", required=True)
+    cross.add_argument("--stem", default="backend-crossover")
+    args = parser.parse_args(argv)
+
+    if args.command == "knee":
+        written = knee_figure(
+            load_sweep_points(args.input), args.out_dir,
+            stem=args.stem, metric=args.metric,
+        )
+    else:
+        written = crossover_figure(
+            load_crossover_records(args.input), args.out_dir,
+            stem=args.stem,
+        )
+    for path in written:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

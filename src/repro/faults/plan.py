@@ -33,6 +33,9 @@ class FaultPlan:
     kernel: FaultPolicy = FaultPolicy()
     fabric: FaultPolicy = FaultPolicy()
     notify: FaultPolicy = FaultPolicy()
+    # Planner-backend engines (active only when repro.backends is armed).
+    dsa: FaultPolicy = FaultPolicy()
+    xdma: FaultPolicy = FaultPolicy()
     # Watchdog timeouts + bounded-backoff retry per operation class.
     dma_timeout_s: float = 50e-3
     dma_retry: RetryPolicy = RetryPolicy()
@@ -58,4 +61,6 @@ class FaultPlan:
             "kernel": self.kernel,
             "fabric": self.fabric,
             "notify": self.notify,
+            "dsa": self.dsa,
+            "xdma": self.xdma,
         }

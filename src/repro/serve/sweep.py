@@ -22,12 +22,15 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..core.chain import AppChain
 from ..core.placement import Mode, SystemConfig
 from ..core.system import DMXSystem
 from ..faults import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.planner import PlannerConfig
 from .arrivals import make_arrivals
 from .batching import BatchingConfig
 from .frontend import (
@@ -80,6 +83,9 @@ class SweepConfig:
     chain_factory: Optional[Callable[[], List[AppChain]]] = None
     artifact_dir: Optional[str] = None
     batching: Optional[BatchingConfig] = None
+    #: Arms the cost-based per-leg backend planner at every grid point
+    #: (None keeps the classic DRX-with-CPU-fallback routing).
+    backends: Optional["PlannerConfig"] = None
 
     def __post_init__(self) -> None:
         if not self.offered_loads_rps:
@@ -267,7 +273,8 @@ def run_sweep_point(
     load = config.offered_loads_rps[point_index]
     chains = config.build_chains()
     system = DMXSystem(
-        chains, SystemConfig(mode=mode), faults=config.faults
+        chains, SystemConfig(mode=mode), faults=config.faults,
+        backends=config.backends,
     )
     per_tenant = load / len(chains)
     tenants = [

@@ -29,6 +29,7 @@ from .spans import ROOT_PARENT, Span
 __all__ = [
     "phase_totals",
     "run_phase_totals",
+    "backend_attribution",
     "critical_path",
     "critical_path_summary",
     "on_critical_path",
@@ -67,6 +68,40 @@ def phase_totals(
 def run_phase_totals(artifact: RunArtifact) -> Dict[str, float]:
     """Phase totals across every request in the artifact."""
     return phase_totals(artifact.spans)
+
+
+def backend_attribution(artifact: RunArtifact) -> Dict[str, Dict[str, float]]:
+    """Per-backend phased time: ``{backend: {phase: seconds}}``.
+
+    Motion spans carry a ``backend`` attribute when the per-leg planner
+    routed them; every phased descendant (movement, restructuring,
+    control, recovery) of such a span is charged to that backend — the
+    backend that *planned* the leg, so a leg that fell back to CPU still
+    bills its recovery and degraded execution to the planned backend.
+    Empty for planner-free runs. Because every non-kernel phase span the
+    system emits lives under a motion span, per-phase sums across
+    backends reconcile with :func:`run_phase_totals` exactly (kernel
+    phase excepted — kernels are not motion legs).
+    """
+    children: Dict[int, List[Span]] = {}
+    for span in artifact.spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    def collect(span_id: int, bucket: Dict[str, float]) -> None:
+        for child in children.get(span_id, []):
+            if child.phase and not child.abandoned:
+                bucket[child.phase] = (
+                    bucket.get(child.phase, 0.0) + child.duration
+                )
+            collect(child.span_id, bucket)
+
+    out: Dict[str, Dict[str, float]] = {}
+    for span in artifact.spans:
+        backend = span.attrs.get("backend")
+        if span.category != "stage" or not backend:
+            continue
+        collect(span.span_id, out.setdefault(str(backend), {}))
+    return out
 
 
 def _tree(
@@ -237,6 +272,21 @@ def render_report(
     lines.append("")
     lines.append("phase breakdown (all requests)")
     lines.extend(_table(list(totals.items()), grand))
+
+    backends = backend_attribution(artifact)
+    if backends:
+        # Only planner-armed runs carry backend attrs on motion spans;
+        # planner-free artifacts keep the report unchanged.
+        lines.append("")
+        lines.append("backend attribution (planner-routed motion legs)")
+        for kind in sorted(backends):
+            per_phase = backends[kind]
+            total = sum(per_phase.values())
+            detail = "  ".join(
+                f"{phase}={seconds * 1e3:.3f}ms"
+                for phase, seconds in sorted(per_phase.items())
+            )
+            lines.append(f"  {kind:<8} {_fmt_s(total)}  {detail}")
 
     attribution = critical_path_summary(artifact)
     attributed = sum(attribution.values())

@@ -1,0 +1,271 @@
+"""System-level planner behaviour: routing decisions on real runs,
+edge cases (nothing eligible, breakers, faults), and the telemetry /
+reporting contracts the planner adds."""
+
+import pytest
+
+from repro.accelerators.base import AcceleratorSpec
+from repro.backends import (
+    BACKEND_CPU,
+    BACKEND_DRX,
+    BACKEND_DSA,
+    BACKEND_XDMA,
+    PlannerConfig,
+)
+from repro.core import (
+    AppChain,
+    DMXSystem,
+    KernelStage,
+    Mode,
+    MotionStage,
+    SystemConfig,
+)
+from repro.faults import FaultPlan
+from repro.faults.injector import FaultPolicy
+from repro.profiles import WorkProfile
+from repro.resilience import ResilienceConfig
+
+KB = 1024
+MB = 1024 * 1024
+
+_SPEC = AcceleratorSpec(name="accel", domain="d", speedup_vs_cpu=6.0)
+
+
+def _affine(nbytes):
+    return WorkProfile(
+        name="affine", bytes_in=nbytes, bytes_out=nbytes,
+        elements=max(1, nbytes // 4), ops_per_element=2.0,
+        branch_fraction=0.02, gather_fraction=0.0,
+    )
+
+
+def _gathery(nbytes):
+    return WorkProfile(
+        name="gathery", bytes_in=2 * nbytes, bytes_out=nbytes,
+        elements=max(1, nbytes // 4), ops_per_element=20.0,
+        gather_fraction=0.3,
+    )
+
+
+def _chain(payload=64 * KB, profile=None):
+    profile = profile if profile is not None else _affine(payload)
+    return AppChain(
+        name="app",
+        stages=[
+            KernelStage("k1", _SPEC, cpu_time_s=6e-4, accel_time_s=1e-4,
+                        output_bytes=payload),
+            MotionStage("m", profile, input_bytes=payload,
+                        output_bytes=payload, cpu_threads=4),
+            KernelStage("k2", _SPEC, cpu_time_s=6e-4, accel_time_s=1e-4,
+                        output_bytes=max(1, payload // 4)),
+        ],
+    )
+
+
+def _system(chain=None, *, candidates=None, faults=None, resilience=None):
+    backends = PlannerConfig(
+        **({"candidates": candidates} if candidates else {})
+    )
+    return DMXSystem(
+        [chain if chain is not None else _chain()],
+        SystemConfig(mode=Mode.BUMP_IN_WIRE),
+        faults=faults,
+        resilience=resilience,
+        backends=backends,
+    )
+
+
+def _trip(system, target):
+    """Open ``target``'s breaker before the run (4 failures > threshold
+    at the default min_observations)."""
+    for _ in range(4):
+        system.control.record(target, False, 1.0)
+    assert not system.control.admit(target).allow
+
+
+# -- decision recording --------------------------------------------------
+
+
+def test_decisions_land_on_the_request_record():
+    result = _system().run_latency(requests_per_app=1)
+    (record,) = result.records
+    assert record.backend == [BACKEND_XDMA]
+    assert "<" in record.planner_reason[0]  # the full ranking string
+    assert record.planner_reason[0].startswith("xdma:")
+
+
+def test_recovery_summary_gains_backends_key_only_when_armed():
+    armed = _system().run_latency(requests_per_app=1).recovery_summary()
+    assert set(armed) == {
+        "requests", "retries", "fallbacks", "rerouted", "failures",
+        "backends",
+    }
+    assert armed["backends"][BACKEND_XDMA]["executed"] == 1
+    plain = DMXSystem(
+        [_chain()], SystemConfig(mode=Mode.BUMP_IN_WIRE)
+    ).run_latency(requests_per_app=1).recovery_summary()
+    assert set(plain) == {
+        "requests", "retries", "fallbacks", "rerouted", "failures",
+    }
+
+
+def test_contention_flips_the_choice_mid_run():
+    """Pipelined requests pile onto the cheapest backend until its queue
+    depth prices it above the runner-up — the live-contention flip."""
+    result = _system(_chain(4 * MB)).run_throughput(requests_per_app=16)
+    used = {kind for r in result.records for kind in r.backend}
+    assert BACKEND_XDMA in used  # unloaded winner
+    assert BACKEND_DRX in used  # absorbs the overflow once xdma queues
+    assert len(used) >= 2, f"no contention flip: {used}"
+
+
+def test_batch_members_agree_on_one_backend():
+    system = _system(_chain(1 * MB))
+    records = []
+
+    def driver():
+        batch = yield from system.submit_batch(0, 4)
+        records.extend(batch)
+
+    system.sim.spawn(driver())
+    system.sim.run()
+    assert len(records) == 4
+    assert len({tuple(r.backend) for r in records}) == 1
+    assert len({tuple(r.planner_reason) for r in records}) == 1
+    # The batch planned its motion leg exactly once.
+    planned = sum(s["planned"] for s in system.backend_stats.values())
+    assert planned == 1
+
+
+# -- nothing eligible ----------------------------------------------------
+
+
+def test_no_eligible_backend_degrades_to_cpu():
+    """XDMA shape-ineligible + DSA breaker open: the planner runs out of
+    candidates and the CPU fallback catches the leg, with the breaker
+    skip recorded as a reroute."""
+    chain = _chain(64 * KB, _gathery(64 * KB))  # never XDMA-expressible
+    system = _system(
+        chain, candidates=(BACKEND_XDMA, BACKEND_DSA),
+        resilience=ResilienceConfig(),
+    )
+    _trip(system, "dsa")
+    result = system.run_latency(requests_per_app=1)
+    (record,) = result.records
+    assert record.backend == [BACKEND_CPU]
+    reason = record.planner_reason[0]
+    assert reason.startswith("no-eligible-backend")
+    assert "xdma:ineligible" in reason
+    assert "dsa:breaker-open" in reason
+    assert record.rerouted  # steered around the open breaker
+    assert system.backend_stats[BACKEND_DSA]["rerouted"] == 1
+    assert system.backend_stats[BACKEND_CPU]["executed"] == 1
+
+
+def test_open_breaker_reroutes_to_next_cheapest():
+    """With the cheapest backend's breaker open the planner steers to
+    the runner-up before any deadline budget is burned."""
+    system = _system(_chain(1 * MB), resilience=ResilienceConfig())
+    _trip(system, "xdma")
+    result = system.run_latency(requests_per_app=1)
+    (record,) = result.records
+    assert record.backend != [BACKEND_XDMA]
+    assert "xdma:breaker-open" in record.planner_reason[0]
+    assert record.rerouted
+    assert system.backend_stats[BACKEND_XDMA]["rerouted"] == 1
+    assert system.control.summary()["reroutes"] == 1
+
+
+# -- faults at the new sites ---------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kind,profile_of,site_policy",
+    [
+        (BACKEND_DSA, _gathery, "dsa"),
+        (BACKEND_XDMA, _affine, "xdma"),
+    ],
+)
+def test_backend_fault_falls_back_to_cpu(kind, profile_of, site_policy):
+    payload = 64 * KB
+    plan = FaultPlan(**{site_policy: FaultPolicy(fail_p=1.0)})
+    system = _system(
+        _chain(payload, profile_of(payload)), candidates=(kind,),
+        faults=plan,
+    )
+    result = system.run_latency(requests_per_app=1)
+    (record,) = result.records
+    assert record.backend == [kind]  # the plan picked the engine...
+    assert record.fell_back  # ...the fault pushed it to CPU
+    assert not record.failed
+    assert record.phases["recovery"] > 0
+    assert system.backend_stats[kind]["fallen_back"] == 1
+    assert system.backend_stats[BACKEND_CPU]["executed"] == 1
+
+
+def test_backend_hang_trips_the_deadline():
+    plan = FaultPlan(
+        dsa=FaultPolicy(hang_p=1.0), drx_deadline_s=5e-3,
+    )
+    system = _system(
+        _chain(64 * KB, _gathery(64 * KB)), candidates=(BACKEND_DSA,),
+        faults=plan,
+    )
+    result = system.run_latency(requests_per_app=1)
+    (record,) = result.records
+    assert record.fell_back
+    assert record.phases["recovery"] >= 5e-3
+    assert system.backend_stats[BACKEND_DSA]["fallen_back"] == 1
+
+
+def test_fault_free_plan_composition_is_inert():
+    """A FaultPlan with the new sites left at zero probability must not
+    perturb the planner's fault-free decisions."""
+    plain = _system(_chain(1 * MB)).run_latency(requests_per_app=2)
+    faulted = _system(
+        _chain(1 * MB), faults=FaultPlan()
+    ).run_latency(requests_per_app=2)
+    assert [r.backend for r in plain.records] == [
+        r.backend for r in faulted.records
+    ]
+    assert [r.end - r.start for r in plain.records] == pytest.approx(
+        [r.end - r.start for r in faulted.records]
+    )
+
+
+# -- telemetry attribution ----------------------------------------------
+
+
+def test_backend_attribution_reconciles_with_phase_accounting(tmp_path):
+    from repro.telemetry import write_artifact
+    from repro.telemetry.artifact import load_artifact
+    from repro.telemetry.report import backend_attribution
+
+    system = _system(_chain(1 * MB))
+    result = system.run_throughput(requests_per_app=6)
+    path = str(tmp_path / "run.json")
+    write_artifact(path, system.telemetry, {"kind": "test"})
+    attribution = backend_attribution(load_artifact(path))
+    assert attribution  # planner-routed legs present
+    assert set(attribution) <= set(system.backend_stats)
+    # Restructuring accrues only on planned motion legs, so the
+    # per-backend buckets must reconcile with the request-phase ledger.
+    attributed = sum(
+        bucket.get("restructuring", 0.0) for bucket in attribution.values()
+    )
+    booked = sum(r.phases["restructuring"] for r in result.records)
+    assert attributed == pytest.approx(booked, abs=1e-9)
+
+
+def test_report_cli_renders_backend_section(tmp_path, capsys):
+    from repro.telemetry import write_artifact
+    from repro.telemetry.__main__ import main as report_main
+
+    system = _system(_chain(1 * MB))
+    system.run_latency(requests_per_app=2)
+    path = str(tmp_path / "run.json")
+    write_artifact(path, system.telemetry, {"kind": "test"})
+    assert report_main([path]) == 0
+    out = capsys.readouterr().out
+    assert "backend attribution" in out
+    assert "xdma" in out

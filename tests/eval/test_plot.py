@@ -1,0 +1,140 @@
+"""`python -m repro.eval.plot`: figure rendering from checked-in
+miniature artifacts — every input shape, deterministic output bytes,
+no matplotlib required."""
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.eval.plot import (
+    Series,
+    crossover_figure,
+    knee_figure,
+    load_crossover_records,
+    load_sweep_points,
+    main,
+    render_svg,
+)
+
+DATA = os.path.join(os.path.dirname(__file__), "data")
+MINI_SWEEP = os.path.join(DATA, "mini_sweep.json")
+MINI_CROSSOVER = os.path.join(DATA, "mini_crossover.json")
+
+
+def test_load_sweep_points_json():
+    points = load_sweep_points(MINI_SWEEP)
+    assert len(points) == 6
+    assert {p["mode"] for p in points} == {"multi-axl", "bump-in-wire"}
+
+
+def test_load_sweep_points_jsonl(tmp_path):
+    points = load_sweep_points(MINI_SWEEP)
+    path = tmp_path / "points.jsonl"
+    path.write_text("\n".join(json.dumps(p) for p in points) + "\n")
+    assert load_sweep_points(str(path)) == points
+
+
+def test_load_sweep_points_sqlite(tmp_path):
+    """The orchestrator-store path: done rows' result payloads."""
+    points = load_sweep_points(MINI_SWEEP)
+    db = tmp_path / "store.db"
+    with sqlite3.connect(db) as conn:
+        conn.execute(
+            "CREATE TABLE experiments ("
+            "point_key TEXT PRIMARY KEY, kind TEXT NOT NULL, "
+            "spec_json TEXT NOT NULL, "
+            "status TEXT NOT NULL DEFAULT 'pending', "
+            "worker TEXT NOT NULL DEFAULT '', "
+            "attempts INTEGER NOT NULL DEFAULT 0, "
+            "result_json TEXT, error TEXT, "
+            "updated_at REAL NOT NULL DEFAULT 0)"
+        )
+        for index, point in enumerate(points):
+            conn.execute(
+                "INSERT INTO experiments "
+                "(point_key, kind, spec_json, status, result_json) "
+                "VALUES (?, 'sweep', '{}', 'done', ?)",
+                (f"k{index:04d}", json.dumps(point)),
+            )
+        # A pending row must not leak into the figure.
+        conn.execute(
+            "INSERT INTO experiments (point_key, kind, spec_json, status) "
+            "VALUES ('k9999', 'sweep', '{}', 'pending')"
+        )
+    loaded = load_sweep_points(str(db))
+    assert loaded == points
+
+
+def test_knee_figure_renders_svg(tmp_path):
+    written = knee_figure(load_sweep_points(MINI_SWEEP), str(tmp_path))
+    assert str(tmp_path / "knee.svg") in written
+    svg = (tmp_path / "knee.svg").read_text()
+    assert svg.startswith("<svg")
+    assert "multi-axl" in svg and "bump-in-wire" in svg
+    assert "offered load" in svg
+
+
+def test_crossover_figure_renders_svg(tmp_path):
+    written = crossover_figure(
+        load_crossover_records(MINI_CROSSOVER), str(tmp_path)
+    )
+    assert str(tmp_path / "backend-crossover.svg") in written
+    svg = (tmp_path / "backend-crossover.svg").read_text()
+    for backend in ("dsa", "drx", "xdma", "planner"):
+        assert backend in svg
+
+
+def test_svg_output_is_deterministic(tmp_path):
+    a = knee_figure(load_sweep_points(MINI_SWEEP), str(tmp_path / "a"))
+    b = knee_figure(load_sweep_points(MINI_SWEEP), str(tmp_path / "b"))
+    assert (tmp_path / "a" / "knee.svg").read_bytes() == (
+        tmp_path / "b" / "knee.svg"
+    ).read_bytes()
+    assert os.path.basename(a[0]) == os.path.basename(b[0])
+
+
+def test_render_svg_rejects_empty():
+    with pytest.raises(ValueError):
+        render_svg([], "/tmp/never.svg", "t", "x", "y")
+    with pytest.raises(ValueError):
+        knee_figure([], "/tmp/never")
+
+
+def test_cli_knee_and_crossover(tmp_path, capsys):
+    assert main([
+        "knee", "--input", MINI_SWEEP,
+        "--out-dir", str(tmp_path), "--metric", "mean_s",
+    ]) == 0
+    assert main([
+        "crossover", "--input", MINI_CROSSOVER, "--out-dir", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "knee.svg" in out and "backend-crossover.svg" in out
+    assert (tmp_path / "knee.svg").exists()
+    assert (tmp_path / "backend-crossover.svg").exists()
+
+
+def test_series_sorts_points():
+    s = Series("x", [(3, 1.0), (1, 2.0), (2, 0.5)])
+    assert [x for x, _ in s.points] == [1.0, 2.0, 3.0]
+
+
+def test_end_to_end_from_real_sweep(tmp_path):
+    """A real (tiny) sweep's to_json feeds the knee figure unchanged."""
+    from repro.core.placement import Mode
+    from repro.serve.sweep import SweepConfig, run_sweep
+
+    result = run_sweep(SweepConfig(
+        offered_loads_rps=(60.0, 180.0),
+        requests_per_tenant=3,
+        modes=(Mode.BUMP_IN_WIRE,),
+        sample_period_s=None,
+        seed=7,
+    ))
+    path = tmp_path / "sweep.json"
+    path.write_text(result.to_json())
+    written = knee_figure(load_sweep_points(str(path)), str(tmp_path))
+    assert (tmp_path / "knee.svg").exists()
+    assert written
