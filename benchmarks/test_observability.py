@@ -1,0 +1,190 @@
+"""Observation-plane acceptance pins: overhead, identity, attribution.
+
+ISSUE 8's measured acceptance criteria, on the serving-knee scenario:
+
+* arming rollup + alert evaluation adds **under 10%** wall-clock
+  overhead to a serving run (the observation pass is post hoc and
+  cheap relative to the DES);
+* a fault-free run with observation armed is **byte-identical** to the
+  unarmed run — same sweep JSON, and the armed artifact's bytes are
+  the unarmed artifact's bytes plus appended observation rows;
+* a seeded DRX hardware regression produces a burn-rate alert whose
+  root cause names a DRX restructuring site, and ``telemetry diff``
+  ranks that same site-keyed cause first.
+"""
+
+import os
+import time
+from dataclasses import replace
+
+from repro.core import Mode, SystemConfig
+from repro.drx.microarch import DEFAULT_DRX
+from repro.serve import ShedPolicy, SweepConfig, run_sweep
+from repro.telemetry import (
+    AlertConfig,
+    ObservationConfig,
+    RollupConfig,
+    diff_runs,
+    load_artifact,
+)
+from repro.telemetry.alerts import observe_run
+
+CPU_MODE = Mode.MULTI_AXL
+DMX_MODE = Mode.BUMP_IN_WIRE
+
+OBSERVED = ObservationConfig(
+    rollup=RollupConfig(window_s=10e-3), alerts=AlertConfig()
+)
+
+
+def knee_scenario(**kwargs):
+    """The serving-knee sweep shape (fixed grid: the pin is about
+    observation behavior, not knee placement)."""
+    defaults = dict(
+        offered_loads_rps=(60.0, 120.0, 180.0),
+        benchmark="sound-detection",
+        n_tenants=2,
+        modes=(CPU_MODE, DMX_MODE),
+        requests_per_tenant=32,
+        arrival_kind="poisson",
+        seed=0,
+        slo_s=50e-3,
+        max_inflight=8,
+        shed=ShedPolicy.QUEUE,
+    )
+    defaults.update(kwargs)
+    return SweepConfig(**defaults)
+
+
+# -- overhead ------------------------------------------------------------------
+
+
+def test_observation_overhead_under_ten_percent():
+    """Rollup + alert evaluation must stay under 10% of the serving
+    run's own wall-clock on the knee scenario."""
+    from repro.serve.frontend import (
+        FrontendConfig, ServingFrontend, TenantSpec,
+    )
+    from repro.serve.arrivals import make_arrivals
+    from repro.core.system import DMXSystem
+    from repro.workloads import build_benchmark_chains
+
+    def run_once():
+        chains = build_benchmark_chains("sound-detection", 2)
+        system = DMXSystem(chains, SystemConfig(mode=DMX_MODE))
+        tenants = [
+            TenantSpec(
+                name=chain.name,
+                arrivals=make_arrivals("poisson", 90.0),
+                n_requests=32,
+                queue_capacity=256,
+            )
+            for chain in chains
+        ]
+        frontend = ServingFrontend(
+            system, tenants,
+            FrontendConfig(max_inflight=8, shed=ShedPolicy.QUEUE,
+                           slo_s=50e-3),
+            seed=0,
+        )
+        t0 = time.perf_counter()
+        result = frontend.run()
+        sim_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        observe_run(result.telemetry, OBSERVED, slo_s=50e-3)
+        obs_s = time.perf_counter() - t0
+        return sim_s, obs_s
+
+    run_once()  # warm caches/JIT-free but import-heavy paths
+    sims, obss = zip(*(run_once() for _ in range(3)))
+    sim_s, obs_s = min(sims), min(obss)
+    assert obs_s < 0.10 * sim_s, (
+        f"observation pass took {obs_s * 1e3:.1f}ms vs "
+        f"{sim_s * 1e3:.1f}ms serving run ({obs_s / sim_s:.1%})"
+    )
+
+
+# -- identity ------------------------------------------------------------------
+
+
+def test_armed_run_is_byte_identical_to_unarmed(tmp_path, run_once):
+    plain_dir = str(tmp_path / "plain")
+    armed_dir = str(tmp_path / "armed")
+    plain = run_once(
+        run_sweep, knee_scenario(artifact_dir=plain_dir)
+    )
+    armed = run_sweep(
+        knee_scenario(artifact_dir=armed_dir, observation=OBSERVED)
+    )
+    assert plain.to_json() == armed.to_json()
+    for name in sorted(os.listdir(plain_dir)):
+        if not name.endswith(".jsonl"):
+            continue
+        with open(os.path.join(plain_dir, name), "rb") as fh:
+            plain_bytes = fh.read()
+        with open(os.path.join(armed_dir, name), "rb") as fh:
+            armed_bytes = fh.read()
+        assert armed_bytes.startswith(plain_bytes), name
+        assert len(armed_bytes) > len(plain_bytes), name
+
+
+# -- seeded regression: alert attribution + diff ranking -----------------------
+
+
+def regression_pair(tmp_path):
+    """(baseline artifact, regressed artifact): same workload/seed, the
+    regressed run's DRX derated 12x (clock + DRAM bandwidth)."""
+    slow_drx = SystemConfig(drx=replace(
+        DEFAULT_DRX,
+        frequency_hz=DEFAULT_DRX.frequency_hz / 12,
+        dram_bandwidth=DEFAULT_DRX.dram_bandwidth / 12,
+    ))
+    arts = []
+    for tag, system in (("base", None), ("slow", slow_drx)):
+        d = str(tmp_path / tag)
+        run_sweep(SweepConfig(
+            offered_loads_rps=(180.0,),
+            modes=(DMX_MODE,),
+            requests_per_tenant=24,
+            seed=0,
+            slo_s=12e-3,
+            shed=ShedPolicy.QUEUE,
+            artifact_dir=d,
+            observation=ObservationConfig(
+                rollup=RollupConfig(window_s=10e-3),
+                alerts=AlertConfig(budget=0.10),
+            ),
+            system=system,
+        ))
+        arts.append(load_artifact(
+            os.path.join(d, f"{DMX_MODE.value}-pt0.jsonl")
+        ))
+    return arts
+
+
+def test_seeded_drx_regression_fires_attributed_alert(tmp_path, run_once):
+    baseline, regressed = run_once(regression_pair, tmp_path)
+
+    # the healthy baseline burns no budget
+    assert [a for a in baseline.alerts if a.state == "fire"] == []
+
+    fires = [a for a in regressed.alerts if a.state == "fire"]
+    assert fires, "regressed run must fire at least one burn-rate alert"
+    for fire in fires:
+        # every fire is pinned on a DRX restructuring site, not on the
+        # queueing symptom the slowdown induces
+        assert fire.phase == "restructuring", fire.cause
+        assert ".drx" in fire.site, fire.cause
+        assert fire.share > 0.0
+        assert "restructuring" in fire.describe()
+
+    # ...and the differential diagnosis ranks the same cause first
+    report = diff_runs(baseline, regressed)
+    top = report["verdict"]["top_regression"]
+    assert top.startswith("restructuring@"), report["verdict"]
+    assert ".drx" in top
+    assert report["verdict"]["delta_per_request_s"] > 0
+    fired_causes = {f.cause for f in fires}
+    assert top in fired_causes or any(
+        c.startswith("restructuring@") for c in fired_causes
+    )

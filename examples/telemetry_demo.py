@@ -1,16 +1,23 @@
 #!/usr/bin/env python
-"""Telemetry demo: run → artifact → report → Perfetto trace.
+"""Telemetry demo: run → artifact → report → alerts → diff → dashboard.
 
-Runs a small serving sweep (Sound Detection, CPU-restructuring baseline
-vs DMX bump-in-the-wire) with run artifacts enabled, then shows what
-the observability layer gives you for free:
+Part 1 runs a small serving sweep (Sound Detection, CPU-restructuring
+baseline vs DMX bump-in-the-wire) with run artifacts enabled, then
+shows what the observability layer gives you for free:
 
 * one JSON-lines run artifact + one Chrome-trace/Perfetto export per
   (mode, load) grid point — deterministic, byte-identical per seed;
-* the text report (`python -m repro.telemetry ARTIFACT.jsonl`):
+* the text report (`python -m repro.telemetry report ARTIFACT.jsonl`):
   phase-breakdown table, critical-path attribution, and per-request
   waterfalls;
 * schema validation (`--validate`).
+
+Part 2 arms the SLO observation plane and *breaks the hardware*: the
+same workload runs once healthy and once with the DRX derated 12x.
+The regressed run burns its SLO budget, the multi-window burn-rate
+alert fires with a root cause attributed to the DRX restructuring
+site, `telemetry diff` ranks that cause first, and the windowed
+dashboard renders with the alert marked on every panel.
 
 Usage::
 
@@ -19,11 +26,19 @@ Usage::
 
 import os
 import sys
+from dataclasses import replace
 
-from repro.core import Mode
+from repro.core import Mode, SystemConfig
+from repro.drx.microarch import DEFAULT_DRX
 from repro.serve import ShedPolicy, SweepConfig, run_sweep
 from repro.telemetry import (
+    AlertConfig,
+    ObservationConfig,
+    RollupConfig,
+    diff_runs,
     load_artifact,
+    render_dashboard,
+    render_diff,
     render_report,
     validate_artifact,
 )
@@ -71,6 +86,75 @@ def main() -> None:
     print("=" * 72)
     print("open any .trace.json at https://ui.perfetto.dev to browse "
           "the span trees interactively.")
+
+    observe(out_dir)
+
+
+def observe(out_dir: str) -> None:
+    """Part 2: fire a burn-rate alert, explain it, diff, dashboard."""
+    observation = ObservationConfig(
+        rollup=RollupConfig(window_s=10e-3),
+        alerts=AlertConfig(budget=0.10),
+    )
+    # the injected hardware regression: DRX clock and DRAM bandwidth
+    # derated 12x — the restructuring offload crawls, queues back up
+    slow_drx = SystemConfig(drx=replace(
+        DEFAULT_DRX,
+        frequency_hz=DEFAULT_DRX.frequency_hz / 12,
+        dram_bandwidth=DEFAULT_DRX.dram_bandwidth / 12,
+    ))
+
+    print()
+    print("-- part 2: SLO observation plane ".ljust(72, "-"))
+    artifacts = {}
+    for tag, system in (("baseline", None), ("regressed", slow_drx)):
+        d = os.path.join(out_dir, tag)
+        print(f"running {tag} DMX point (observation armed) -> {d}/")
+        run_sweep(SweepConfig(
+            offered_loads_rps=(180.0,),
+            benchmark="sound-detection",
+            n_tenants=2,
+            modes=(DMX_MODE,),
+            requests_per_tenant=24,
+            seed=0,
+            slo_s=12e-3,
+            max_inflight=8,
+            shed=ShedPolicy.QUEUE,
+            artifact_dir=d,
+            observation=observation,
+            system=system,
+        ))
+        artifacts[tag] = os.path.join(d, f"{DMX_MODE.value}-pt0.jsonl")
+
+    regressed = load_artifact(artifacts["regressed"])
+    fires = [a for a in regressed.alerts if a.state == "fire"]
+    if not fires:
+        raise SystemExit("expected the regressed run to fire an alert")
+    print()
+    print(f"the regressed run fired {len(fires)} burn-rate alert(s):")
+    for alert in fires:
+        print(f"  t=+{alert.time * 1e3:.0f}ms  fast_burn={alert.fast_burn:.1f}x "
+              f"slow_burn={alert.slow_burn:.1f}x")
+        print(f"    {alert.describe()}")
+
+    print()
+    print("differential diagnosis (baseline vs regressed):")
+    print(f"(same as: python -m repro.telemetry diff "
+          f"{artifacts['baseline']} {artifacts['regressed']})")
+    print("=" * 72)
+    report = diff_runs(
+        load_artifact(artifacts["baseline"]), regressed,
+        a_path=artifacts["baseline"], b_path=artifacts["regressed"],
+    )
+    print(render_diff(report))
+    print("=" * 72)
+    top = report["verdict"]["top_regression"]
+    print(f"verdict matches the injected fault: {top}")
+
+    dash = os.path.join(out_dir, "dashboard.svg")
+    render_dashboard(regressed, dash)
+    print(f"windowed dashboard (p99/goodput/queue/utilization + alert "
+          f"markers): {dash}")
 
 
 if __name__ == "__main__":

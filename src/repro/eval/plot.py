@@ -33,6 +33,7 @@ __all__ = [
     "load_sweep_points",
     "load_crossover_records",
     "render_svg",
+    "compose_svg",
     "knee_figure",
     "crossover_figure",
     "main",
@@ -108,19 +109,21 @@ def _ticks(lo: float, hi: float, n: int = 5) -> List[float]:
     return [lo + (hi - lo) * i / (n - 1) for i in range(n)]
 
 
-def render_svg(
+def _chart_lines(
     series: Sequence[Series],
-    path: str,
     title: str,
     xlabel: str,
     ylabel: str,
     log_x: bool = False,
-) -> str:
-    """Write a line chart as a standalone SVG; returns ``path``.
+    markers: Sequence[Tuple[float, str]] = (),
+) -> List[str]:
+    """One chart's SVG elements on a ``_W`` x ``_H`` canvas (no ``<svg>``
+    wrapper) — shared by the standalone figure writer and the
+    multi-panel dashboard compositor.
 
-    Pure function of its inputs: fixed canvas, fixed palette in sorted
-    label order, fixed-precision coordinates — identical inputs yield
-    byte-identical files on every platform.
+    ``markers`` are ``(x, label)`` vertical annotation lines (the
+    dashboard's alert fire/clear ticks); markers outside the x range are
+    skipped.
     """
     series = sorted(series, key=lambda s: s.label)
     xs = [x for s in series for x, _ in s.points]
@@ -142,11 +145,6 @@ def render_svg(
         return _MT + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
 
     out: List[str] = []
-    out.append(
-        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" '
-        f'height="{_H}" viewBox="0 0 {_W} {_H}" '
-        f'font-family="monospace" font-size="11">'
-    )
     out.append(f'<rect width="{_W}" height="{_H}" fill="white"/>')
     out.append(
         f'<text x="{_W // 2}" y="20" text-anchor="middle" '
@@ -207,6 +205,92 @@ def render_svg(
             f'y2="{ly - 4}" stroke="{color}" stroke-width="1.5"/>'
         )
         out.append(f'<text x="{_ML + 34}" y="{ly}">{s.label}</text>')
+    # Vertical annotation markers (alert fires/clears), drawn on top.
+    for mx, label in markers:
+        if not x_lo <= tx(mx) <= x_hi:
+            continue
+        x = px(mx)
+        out.append(
+            f'<line x1="{_fmt(x)}" y1="{_MT}" x2="{_fmt(x)}" '
+            f'y2="{_MT + plot_h}" stroke="#d62728" '
+            f'stroke-dasharray="4,3"/>'
+        )
+        out.append(
+            f'<text x="{_fmt(x + 3)}" y="{_MT + 12}" '
+            f'fill="#d62728">{label}</text>'
+        )
+    return out
+
+
+def render_svg(
+    series: Sequence[Series],
+    path: str,
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    log_x: bool = False,
+    markers: Sequence[Tuple[float, str]] = (),
+) -> str:
+    """Write a line chart as a standalone SVG; returns ``path``.
+
+    Pure function of its inputs: fixed canvas, fixed palette in sorted
+    label order, fixed-precision coordinates — identical inputs yield
+    byte-identical files on every platform.
+    """
+    out: List[str] = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" '
+        f'height="{_H}" viewBox="0 0 {_W} {_H}" '
+        f'font-family="monospace" font-size="11">'
+    )
+    out.extend(_chart_lines(
+        series, title, xlabel, ylabel, log_x=log_x, markers=markers
+    ))
+    out.append("</svg>")
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write("\n".join(out))
+        fh.write("\n")
+    return path
+
+
+def compose_svg(
+    panels: Sequence[Dict[str, object]],
+    path: str,
+    cols: int = 2,
+) -> str:
+    """Write a multi-panel SVG dashboard; returns ``path``.
+
+    Each panel is the kwargs of :func:`_chart_lines` (``series``,
+    ``title``, ``xlabel``, ``ylabel``, optional ``log_x``/``markers``)
+    rendered onto its own ``_W`` x ``_H`` tile, laid out row-major in a
+    ``cols``-wide grid of ``<g transform="translate(...)">`` groups —
+    the same deterministic primitives as the single figures, so equal
+    inputs compose byte-identically.
+    """
+    if not panels:
+        raise ValueError("nothing to compose: no panels")
+    cols = max(1, min(cols, len(panels)))
+    rows = (len(panels) + cols - 1) // cols
+    total_w, total_h = cols * _W, rows * _H
+    out: List[str] = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{total_w}" '
+        f'height="{total_h}" viewBox="0 0 {total_w} {total_h}" '
+        f'font-family="monospace" font-size="11">'
+    )
+    for index, panel in enumerate(panels):
+        x = (index % cols) * _W
+        y = (index // cols) * _H
+        out.append(f'<g transform="translate({x},{y})">')
+        out.extend(_chart_lines(
+            panel["series"],  # type: ignore[arg-type]
+            str(panel["title"]),
+            str(panel["xlabel"]),
+            str(panel["ylabel"]),
+            log_x=bool(panel.get("log_x", False)),
+            markers=panel.get("markers", ()),  # type: ignore[arg-type]
+        ))
+        out.append("</g>")
     out.append("</svg>")
     with open(path, "w", encoding="utf-8", newline="\n") as fh:
         fh.write("\n".join(out))

@@ -118,7 +118,7 @@ class ControlPlane:
         ).inc()
         t.instant(
             f"breaker_{new.value}", "breaker", actor=breaker.target,
-            **{"from": old.value},
+            state=new.value, **{"from": old.value},
         )
 
     def note_reroute(self, target: str, to: str, request_id: int) -> None:

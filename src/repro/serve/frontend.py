@@ -42,7 +42,11 @@ import math
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Generator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Deque, Dict, Generator, List, Optional, \
+    Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.alerts import ObservationConfig
 
 from ..core.system import DMXSystem, RequestRecord
 from ..resilience.admission import TokenBucket, TokenBucketConfig
@@ -160,6 +164,11 @@ class FrontendConfig:
     brownout: Optional[BrownoutConfig] = None
     batching: Optional[BatchingConfig] = None
     max_affinity_run: Optional[int] = None
+    #: Arms the SLO observation plane (windowed rollups + burn-rate
+    #: alerts). Evaluated strictly *after* the simulation drains, from
+    #: recorded telemetry only — an armed run's simulation, telemetry,
+    #: and summary are byte-identical to an unarmed run's.
+    observation: Optional["ObservationConfig"] = None
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -773,6 +782,18 @@ class ServingFrontend:
         self.sim.run()
         self.telemetry.finalize()
         self.system._record_run_metrics()
+        rollups = None
+        alerts: List = []
+        if self.config.observation is not None:
+            # Post hoc by construction: the DES has fully drained, so
+            # the observation pass can only read what the run recorded.
+            from ..telemetry.alerts import observe_run
+
+            rollups, alerts = observe_run(
+                self.telemetry,
+                self.config.observation,
+                slo_s=self.config.slo_s,
+            )
         return ServeResult(
             tenants=self._stats,
             latency=self._latency,
@@ -781,4 +802,6 @@ class ServingFrontend:
             slo_s=self.config.slo_s,
             records=self._records,
             telemetry=self.telemetry,
+            rollups=rollups,
+            alerts=alerts,
         )

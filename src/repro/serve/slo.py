@@ -28,7 +28,7 @@ from ..telemetry.metrics import time_weighted_mean
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..core.system import RequestRecord
-    from ..telemetry import Telemetry
+    from ..telemetry import AlertEvent, RunRollups, Telemetry
 
 __all__ = [
     "P2Quantile",
@@ -282,6 +282,11 @@ class ServeResult:
     #: The run's telemetry (spans + metrics); write it out with
     #: :func:`repro.telemetry.write_artifact`.
     telemetry: Optional["Telemetry"] = None
+    #: Observation-plane output (windowed rollups + burn-rate alert
+    #: timeline), computed post hoc when the frontend's ``observation``
+    #: config is armed. Never feeds back into the run or ``to_dict()``.
+    rollups: Optional["RunRollups"] = None
+    alerts: List["AlertEvent"] = field(default_factory=list)
 
     # -- aggregate counters --------------------------------------------------
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..core.chain import AppChain
@@ -31,6 +31,8 @@ from ..faults import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..backends.planner import PlannerConfig
+    from ..telemetry.alerts import ObservationConfig
+    from ..telemetry.sampling import SamplingConfig
 from .arrivals import make_arrivals
 from .batching import BatchingConfig
 from .frontend import (
@@ -86,6 +88,16 @@ class SweepConfig:
     #: Arms the cost-based per-leg backend planner at every grid point
     #: (None keeps the classic DRX-with-CPU-fallback routing).
     backends: Optional["PlannerConfig"] = None
+    #: Arms the SLO observation plane at every grid point: rollup/alert
+    #: sections land in each point's artifact and ``ServeResult``. Post
+    #: hoc — sweep points and artifact span/metric bytes are unchanged.
+    observation: Optional["ObservationConfig"] = None
+    #: Trace sampling for written artifacts (None writes every trace).
+    sampling: Optional["SamplingConfig"] = None
+    #: Base system config for every grid point (the swept mode is
+    #: substituted in). Lets a sweep inject hardware deltas — e.g. a
+    #: derated DRX — for differential-diagnosis experiments.
+    system: Optional[SystemConfig] = None
 
     def __post_init__(self) -> None:
         if not self.offered_loads_rps:
@@ -240,12 +252,17 @@ def _write_point_artifacts(
     result: ServeResult,
 ) -> None:
     """One grid point's run artifact + Perfetto export on disk."""
-    from ..telemetry import write_artifact, write_chrome_trace
+    from ..telemetry import plan_sampling, write_artifact, write_chrome_trace
 
     os.makedirs(config.artifact_dir, exist_ok=True)
     stem = os.path.join(
         config.artifact_dir, f"{mode.value}-pt{point_index}"
     )
+    plan = None
+    if config.sampling is not None:
+        plan = plan_sampling(
+            result.telemetry, config.sampling, alerts=result.alerts
+        )
     write_artifact(
         f"{stem}.jsonl",
         result.telemetry,
@@ -256,8 +273,14 @@ def _write_point_artifacts(
             "benchmark": config.benchmark,
             "slo_s": config.slo_s,
         },
+        rollups=result.rollups,
+        alerts=result.alerts,
+        sampling=plan,
     )
-    write_chrome_trace(f"{stem}.trace.json", result.telemetry)
+    write_chrome_trace(
+        f"{stem}.trace.json", result.telemetry,
+        rollups=result.rollups, alerts=result.alerts,
+    )
 
 
 def run_sweep_point(
@@ -272,9 +295,13 @@ def run_sweep_point(
     """
     load = config.offered_loads_rps[point_index]
     chains = config.build_chains()
+    base = (
+        replace(config.system, mode=mode)
+        if config.system is not None
+        else SystemConfig(mode=mode)
+    )
     system = DMXSystem(
-        chains, SystemConfig(mode=mode), faults=config.faults,
-        backends=config.backends,
+        chains, base, faults=config.faults, backends=config.backends,
     )
     per_tenant = load / len(chains)
     tenants = [
@@ -296,6 +323,7 @@ def run_sweep_point(
             slo_s=config.slo_s,
             sample_period_s=config.sample_period_s,
             batching=config.batching,
+            observation=config.observation,
         ),
         seed=config.seed,
     )

@@ -12,22 +12,42 @@ possible on every simulated run without rerunning it:
 * :mod:`repro.telemetry.metrics` — counters, gauges, and histograms
   sampled on simulated time (queue depths, utilizations, retries);
 * :mod:`repro.telemetry.artifact` — deterministic JSON-lines run
-  artifacts (``schema: 1``), byte-identical given equal seeds;
+  artifacts (``schema: 2``, v1 still loads), byte-identical given
+  equal seeds;
 * :mod:`repro.telemetry.export` — Chrome trace-event / Perfetto
-  exporter (open any run at ``ui.perfetto.dev``);
+  exporter (open any run at ``ui.perfetto.dev``), with rollup counter
+  tracks and alert instants when the observation plane ran;
 * :mod:`repro.telemetry.report` — per-request waterfalls, phase
   breakdown tables, and critical-path attribution;
-* ``python -m repro.telemetry`` — the report CLI over artifacts.
+* :mod:`repro.telemetry.rollup` / :mod:`repro.telemetry.alerts` — the
+  SLO observation plane: windowed per-tenant/site/backend rollups and
+  the multi-window burn-rate alert engine with root-cause attribution,
+  both computed post hoc so arming them cannot perturb a run;
+* :mod:`repro.telemetry.sampling` — deterministic head-based trace
+  sampling that always keeps incident-relevant traces;
+* :mod:`repro.telemetry.diff` / :mod:`repro.telemetry.dashboard` — the
+  differential-diagnosis engine and the dependency-free SVG dashboard;
+* ``python -m repro.telemetry`` — the report/diff/dashboard CLI.
 """
 
+from .alerts import (
+    AlertConfig,
+    AlertEvent,
+    ObservationConfig,
+    evaluate_alerts,
+    observe_run,
+)
 from .artifact import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
     RunArtifact,
     artifact_lines,
     load_artifact,
     validate_artifact,
     write_artifact,
 )
+from .dashboard import render_dashboard
+from .diff import diff_runs, render_diff
 from .export import chrome_trace, write_chrome_trace
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -44,14 +64,20 @@ from .report import (
     on_critical_path,
     phase_totals,
     render_report,
+    report_dict,
     run_phase_totals,
+    site_critical_path,
+    site_critical_path_summary,
     waterfall,
 )
+from .rollup import RollupConfig, RollupWindow, RunRollups, compute_rollups
 from .runtime import SpanContext, Telemetry
+from .sampling import SamplePlan, SamplingConfig, plan_sampling
 from .spans import ROOT_PARENT, ActiveSpan, Instant, Span, SpanTracker
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
     "RunArtifact",
     "artifact_lines",
     "write_artifact",
@@ -72,7 +98,25 @@ __all__ = [
     "phase_totals",
     "run_phase_totals",
     "render_report",
+    "report_dict",
+    "site_critical_path",
+    "site_critical_path_summary",
     "waterfall",
+    "RollupConfig",
+    "RollupWindow",
+    "RunRollups",
+    "compute_rollups",
+    "AlertConfig",
+    "AlertEvent",
+    "ObservationConfig",
+    "evaluate_alerts",
+    "observe_run",
+    "SamplingConfig",
+    "SamplePlan",
+    "plan_sampling",
+    "diff_runs",
+    "render_diff",
+    "render_dashboard",
     "SpanContext",
     "Telemetry",
     "ROOT_PARENT",

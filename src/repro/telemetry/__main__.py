@@ -1,68 +1,151 @@
-"""Report CLI: render, validate, and export run artifacts.
+"""Telemetry CLI: report, diff, and dashboard over run artifacts.
 
 Usage::
 
-    python -m repro.telemetry ARTIFACT.jsonl               # text report
-    python -m repro.telemetry ARTIFACT.jsonl --max-requests 8
-    python -m repro.telemetry ARTIFACT.jsonl --validate    # schema check
-    python -m repro.telemetry ARTIFACT.jsonl --export trace.json
-                                                           # Perfetto trace
+    python -m repro.telemetry report RUN.jsonl              # text report
+    python -m repro.telemetry report RUN.jsonl --format json
+    python -m repro.telemetry report RUN.jsonl --validate   # schema check
+    python -m repro.telemetry report RUN.jsonl --export trace.json
+    python -m repro.telemetry diff BASELINE.jsonl CANDIDATE.jsonl
+    python -m repro.telemetry diff A.jsonl B.jsonl --format json
+    python -m repro.telemetry dashboard RUN.jsonl -o dash.svg
+
+The bare legacy form ``python -m repro.telemetry RUN.jsonl`` still
+works — a first argument that is not a subcommand is treated as
+``report``'s artifact path.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .artifact import load_artifact, validate_artifact
+from .dashboard import render_dashboard
+from .diff import diff_runs, render_diff
 from .export import write_chrome_trace
-from .report import render_report
+from .report import render_report, report_dict
+
+_COMMANDS = ("report", "diff", "dashboard")
+
+
+def _dumps(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, indent=2)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy spelling: a leading artifact path implies `report`.
+    if argv and argv[0] not in _COMMANDS and argv[0] not in ("-h", "--help"):
+        argv.insert(0, "report")
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry",
-        description="Inspect a telemetry run artifact (JSON-lines).",
+        description="Inspect, diff, and visualize telemetry run artifacts.",
     )
-    parser.add_argument("artifact", help="path to the run artifact")
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render one artifact's report (text or JSON)"
+    )
+    report.add_argument("artifact", help="path to the run artifact")
+    report.add_argument(
         "--validate", action="store_true",
         help="schema-validate the artifact and exit (nonzero on problems)",
     )
-    parser.add_argument(
+    report.add_argument(
         "--export", metavar="PATH",
         help="write a Chrome/Perfetto trace JSON instead of a report",
     )
-    parser.add_argument(
+    report.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report output format (default text)",
+    )
+    report.add_argument(
         "--max-requests", type=int, default=4,
         help="number of per-request waterfalls to render (default 4)",
     )
-    parser.add_argument(
+    report.add_argument(
         "--width", type=int, default=40,
         help="waterfall bar width in characters (default 40)",
     )
+
+    diff = sub.add_parser(
+        "diff", help="differential diagnosis of two run artifacts"
+    )
+    diff.add_argument("baseline", help="artifact A (the reference run)")
+    diff.add_argument("candidate", help="artifact B (the suspect run)")
+    diff.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diff output format (default text)",
+    )
+    diff.add_argument(
+        "--top", type=int, default=8,
+        help="ranked regression/symptom rows to keep (default 8)",
+    )
+
+    dash = sub.add_parser(
+        "dashboard", help="render the windowed SLO dashboard SVG"
+    )
+    dash.add_argument("artifact", help="path to the run artifact")
+    dash.add_argument(
+        "-o", "--out", default="dashboard.svg",
+        help="output SVG path (default dashboard.svg)",
+    )
+    dash.add_argument(
+        "--cols", type=int, default=2,
+        help="panel grid columns (default 2)",
+    )
+
     args = parser.parse_args(argv)
 
-    if args.validate:
-        problems = validate_artifact(args.artifact)
-        if problems:
-            for problem in problems:
-                print(f"INVALID: {problem}", file=sys.stderr)
-            return 1
-        print(f"{args.artifact}: valid (schema ok)")
+    if args.command == "report":
+        if args.validate:
+            problems = validate_artifact(args.artifact)
+            if problems:
+                for problem in problems:
+                    print(f"INVALID: {problem}", file=sys.stderr)
+                return 1
+            print(f"{args.artifact}: valid (schema ok)")
+            return 0
+        artifact = load_artifact(args.artifact)
+        if args.export:
+            path = write_chrome_trace(args.export, artifact)
+            print(f"wrote {path} ({len(artifact.spans)} spans) — "
+                  f"open it at https://ui.perfetto.dev")
+            return 0
+        if args.format == "json":
+            print(_dumps(report_dict(
+                artifact, max_requests=args.max_requests
+            )))
+        else:
+            print(render_report(
+                artifact, max_waterfalls=args.max_requests,
+                width=args.width,
+            ))
         return 0
 
-    artifact = load_artifact(args.artifact)
-    if args.export:
-        path = write_chrome_trace(args.export, artifact)
-        print(f"wrote {path} ({len(artifact.spans)} spans) — "
-              f"open it at https://ui.perfetto.dev")
+    if args.command == "diff":
+        result = diff_runs(
+            load_artifact(args.baseline),
+            load_artifact(args.candidate),
+            top=args.top,
+            a_path=args.baseline,
+            b_path=args.candidate,
+        )
+        if args.format == "json":
+            print(_dumps(result))
+        else:
+            print(render_diff(result))
         return 0
 
-    print(render_report(
-        artifact, max_waterfalls=args.max_requests, width=args.width
-    ))
+    # dashboard
+    path = render_dashboard(
+        load_artifact(args.artifact), args.out, cols=args.cols
+    )
+    print(f"wrote {path}")
     return 0
 
 

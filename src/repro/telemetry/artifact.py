@@ -1,15 +1,24 @@
 """Deterministic run artifacts: JSON-lines serialization of a run.
 
 One artifact file captures everything one simulated run produced —
-config/meta, the full span tree, fault instants, and every metric —
-as JSON-lines with canonical key ordering, so two runs with the same
-seed write **byte-identical** files (the determinism tests diff the raw
-bytes). The first line carries ``schema: 1``; bump it on any
-incompatible layout change.
+config/meta, the full span tree, fault instants, every metric, and
+(when the observation plane is armed) windowed rollups plus the
+burn-rate alert timeline — as JSON-lines with canonical key ordering,
+so two runs with the same seed write **byte-identical** files (the
+determinism tests diff the raw bytes). The first line carries
+``schema: 2``; v1 artifacts (no rollup/alert/observation rows) load
+unchanged — the loader accepts both.
+
+The observation sections are strictly *appended*: an artifact written
+with rollups/alerts is the unobserved artifact plus extra trailing
+lines, byte-for-byte (a benchmark pins this). Trace sampling
+(:mod:`repro.telemetry.sampling`) is the one writer knob that changes
+earlier lines: it drops span/instant rows of sampled-out requests and
+records the count in the trailing ``observation`` row.
 
 Line kinds::
 
-    {"kind": "meta", "schema": 1, "meta": {...}}           # exactly once, first
+    {"kind": "meta", "schema": 2, "meta": {...}}           # exactly once, first
     {"kind": "span", "id", "parent", "req", "name", "cat",
      "actor", "phase", "start", "end", "attrs"}            # one per span
     {"kind": "instant", "time", "name", "cat", "actor",
@@ -18,6 +27,11 @@ Line kinds::
     {"kind": "gauge", "name", "labels", "samples"}
     {"kind": "histogram", "name", "labels", "bounds",
      "counts", "sum", "count"}
+    {"kind": "observation", ...}                           # at most once: window
+                                                           # config + sampling books
+    {"kind": "rollup", "scope", "key", "window",
+     "start", "end", "stats"}                              # one per rollup window
+    {"kind": "alert", "time", "tenant", "state", ...}      # one per alert event
 """
 
 from __future__ import annotations
@@ -27,11 +41,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .metrics import Histogram
+from .rollup import RollupWindow, RunRollups
 from .runtime import Telemetry
 from .spans import Instant, Span
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
     "RunArtifact",
     "artifact_lines",
     "write_artifact",
@@ -39,7 +55,11 @@ __all__ = [
     "validate_artifact",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Schemas :func:`load_artifact` and :func:`validate_artifact` accept.
+#: v1 lacks observation/rollup/alert rows but is otherwise identical.
+SUPPORTED_SCHEMAS = (1, 2)
 
 _REQUIRED_KEYS = {
     "meta": ("schema", "meta"),
@@ -49,6 +69,10 @@ _REQUIRED_KEYS = {
     "counter": ("name", "labels", "value"),
     "gauge": ("name", "labels", "samples"),
     "histogram": ("name", "labels", "bounds", "counts", "sum", "count"),
+    "observation": (),
+    "rollup": ("scope", "key", "window", "start", "end", "stats"),
+    "alert": ("time", "tenant", "state", "window", "fast_burn",
+              "slow_burn", "span_s", "cause", "attribution"),
 }
 
 
@@ -57,13 +81,26 @@ def _dumps(obj: object) -> str:
 
 
 def artifact_lines(
-    telemetry: Telemetry, meta: Optional[Dict[str, object]] = None
+    telemetry: Telemetry,
+    meta: Optional[Dict[str, object]] = None,
+    rollups: Optional[RunRollups] = None,
+    alerts: Optional[List[object]] = None,
+    sampling: Optional[object] = None,
 ) -> Iterator[str]:
-    """Yield the artifact's JSON lines (no trailing newlines)."""
+    """Yield the artifact's JSON lines (no trailing newlines).
+
+    ``rollups``/``alerts`` append the observation sections;
+    ``sampling`` is a resolved
+    :class:`~repro.telemetry.sampling.SamplePlan` that filters
+    span/instant rows to the kept request set.
+    """
     yield _dumps(
         {"kind": "meta", "schema": SCHEMA_VERSION, "meta": dict(meta or {})}
     )
+    keeps = sampling.keeps if sampling is not None else (lambda _rid: True)
     for span in sorted(telemetry.spans, key=lambda s: (s.start, s.span_id)):
+        if not keeps(span.request_id):
+            continue
         yield _dumps({
             "kind": "span",
             "id": span.span_id,
@@ -78,6 +115,8 @@ def artifact_lines(
             "attrs": span.attrs,
         })
     for event in telemetry.instants:
+        if not keeps(event.request_id):
+            continue
         yield _dumps({
             "kind": "instant",
             "time": event.time,
@@ -111,16 +150,36 @@ def artifact_lines(
             "sum": hist.sum,
             "count": hist.count,
         })
+    if rollups is not None or sampling is not None:
+        observation: Dict[str, object] = {"kind": "observation"}
+        if rollups is not None:
+            observation["window_s"] = rollups.window_s
+            observation["quantiles"] = list(rollups.quantiles)
+            observation["slo_s"] = rollups.slo_s
+        if sampling is not None:
+            observation["sampling"] = sampling.to_meta()
+        yield _dumps(observation)
+    if rollups is not None:
+        for row in rollups.to_rows():
+            yield _dumps(row)
+    for alert in alerts or ():
+        yield _dumps(alert.to_row())
 
 
 def write_artifact(
     path: str,
     telemetry: Telemetry,
     meta: Optional[Dict[str, object]] = None,
+    rollups: Optional[RunRollups] = None,
+    alerts: Optional[List[object]] = None,
+    sampling: Optional[object] = None,
 ) -> str:
     """Serialize one run to ``path``; returns the path."""
     with open(path, "w", encoding="utf-8", newline="\n") as fh:
-        for line in artifact_lines(telemetry, meta):
+        for line in artifact_lines(
+            telemetry, meta, rollups=rollups, alerts=alerts,
+            sampling=sampling,
+        ):
             fh.write(line)
             fh.write("\n")
     return path
@@ -141,6 +200,17 @@ class RunArtifact:
         Tuple[str, Tuple[Tuple[str, str], ...]], List[Tuple[float, float]]
     ] = field(default_factory=dict)
     histograms: List[Histogram] = field(default_factory=list)
+    #: Observation sections (schema 2; None/empty on v1 artifacts).
+    observation: Optional[Dict[str, object]] = None
+    rollups: Optional[RunRollups] = None
+    alerts: List[object] = field(default_factory=list)
+
+    @property
+    def sampling(self) -> Optional[Dict[str, object]]:
+        """The writer's sampling books (None = unsampled artifact)."""
+        if self.observation is None:
+            return None
+        return self.observation.get("sampling")  # type: ignore[return-value]
 
     def counter_value(self, name: str, **labels: str) -> float:
         key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
@@ -166,8 +236,17 @@ def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
 
 
 def load_artifact(path: str) -> RunArtifact:
-    """Parse an artifact file back into a :class:`RunArtifact`."""
+    """Parse an artifact file back into a :class:`RunArtifact`.
+
+    Accepts every schema in :data:`SUPPORTED_SCHEMAS` — a v1 artifact
+    (pre-observation-plane) loads into the same object with empty
+    observation sections, so reports and diffs work across the version
+    boundary.
+    """
+    from .alerts import AlertEvent
+
     artifact: Optional[RunArtifact] = None
+    rollup_rows: List[RollupWindow] = []
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, raw in enumerate(fh, start=1):
             raw = raw.strip()
@@ -183,10 +262,10 @@ def load_artifact(path: str) -> RunArtifact:
                 artifact = RunArtifact(
                     schema=int(row["schema"]), meta=row["meta"]
                 )
-                if artifact.schema != SCHEMA_VERSION:
+                if artifact.schema not in SUPPORTED_SCHEMAS:
                     raise ValueError(
                         f"{path}: unsupported schema {artifact.schema} "
-                        f"(supported: {SCHEMA_VERSION})"
+                        f"(supported: {SUPPORTED_SCHEMAS})"
                     )
                 continue
             assert artifact is not None
@@ -220,10 +299,26 @@ def load_artifact(path: str) -> RunArtifact:
                 hist.sum = row["sum"]
                 hist.count = row["count"]
                 artifact.histograms.append(hist)
+            elif kind == "observation":
+                artifact.observation = {
+                    k: v for k, v in row.items() if k != "kind"
+                }
+            elif kind == "rollup":
+                rollup_rows.append(RollupWindow.from_row(row))
+            elif kind == "alert":
+                artifact.alerts.append(AlertEvent.from_row(row))
             else:
                 raise ValueError(f"{path}:{lineno}: unknown kind {kind!r}")
     if artifact is None:
         raise ValueError(f"{path}: empty artifact")
+    if rollup_rows:
+        obs = artifact.observation or {}
+        artifact.rollups = RunRollups(
+            window_s=float(obs.get("window_s", 0.0) or 0.0),
+            quantiles=tuple(obs.get("quantiles", ())),
+            slo_s=obs.get("slo_s"),  # type: ignore[arg-type]
+            windows=rollup_rows,
+        )
     return artifact
 
 
@@ -231,12 +326,13 @@ def validate_artifact(path: str) -> List[str]:
     """Structural schema check; returns a list of problems (empty = ok).
 
     Checks line-level required keys, the schema version, span parent
-    references, and span time sanity — the contract the CI artifact
-    step enforces on every uploaded run.
+    references, span time sanity, and observation-section shape — the
+    contract the CI artifact step enforces on every uploaded run.
     """
     problems: List[str] = []
     span_ids: set = set()
     parent_refs: List[Tuple[int, int]] = []  # (lineno, parent id)
+    observation_seen = False
     with open(path, "r", encoding="utf-8") as fh:
         lines = [ln.strip() for ln in fh if ln.strip()]
     if not lines:
@@ -252,10 +348,10 @@ def validate_artifact(path: str) -> List[str]:
             if kind != "meta":
                 problems.append("line 1: expected the meta record")
                 continue
-            if row.get("schema") != SCHEMA_VERSION:
+            if row.get("schema") not in SUPPORTED_SCHEMAS:
                 problems.append(
-                    f"line 1: schema {row.get('schema')!r} != "
-                    f"{SCHEMA_VERSION}"
+                    f"line 1: schema {row.get('schema')!r} not in "
+                    f"{SUPPORTED_SCHEMAS}"
                 )
             continue
         if kind == "meta":
@@ -288,6 +384,27 @@ def validate_artifact(path: str) -> List[str]:
                 problems.append(
                     f"line {lineno}: histogram {row['name']} "
                     f"counts/bounds length mismatch"
+                )
+        if kind == "observation":
+            if observation_seen:
+                problems.append(
+                    f"line {lineno}: duplicate observation record"
+                )
+            observation_seen = True
+        if kind == "rollup":
+            if not isinstance(row["stats"], dict):
+                problems.append(
+                    f"line {lineno}: rollup stats must be an object"
+                )
+            if row["end"] <= row["start"]:
+                problems.append(
+                    f"line {lineno}: rollup window ends before start"
+                )
+        if kind == "alert":
+            if row["state"] not in ("fire", "clear"):
+                problems.append(
+                    f"line {lineno}: alert state {row['state']!r} "
+                    f"not fire/clear"
                 )
     for lineno, parent in parent_refs:
         if parent not in span_ids:

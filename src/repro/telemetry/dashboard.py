@@ -1,0 +1,145 @@
+"""The SLO dashboard: one SVG of a run's windowed health, alerts marked.
+
+``python -m repro.telemetry dashboard run.jsonl -o dash.svg`` renders
+the observation plane's time-series view with zero dependencies beyond
+the in-tree SVG primitives (:mod:`repro.eval.plot`) — four panels on
+one canvas:
+
+* per-tenant windowed tail latency (the highest configured rollup
+  quantile, usually p99) against the SLO;
+* per-tenant goodput (completions inside SLO per second);
+* per-tenant queue depth (time-weighted window means);
+* per-site busy fraction (DRX units, CPU fallback, accelerators).
+
+Every burn-rate alert transition is overlaid on the latency and goodput
+panels as a dashed vertical marker (``FIRE``/``clr`` + tenant), so the
+eye goes straight from "the alert fired here" to "and here is the queue
+ramp and the saturated site that caused it". Renders from a schema-2
+artifact's own rollup/alert sections when present; otherwise the
+observation pass runs on the fly with default windows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .alerts import observe_run
+from .artifact import RunArtifact
+
+__all__ = ["dashboard_panels", "render_dashboard"]
+
+
+def _ms_points(
+    series: Sequence[Tuple[float, float]], scale_y: float = 1.0
+) -> List[Tuple[float, float]]:
+    """Sim-time series → (ms, scaled value) points for plotting."""
+    return [(t * 1e3, v * scale_y) for t, v in series]
+
+
+def _tail_stat(quantiles: Sequence[float]) -> str:
+    q = max(quantiles) if quantiles else 0.99
+    return f"p{round(q * 100)}_s"
+
+
+def dashboard_panels(artifact: RunArtifact) -> List[Dict[str, object]]:
+    """The dashboard's panel specs (:func:`repro.eval.plot.compose_svg`
+    input), from the artifact's observation sections or a fresh pass."""
+    # Imported here: repro.eval pulls in repro.core, which imports this
+    # package — a top-level import would be circular.
+    from ..eval.plot import Series
+
+    rollups = artifact.rollups
+    alerts = list(artifact.alerts)
+    if rollups is None:
+        rollups, alerts = observe_run(artifact)
+
+    markers: List[Tuple[float, str]] = [
+        (
+            alert.time * 1e3,
+            f"{'FIRE' if alert.state == 'fire' else 'clr'} {alert.tenant}",
+        )
+        for alert in alerts
+    ]
+
+    tail = _tail_stat(rollups.quantiles)
+    panels: List[Dict[str, object]] = []
+
+    latency = [
+        Series(tenant, _ms_points(
+            rollups.series("tenant", tenant, tail), scale_y=1e3
+        ))
+        for tenant in rollups.keys("tenant")
+        if rollups.series("tenant", tenant, tail)
+    ]
+    if rollups.slo_s is not None and latency:
+        t_lo = min(x for s in latency for x, _ in s.points)
+        t_hi = max(x for s in latency for x, _ in s.points)
+        latency.append(Series("slo", [
+            (t_lo, rollups.slo_s * 1e3), (t_hi, rollups.slo_s * 1e3),
+        ]))
+    if latency:
+        panels.append({
+            "series": latency,
+            "title": f"windowed {tail[:-2]} per tenant",
+            "xlabel": "sim time (ms)", "ylabel": "latency (ms)",
+            "markers": markers,
+        })
+
+    goodput = [
+        Series(tenant, _ms_points(
+            rollups.series("tenant", tenant, "goodput_rps")
+        ))
+        for tenant in rollups.keys("tenant")
+        if rollups.series("tenant", tenant, "goodput_rps")
+    ]
+    if goodput:
+        panels.append({
+            "series": goodput,
+            "title": "goodput per tenant (inside SLO)",
+            "xlabel": "sim time (ms)", "ylabel": "goodput (req/s)",
+            "markers": markers,
+        })
+
+    depth = [
+        Series(tenant, _ms_points(
+            rollups.series("tenant", tenant, "queue_depth_mean")
+        ))
+        for tenant in rollups.keys("tenant")
+        if rollups.series("tenant", tenant, "queue_depth_mean")
+    ]
+    if depth:
+        panels.append({
+            "series": depth,
+            "title": "admission queue depth per tenant",
+            "xlabel": "sim time (ms)", "ylabel": "depth (mean)",
+        })
+
+    busy = [
+        Series(site, _ms_points(
+            rollups.series("site", site, "utilization")
+        ))
+        for site in rollups.keys("site")
+        if rollups.series("site", site, "utilization")
+    ]
+    if busy:
+        panels.append({
+            "series": busy,
+            "title": "site busy fraction",
+            "xlabel": "sim time (ms)", "ylabel": "utilization",
+        })
+
+    if not panels:
+        raise ValueError(
+            "artifact has no rollup series to draw "
+            "(no client spans, gauges, or site spans)"
+        )
+    return panels
+
+
+def render_dashboard(
+    artifact: RunArtifact, out_path: str, cols: int = 2
+) -> str:
+    """Render the four-panel SLO dashboard SVG; returns ``out_path``."""
+    from ..eval.plot import compose_svg
+
+    return compose_svg(dashboard_panels(artifact), out_path, cols=cols)

@@ -1,0 +1,301 @@
+"""Differential run diagnosis: what regressed between artifact A and B.
+
+``python -m repro.telemetry diff A B`` answers the question every perf
+triage starts with: *two runs of the same workload disagree — which
+subsystem moved?* The engine compares two loaded artifacts and emits a
+**ranked regression report**:
+
+* the primary ranking is over ``phase@site`` critical-path keys
+  (:func:`repro.telemetry.report.site_critical_path_summary`),
+  normalized **per request** so runs with different request counts
+  compare fairly. Queue wait and idle time are *symptoms* of whatever
+  actually slowed down — they are reported in their own section and
+  never ranked as causes, so an injected DRX kernel-launch regression
+  outranks the queueing it induces;
+* phase totals, per-backend attribution, and per-tenant latency
+  percentile curves ride along as supporting evidence;
+* both alert timelines are included — a regression big enough to burn
+  the SLO budget shows up as new ``fire`` events on the B side.
+
+Everything is plain JSON-able data with stable keys; the text renderer
+is a view over the same dict the ``--format json`` path dumps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.tracing import exact_percentile
+from .alerts import SYMPTOM_PHASES
+from .artifact import RunArtifact
+from .report import (
+    backend_attribution,
+    run_phase_totals,
+    site_critical_path_summary,
+)
+
+__all__ = ["diff_runs", "render_diff"]
+
+#: Latency quantiles the per-tenant percentile-curve section compares.
+_CURVE_QUANTILES = (0.50, 0.90, 0.95, 0.99)
+
+#: Per-request deltas below this (seconds) are float-summation noise,
+#: not regressions — real effects in the sim are microseconds and up.
+_NOISE_FLOOR_S = 1e-12
+
+
+def _per_request(
+    attribution: Dict[str, float], n_requests: int
+) -> Dict[str, float]:
+    if n_requests <= 0:
+        return {}
+    return {key: value / n_requests for key, value in attribution.items()}
+
+
+def _tenant_latencies(artifact: RunArtifact) -> Dict[str, List[float]]:
+    """Sorted non-failed client latencies per tenant."""
+    out: Dict[str, List[float]] = {}
+    for span in artifact.spans:
+        if span.category != "client" or span.attrs.get("failed"):
+            continue
+        tenant = str(span.attrs.get("tenant") or span.actor)
+        out.setdefault(tenant, []).append(span.duration)
+    for latencies in out.values():
+        latencies.sort()
+    return out
+
+
+def _side_summary(
+    artifact: RunArtifact, label: str, path: Optional[str]
+) -> Dict[str, object]:
+    return {
+        "label": label,
+        "path": path or "",
+        "schema": artifact.schema,
+        "meta": dict(artifact.meta),
+        "requests": len(artifact.request_ids()),
+        "alerts_fired": sum(
+            1 for a in artifact.alerts if a.state == "fire"
+        ),
+    }
+
+
+def diff_runs(
+    a: RunArtifact,
+    b: RunArtifact,
+    top: int = 8,
+    a_path: Optional[str] = None,
+    b_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Compare two run artifacts; returns the ranked regression report.
+
+    Positive deltas mean *B is slower / worse than A* — the CLI
+    convention is ``diff baseline candidate``. ``top`` caps the ranked
+    cause and symptom lists.
+    """
+    n_a = len(a.request_ids())
+    n_b = len(b.request_ids())
+    site_a = _per_request(site_critical_path_summary(a), n_a)
+    site_b = _per_request(site_critical_path_summary(b), n_b)
+
+    causes: List[Dict[str, object]] = []
+    symptoms: List[Dict[str, object]] = []
+    for key in sorted({*site_a, *site_b}):
+        av = site_a.get(key, 0.0)
+        bv = site_b.get(key, 0.0)
+        phase, _, site = key.partition("@")
+        entry: Dict[str, object] = {
+            "key": key,
+            "phase": phase,
+            "site": site,
+            "a_per_request_s": av,
+            "b_per_request_s": bv,
+            "delta_per_request_s": bv - av,
+            "relative": (bv - av) / av if av > 0 else None,
+        }
+        (symptoms if phase in SYMPTOM_PHASES else causes).append(entry)
+    rank = lambda rows: sorted(  # noqa: E731 — local ordering helper
+        rows,
+        key=lambda r: (-r["delta_per_request_s"], r["key"]),
+    )
+    causes = rank(causes)[:top]
+    symptoms = rank(symptoms)[:top]
+
+    phases_a = _per_request(run_phase_totals(a), n_a)
+    phases_b = _per_request(run_phase_totals(b), n_b)
+    phase_rows = {
+        phase: {
+            "a_per_request_s": phases_a.get(phase, 0.0),
+            "b_per_request_s": phases_b.get(phase, 0.0),
+            "delta_per_request_s": (
+                phases_b.get(phase, 0.0) - phases_a.get(phase, 0.0)
+            ),
+        }
+        for phase in sorted({*phases_a, *phases_b})
+    }
+
+    be_a = {
+        kind: sum(per_phase.values()) / n_a if n_a else 0.0
+        for kind, per_phase in backend_attribution(a).items()
+    }
+    be_b = {
+        kind: sum(per_phase.values()) / n_b if n_b else 0.0
+        for kind, per_phase in backend_attribution(b).items()
+    }
+    backend_rows = {
+        kind: {
+            "a_per_request_s": be_a.get(kind, 0.0),
+            "b_per_request_s": be_b.get(kind, 0.0),
+            "delta_per_request_s": (
+                be_b.get(kind, 0.0) - be_a.get(kind, 0.0)
+            ),
+        }
+        for kind in sorted({*be_a, *be_b})
+    }
+
+    lat_a = _tenant_latencies(a)
+    lat_b = _tenant_latencies(b)
+    curves: Dict[str, List[Dict[str, object]]] = {}
+    for tenant in sorted({*lat_a, *lat_b}):
+        points = []
+        for q in _CURVE_QUANTILES:
+            av = (
+                exact_percentile(lat_a[tenant], q)
+                if lat_a.get(tenant) else None
+            )
+            bv = (
+                exact_percentile(lat_b[tenant], q)
+                if lat_b.get(tenant) else None
+            )
+            points.append({
+                "q": q,
+                "a_s": av,
+                "b_s": bv,
+                "delta_s": (
+                    bv - av if av is not None and bv is not None else None
+                ),
+            })
+        curves[tenant] = points
+
+    verdict: Dict[str, object] = {"top_regression": "", "delta_per_request_s": 0.0}
+    if causes and causes[0]["delta_per_request_s"] > _NOISE_FLOOR_S:
+        verdict = {
+            "top_regression": causes[0]["key"],
+            "delta_per_request_s": causes[0]["delta_per_request_s"],
+        }
+
+    return {
+        "a": _side_summary(a, "A (baseline)", a_path),
+        "b": _side_summary(b, "B (candidate)", b_path),
+        "verdict": verdict,
+        "regressions": causes,
+        "symptoms": symptoms,
+        "phase_totals": phase_rows,
+        "backends": backend_rows,
+        "percentiles": curves,
+        "alerts": {
+            "a": [alert.to_row() for alert in a.alerts],
+            "b": [alert.to_row() for alert in b.alerts],
+        },
+    }
+
+
+# -- text rendering ------------------------------------------------------------
+
+
+def _ms(value: Optional[float]) -> str:
+    if value is None:
+        return "      —"
+    return f"{value * 1e3:9.4f}"
+
+
+def render_diff(report: Dict[str, object]) -> str:
+    """Human-readable view of one :func:`diff_runs` report."""
+    lines: List[str] = []
+    a = report["a"]
+    b = report["b"]
+    for side in (a, b):
+        where = f" {side['path']}" if side["path"] else ""
+        lines.append(
+            f"{side['label']}:{where} requests={side['requests']} "
+            f"alerts_fired={side['alerts_fired']}"
+        )
+    verdict = report["verdict"]
+    lines.append("")
+    if verdict["top_regression"]:
+        lines.append(
+            f"verdict: {verdict['top_regression']} regressed by "
+            f"{verdict['delta_per_request_s'] * 1e3:.4f}ms per request"
+        )
+    else:
+        lines.append("verdict: no per-request regression detected")
+
+    lines.append("")
+    lines.append("ranked regressions (phase@site, per request; ms)")
+    lines.append(f"  {'key':<36} {'A':>9} {'B':>9} {'delta':>9}  rel")
+    for row in report["regressions"]:
+        rel = (
+            f"{row['relative']:+.1%}" if row["relative"] is not None
+            else "new"
+        )
+        lines.append(
+            f"  {row['key']:<36} {_ms(row['a_per_request_s'])} "
+            f"{_ms(row['b_per_request_s'])} "
+            f"{_ms(row['delta_per_request_s'])}  {rel}"
+        )
+    if report["symptoms"]:
+        lines.append("")
+        lines.append("symptoms (queue/idle — effects, not causes; ms)")
+        for row in report["symptoms"]:
+            lines.append(
+                f"  {row['key']:<36} {_ms(row['a_per_request_s'])} "
+                f"{_ms(row['b_per_request_s'])} "
+                f"{_ms(row['delta_per_request_s'])}"
+            )
+
+    lines.append("")
+    lines.append("phase totals (per request; ms)")
+    for phase, row in report["phase_totals"].items():
+        lines.append(
+            f"  {phase:<16} {_ms(row['a_per_request_s'])} "
+            f"{_ms(row['b_per_request_s'])} "
+            f"{_ms(row['delta_per_request_s'])}"
+        )
+
+    if report["backends"]:
+        lines.append("")
+        lines.append("backend attribution (per request; ms)")
+        for kind, row in report["backends"].items():
+            lines.append(
+                f"  {kind:<16} {_ms(row['a_per_request_s'])} "
+                f"{_ms(row['b_per_request_s'])} "
+                f"{_ms(row['delta_per_request_s'])}"
+            )
+
+    lines.append("")
+    lines.append("latency percentile curves (per tenant; ms)")
+    for tenant, points in report["percentiles"].items():
+        detail = "  ".join(
+            f"p{round(pt['q'] * 100)} {_ms(pt['a_s']).strip()}"
+            f"→{_ms(pt['b_s']).strip()}"
+            for pt in points
+        )
+        lines.append(f"  {tenant:<12} {detail}")
+
+    alerts = report["alerts"]
+    if alerts["a"] or alerts["b"]:
+        lines.append("")
+        lines.append("alert timelines")
+        for label, rows in (("A", alerts["a"]), ("B", alerts["b"])):
+            if not rows:
+                lines.append(f"  {label}: (none)")
+                continue
+            for row in rows:
+                detail = (
+                    f" cause={row['cause']}" if row.get("cause") else ""
+                )
+                lines.append(
+                    f"  {label}: +{row['time'] * 1e3:.1f}ms "
+                    f"{row['state']} tenant={row['tenant']}{detail}"
+                )
+    return "\n".join(lines)

@@ -8,6 +8,14 @@ microseconds, as the format requires); each span actor gets its own
 track (tid), and instants (fault injections, retries, fallbacks) render
 as instant events on their actor's track.
 
+When the source carries observation sections (a schema-2 artifact, or
+explicit ``rollups``/``alerts`` arguments), windowed rollups export as
+Perfetto **counter tracks** (``ph: "C"`` events named
+``scope:key:stat``, one sample per window) and burn-rate alert
+fire/clear transitions as process-scoped instant events on a dedicated
+``alerts`` track — so the latency burn lines up visually with the span
+waterfall that caused it.
+
 The output is canonically serialized (sorted keys), so equal-seed runs
 export byte-identical traces.
 """
@@ -40,11 +48,23 @@ def _tid_map(spans: Sequence[Span], instants: Sequence[Instant]) -> Dict[str, in
 def chrome_trace(
     source: Union[Telemetry, RunArtifact],
     extra_meta: Optional[Dict[str, object]] = None,
+    rollups: Optional[object] = None,
+    alerts: Optional[Sequence[object]] = None,
 ) -> Dict[str, object]:
-    """Build the trace-event dict for a run (telemetry or artifact)."""
+    """Build the trace-event dict for a run (telemetry or artifact).
+
+    ``rollups``/``alerts`` default to the source's own observation
+    sections when it is a schema-2 artifact.
+    """
     spans: Sequence[Span] = source.spans
     instants: Sequence[Instant] = source.instants
+    if rollups is None:
+        rollups = getattr(source, "rollups", None)
+    if alerts is None:
+        alerts = getattr(source, "alerts", None) or ()
     tids = _tid_map(spans, instants)
+    if alerts:
+        tids.setdefault("alerts", len(tids) + 1)
     events: List[Dict[str, object]] = []
     for actor, tid in tids.items():
         events.append({
@@ -86,6 +106,42 @@ def chrome_trace(
             "ts": event.time * 1e6,
             "args": args,
         })
+    if rollups is not None:
+        for scope in ("tenant", "site", "backend"):
+            for key in rollups.keys(scope):
+                for window in rollups.for_key(scope, key):
+                    counters = {
+                        stat: value
+                        for stat, value in sorted(window.stats.items())
+                        if isinstance(value, (int, float))
+                    }
+                    if not counters:
+                        continue
+                    events.append({
+                        "ph": "C",
+                        "pid": _PID,
+                        "name": f"{scope}:{key}",
+                        "ts": window.start * 1e6,
+                        "args": counters,
+                    })
+    for alert in alerts:
+        events.append({
+            "ph": "i",
+            "s": "g",  # global scope: the burn spans every track
+            "pid": _PID,
+            "tid": tids["alerts"],
+            "name": f"{alert.state}:{alert.tenant}",
+            "cat": "alert",
+            "ts": alert.time * 1e6,
+            "args": {
+                "tenant": alert.tenant,
+                "state": alert.state,
+                "fast_burn": alert.fast_burn,
+                "slow_burn": alert.slow_burn,
+                "cause": alert.cause,
+                "describe": alert.describe(),
+            },
+        })
     meta: Dict[str, object] = {"displayTimeUnit": "ms"}
     if isinstance(source, RunArtifact):
         meta["otherData"] = source.meta
@@ -100,9 +156,13 @@ def write_chrome_trace(
     path: str,
     source: Union[Telemetry, RunArtifact],
     extra_meta: Optional[Dict[str, object]] = None,
+    rollups: Optional[object] = None,
+    alerts: Optional[Sequence[object]] = None,
 ) -> str:
     """Write a Perfetto-loadable trace JSON file; returns the path."""
-    trace = chrome_trace(source, extra_meta=extra_meta)
+    trace = chrome_trace(
+        source, extra_meta=extra_meta, rollups=rollups, alerts=alerts
+    )
     with open(path, "w", encoding="utf-8", newline="\n") as fh:
         json.dump(trace, fh, sort_keys=True, separators=(",", ":"))
         fh.write("\n")

@@ -32,9 +32,12 @@ __all__ = [
     "backend_attribution",
     "critical_path",
     "critical_path_summary",
+    "site_critical_path",
+    "site_critical_path_summary",
     "on_critical_path",
     "waterfall",
     "render_report",
+    "report_dict",
     "IDLE_KEY",
 ]
 
@@ -136,15 +139,26 @@ def _effective_phase(span: Span, by_id: Dict[int, Span]) -> str:
     return span.category or "other"
 
 
-def critical_path(spans: Sequence[Span]) -> Dict[str, float]:
-    """Attribute one request's wall time to phases via its leaf spans.
+def _effective_actor(span: Span, by_id: Dict[int, Span]) -> str:
+    """The span's actor, inherited from the nearest actor-carrying
+    ancestor (empty when no ancestor names one)."""
+    cursor: Optional[Span] = span
+    while cursor is not None:
+        if cursor.actor:
+            return cursor.actor
+        cursor = by_id.get(cursor.parent_id)
+    return ""
+
+
+def _leaf_attribution(spans: Sequence[Span], key_of) -> Dict[str, float]:
+    """The critical-path sweep, parameterized over the attribution key.
 
     At every instant of the request extent the *most recently started*
     active leaf span is charged (ties broken by span id — the later
-    creation); a leaf's attribution key is its inherited phase. Time no
-    leaf covers is charged to :data:`IDLE_KEY`. Abandoned spans are
-    excluded — their wall time is covered by the recovery span the
-    system emits when it degrades a request.
+    creation); ``key_of(leaf, by_id)`` names the bucket. Time no leaf
+    covers is charged to :data:`IDLE_KEY`. Abandoned spans are excluded
+    — their wall time is covered by the recovery span the system emits
+    when it degrades a request.
     """
     live = [s for s in spans if not s.abandoned]
     if not live:
@@ -162,11 +176,39 @@ def critical_path(spans: Sequence[Span]) -> Dict[str, float]:
         active = [s for s in leaves if s.start <= a and s.end >= b]
         if active:
             winner = max(active, key=lambda s: (s.start, s.span_id))
-            key = _effective_phase(winner, by_id)
+            key = key_of(winner, by_id)
         else:
             key = IDLE_KEY
         out[key] = out.get(key, 0.0) + (b - a)
     return out
+
+
+def critical_path(spans: Sequence[Span]) -> Dict[str, float]:
+    """Attribute one request's wall time to phases via its leaf spans.
+
+    The leaf-sweep of :func:`_leaf_attribution` keyed by each leaf's
+    inherited phase — the attribution the paper's argument rides on.
+    """
+    return _leaf_attribution(spans, _effective_phase)
+
+
+def site_critical_path(spans: Sequence[Span]) -> Dict[str, float]:
+    """Critical-path attribution keyed ``phase@site``.
+
+    Same sweep as :func:`critical_path`, but each winning leaf is
+    charged to ``{inherited phase}@{inherited actor}`` (bare phase when
+    no ancestor names an actor) — so a p99 burn can be pinned not just
+    to *restructuring* but to ``restructuring@drx.acc0.0`` vs. the CPU
+    fallback path. This is the root-cause key the alert engine and the
+    diff CLI rank by.
+    """
+
+    def key_of(span: Span, by_id: Dict[int, Span]) -> str:
+        phase = _effective_phase(span, by_id)
+        actor = _effective_actor(span, by_id)
+        return f"{phase}@{actor}" if actor else phase
+
+    return _leaf_attribution(spans, key_of)
 
 
 def critical_path_summary(artifact: RunArtifact) -> Dict[str, float]:
@@ -174,6 +216,17 @@ def critical_path_summary(artifact: RunArtifact) -> Dict[str, float]:
     out: Dict[str, float] = {}
     for request_id in artifact.request_ids():
         for key, seconds in critical_path(
+            artifact.spans_for_request(request_id)
+        ).items():
+            out[key] = out.get(key, 0.0) + seconds
+    return out
+
+
+def site_critical_path_summary(artifact: RunArtifact) -> Dict[str, float]:
+    """``phase@site`` attribution summed over every request in a run."""
+    out: Dict[str, float] = {}
+    for request_id in artifact.request_ids():
+        for key, seconds in site_critical_path(
             artifact.spans_for_request(request_id)
         ).items():
             out[key] = out.get(key, 0.0) + seconds
@@ -298,6 +351,25 @@ def render_report(
             else "off path"
         lines.append(f"  {key:<16} {_fmt_s(seconds)}  {share:6.1%}  {marker}")
 
+    alerts = getattr(artifact, "alerts", None) or []
+    if alerts:
+        # Only observation-armed artifacts carry an alert timeline;
+        # plain artifacts keep the report unchanged.
+        lines.append("")
+        lines.append("alert timeline (burn-rate engine)")
+        for alert in alerts:
+            if alert.state == "fire":
+                lines.append(
+                    f"  +{_fmt_s(alert.time).strip():>10} FIRE  "
+                    f"tenant={alert.tenant} fast={alert.fast_burn:.2f}x "
+                    f"slow={alert.slow_burn:.2f}x — {alert.describe()}"
+                )
+            else:
+                lines.append(
+                    f"  +{_fmt_s(alert.time).strip():>10} clear "
+                    f"tenant={alert.tenant}"
+                )
+
     control = [
         i for i in artifact.instants
         if i.category in ("breaker", "brownout")
@@ -347,3 +419,101 @@ def render_report(
             f"(rerun with --max-requests to see them)"
         )
     return "\n".join(lines)
+
+
+# -- machine-readable report ---------------------------------------------------
+
+
+def _waterfall_rows(spans: Sequence[Span]) -> List[Dict[str, object]]:
+    """One request's span tree flattened in waterfall render order."""
+    _by_id, children, roots = _tree(list(spans))
+    rows: List[Dict[str, object]] = []
+
+    def render(span: Span, depth: int) -> None:
+        rows.append({
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "depth": depth,
+            "name": span.name,
+            "category": span.category,
+            "actor": span.actor,
+            "phase": span.phase,
+            "start": span.start,
+            "end": span.end,
+            "attrs": dict(span.attrs),
+        })
+        for child in children.get(span.span_id, ()):
+            render(child, depth + 1)
+
+    for root in roots:
+        render(root, 0)
+    return rows
+
+
+def report_dict(
+    artifact: RunArtifact, max_requests: int = 4
+) -> Dict[str, object]:
+    """Every report section as one JSON-able dict.
+
+    The machine-readable twin of :func:`render_report` — the diff CLI
+    and CI consume exactly the sections humans read: phase tables,
+    backend and critical-path attribution (phase- and site-keyed),
+    control-plane events, the alert timeline, and per-request waterfall
+    rows. Keys are stable and values are raw sim-time floats, so equal
+    runs serialize identically under ``json.dumps(sort_keys=True)``.
+    """
+    request_ids = artifact.request_ids()
+    alerts = getattr(artifact, "alerts", None) or []
+    rollups = getattr(artifact, "rollups", None)
+    requests = []
+    for request_id in request_ids[:max_requests]:
+        spans = artifact.spans_for_request(request_id)
+        requests.append({
+            "request_id": request_id,
+            "wall_s": (
+                max(s.end for s in spans) - min(s.start for s in spans)
+            ),
+            "phases_s": phase_totals(spans),
+            "waterfall": _waterfall_rows(spans),
+        })
+    out: Dict[str, object] = {
+        "schema": artifact.schema,
+        "meta": dict(artifact.meta),
+        "counts": {
+            "spans": len(artifact.spans),
+            "instants": len(artifact.instants),
+            "requests": len(request_ids),
+        },
+        "phase_totals_s": run_phase_totals(artifact),
+        "backend_attribution_s": backend_attribution(artifact),
+        "critical_path_s": critical_path_summary(artifact),
+        "site_critical_path_s": site_critical_path_summary(artifact),
+        "control_plane_events": [
+            {
+                "time": i.time,
+                "name": i.name,
+                "category": i.category,
+                "actor": i.actor,
+                "request_id": i.request_id,
+                "attrs": dict(i.attrs),
+            }
+            for i in artifact.instants
+            if i.category in ("breaker", "brownout")
+        ],
+        "alerts": [alert.to_row() for alert in alerts],
+        "requests": requests,
+    }
+    if rollups is not None:
+        out["rollups"] = {
+            "window_s": rollups.window_s,
+            "slo_s": rollups.slo_s,
+            "scopes": {
+                scope: rollups.keys(scope)
+                for scope in ("tenant", "site", "backend")
+                if rollups.keys(scope)
+            },
+        }
+    sampling = getattr(artifact, "sampling", None)
+    if sampling is not None:
+        out["sampling"] = dict(sampling)
+    return out

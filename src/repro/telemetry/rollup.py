@@ -1,0 +1,481 @@
+"""Windowed rollups: the run's metrics folded into fixed sim-time windows.
+
+The raw telemetry a run records — spans, instants, gauges — answers
+*per-request* questions (waterfalls, critical paths). A controller (and
+the burn-rate alert engine in :mod:`repro.telemetry.alerts`) needs the
+*time-series* view instead: what was tenant A's windowed p99 at t=40ms,
+how busy was ``drx.acc0.0`` in that window, was its breaker open? This
+module computes that view **post hoc**, purely from recorded telemetry,
+so arming it cannot perturb the simulation: an observed run's span
+stream, metrics, and :class:`~repro.serve.slo.ServeResult` are
+byte-identical to an unobserved run's (a benchmark pins this).
+
+Three scopes of :class:`RollupWindow` are emitted per fixed window of
+``window_s`` simulated seconds, indexed from t=0:
+
+* ``tenant`` — per-tenant completions, failures, SLO violations,
+  windowed latency percentiles (exact, same interpolation as
+  :class:`~repro.serve.slo.LatencyTracker`), goodput, queue depth, and
+  sheds. Keyed by tenant name; completions land in the window of their
+  *completion* time.
+* ``site`` — per-executor busy time and leg counts (DRX units, the CPU
+  fallback path, accelerators), plus health score and breaker state
+  carried forward from the resilience plane's gauge/instant streams.
+* ``backend`` — per planner backend kind (``drx``/``dsa``/``xdma``/
+  ``cpu``): legs routed, busy time, and planner queue depth. Present
+  only when the per-leg planner ran.
+
+Determinism: windows are emitted for every key over the full run
+horizon (empty windows included — a controller reading the series needs
+the zeros), sorted by ``(scope, key, window)``, with all values derived
+from sim-time quantities — equal-seed runs roll up byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.tracing import exact_percentile
+from .spans import Instant, Span
+
+__all__ = [
+    "RollupConfig",
+    "RollupWindow",
+    "RunRollups",
+    "compute_rollups",
+]
+
+#: Instant names admission emits when it turns an arrival away.
+_SHED_NAMES = ("shed", "brownout_shed", "rate_limited")
+
+#: Phases whose actor-carrying spans define a ``site`` (executors).
+_SITE_PHASES = ("kernel", "restructuring", "movement", "control", "recovery")
+
+
+@dataclass(frozen=True)
+class RollupConfig:
+    """Windowing knobs for one rollup pass.
+
+    ``window_s`` is the fixed aggregation window on the sim clock;
+    ``quantiles`` are the per-window latency percentiles computed for
+    tenant windows (exact within the window, so tiny windows — a single
+    sample — degrade gracefully to that sample).
+    """
+
+    window_s: float = 10e-3
+    quantiles: Tuple[float, ...] = (0.50, 0.95, 0.99)
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if not self.quantiles or any(
+            not 0.0 < q < 1.0 for q in self.quantiles
+        ):
+            raise ValueError("quantiles must be in (0, 1)")
+
+
+# Not frozen: compute_rollups creates one per (scope, key, window) over
+# the whole run horizon, and the frozen-dataclass __init__ (six
+# object.__setattr__ calls) dominated the rollup pass.
+@dataclass
+class RollupWindow:
+    """One (scope, key, window) cell of the rolled-up run."""
+
+    scope: str  # "tenant" | "site" | "backend"
+    key: str
+    window: int
+    start: float
+    end: float
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def to_row(self) -> Dict[str, object]:
+        return {
+            "kind": "rollup",
+            "scope": self.scope,
+            "key": self.key,
+            "window": self.window,
+            "start": self.start,
+            "end": self.end,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_row(cls, row: Dict[str, object]) -> "RollupWindow":
+        return cls(
+            scope=str(row["scope"]), key=str(row["key"]),
+            window=int(row["window"]), start=float(row["start"]),
+            end=float(row["end"]), stats=dict(row["stats"]),
+        )
+
+
+@dataclass
+class RunRollups:
+    """All rollup windows of one run, with series queries."""
+
+    window_s: float
+    quantiles: Tuple[float, ...]
+    slo_s: Optional[float]
+    windows: List[RollupWindow] = field(default_factory=list)
+
+    def keys(self, scope: str) -> List[str]:
+        """Distinct keys of a scope, sorted."""
+        return sorted({w.key for w in self.windows if w.scope == scope})
+
+    def for_key(self, scope: str, key: str) -> List[RollupWindow]:
+        """One key's windows in ascending window order."""
+        return sorted(
+            (w for w in self.windows if w.scope == scope and w.key == key),
+            key=lambda w: w.window,
+        )
+
+    def series(
+        self, scope: str, key: str, stat: str
+    ) -> List[Tuple[float, float]]:
+        """``(window start, value)`` pairs for windows carrying ``stat``."""
+        return [
+            (w.start, float(w.stats[stat]))  # type: ignore[arg-type]
+            for w in self.for_key(scope, key)
+            if stat in w.stats
+            and isinstance(w.stats[stat], (int, float))
+        ]
+
+    def to_rows(self) -> Iterable[Dict[str, object]]:
+        for window in self.windows:
+            yield window.to_row()
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Dict[str, object]],
+        window_s: float,
+        quantiles: Sequence[float],
+        slo_s: Optional[float],
+    ) -> "RunRollups":
+        return cls(
+            window_s=window_s,
+            quantiles=tuple(quantiles),
+            slo_s=slo_s,
+            windows=[RollupWindow.from_row(row) for row in rows],
+        )
+
+
+# -- source access (Telemetry or RunArtifact, duck-typed) ----------------------
+
+
+def _gauge_series(
+    source, name: str
+) -> List[Tuple[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]]]:
+    """Every ``(labels, samples)`` of gauge ``name`` in the source."""
+    metrics = getattr(source, "metrics", None)
+    if metrics is not None:  # a live Telemetry
+        return [
+            (g.labels, list(g.samples))
+            for g in metrics.gauges()
+            if g.name == name
+        ]
+    return [  # a loaded RunArtifact
+        (key[1], list(samples))
+        for key, samples in source.gauges.items()
+        if key[0] == name
+    ]
+
+
+def _label(labels: Tuple[Tuple[str, str], ...], key: str) -> Optional[str]:
+    for k, v in labels:
+        if k == key:
+            return v
+    return None
+
+
+def _carry_window(
+    samples: Sequence[Tuple[float, float]], start: float, end: float
+) -> Optional[Tuple[float, float]]:
+    """(time-weighted mean, max) of a LVCF gauge over ``[start, end)``.
+
+    The sample preceding the window carries into it (last value carried
+    forward); returns None when the gauge has no value anywhere in or
+    before the window — the stat is then omitted rather than faked as 0.
+    """
+    prev: Optional[float] = None
+    inside: List[Tuple[float, float]] = []
+    for t, v in samples:
+        if t < start:
+            prev = v
+        elif t < end:
+            inside.append((t, v))
+        else:
+            break
+    if prev is None and not inside:
+        return None
+    total = 0.0
+    peak = prev if prev is not None else inside[0][1]
+    cursor, value = start, (prev if prev is not None else inside[0][1])
+    for t, v in inside:
+        total += value * (t - cursor)
+        cursor, value = t, v
+        if v > peak:
+            peak = v
+    total += value * (end - cursor)
+    return total / (end - start), peak
+
+
+def _carry_windows(
+    samples: Sequence[Tuple[float, float]], w: float, n_windows: int
+) -> List[Optional[Tuple[float, float]]]:
+    """:func:`_carry_window` for every window of the run, in one pass.
+
+    Time-sorted samples are consumed by an advancing cursor instead of
+    rescanned per window, so the whole run costs O(samples + windows)
+    rather than O(samples x windows). The per-window arithmetic is the
+    exact operation sequence of :func:`_carry_window` — equal floats,
+    byte-identical rollup rows.
+    """
+    out: List[Optional[Tuple[float, float]]] = [None] * n_windows
+    n = len(samples)
+    idx = 0
+    prev: Optional[float] = None
+    for i in range(n_windows):
+        start, end = i * w, (i + 1) * w
+        while idx < n and samples[idx][0] < start:
+            prev = samples[idx][1]
+            idx += 1
+        if prev is None:
+            if idx >= n or samples[idx][0] >= end:
+                continue
+            first = samples[idx][1]
+        else:
+            first = prev
+        total = 0.0
+        peak = first
+        cursor, value = start, first
+        j = idx
+        while j < n and samples[j][0] < end:
+            t, v = samples[j]
+            total += value * (t - cursor)
+            cursor, value = t, v
+            if v > peak:
+                peak = v
+            j += 1
+        total += value * (end - cursor)
+        out[i] = (total / (end - start), peak)
+    return out
+
+
+# -- the rollup pass -----------------------------------------------------------
+
+
+def _span_overlap(span: Span, start: float, end: float) -> float:
+    return max(0.0, min(span.end, end) - max(span.start, start))
+
+
+def _busy_windows(
+    spans_here: Sequence[Span], w: float, n_windows: int
+) -> Tuple[List[float], List[int]]:
+    """Per-window ``(busy seconds, landed legs)`` in one pass over spans.
+
+    Each span contributes overlap only to the windows it actually
+    touches (summing a zero overlap is a float no-op, so accumulation
+    order matches the old per-window sweep bit for bit), and a leg
+    lands in the window containing its end time.
+    """
+    busy = [0.0] * n_windows
+    legs = [0] * n_windows
+    for span in spans_here:
+        first = max(0, int(span.start // w))
+        last = min(n_windows - 1, int(span.end // w))
+        for i in range(first, last + 1):
+            busy[i] += _span_overlap(span, i * w, (i + 1) * w)
+        land = int(span.end // w)
+        if 0 <= land < n_windows:
+            legs[land] += 1
+    return busy, legs
+
+
+def compute_rollups(
+    source,
+    config: Optional[RollupConfig] = None,
+    slo_s: Optional[float] = None,
+) -> RunRollups:
+    """Roll one run's telemetry up into fixed windows.
+
+    ``source`` is a live :class:`~repro.telemetry.Telemetry` or a loaded
+    :class:`~repro.telemetry.RunArtifact` — the pass reads only recorded
+    spans/instants/gauges, so it can run long after the simulation (and
+    its arming cannot change what the simulation recorded). ``slo_s``
+    defaults to the artifact's ``meta["slo_s"]`` when loading from disk.
+    """
+    cfg = config or RollupConfig()
+    w = cfg.window_s
+    if slo_s is None:
+        meta = getattr(source, "meta", None)
+        if isinstance(meta, dict) and isinstance(
+            meta.get("slo_s"), (int, float)
+        ):
+            slo_s = float(meta["slo_s"])
+
+    spans: Sequence[Span] = source.spans
+    instants: Sequence[Instant] = source.instants
+
+    # One classifying pass over the span stream: horizon plus the three
+    # scope groupings (the stream is the big input — rescanning it per
+    # scope dominated large runs).
+    horizon = 0.0
+    clients: Dict[str, List[Span]] = {}
+    site_spans: Dict[str, List[Span]] = {}
+    backend_spans: Dict[str, List[Span]] = {}
+    for span in spans:
+        if span.end is None:
+            continue
+        if span.end > horizon:
+            horizon = span.end
+        category = span.category
+        if category == "client":
+            tenant = str(span.attrs.get("tenant") or span.actor)
+            clients.setdefault(tenant, []).append(span)
+        elif span.actor and span.phase in _SITE_PHASES and \
+                category != "batch":
+            site_spans.setdefault(span.actor, []).append(span)
+        if category == "stage":
+            backend = span.attrs.get("backend")
+            if backend:
+                backend_spans.setdefault(str(backend), []).append(span)
+    for inst in instants:
+        if inst.time > horizon:
+            horizon = inst.time
+    queue_gauges = _gauge_series(source, "queue_depth")
+    health_gauges = _gauge_series(source, "health_score")
+    planner_gauges = _gauge_series(source, "planner_queue_depth")
+    for _, samples in (*queue_gauges, *health_gauges, *planner_gauges):
+        if samples and samples[-1][0] > horizon:
+            horizon = samples[-1][0]
+    n_windows = int(horizon // w) + 1 if horizon > 0 else 1
+
+    rollups = RunRollups(window_s=w, quantiles=cfg.quantiles, slo_s=slo_s)
+    emit = rollups.windows.append
+    qlabels = [(q, f"p{round(q * 100)}_s") for q in cfg.quantiles]
+    edges = [(i * w, (i + 1) * w) for i in range(n_windows)]
+
+    # -- tenant scope --------------------------------------------------------
+    tenant_queue = {
+        _label(labels, "tenant"): samples
+        for labels, samples in queue_gauges
+        if _label(labels, "tenant") is not None
+    }
+    sheds: Dict[str, List[float]] = {}
+    for inst in instants:
+        if inst.category == "admission" and inst.name in _SHED_NAMES:
+            sheds.setdefault(inst.actor, []).append(inst.time)
+    tenants = sorted({*clients, *tenant_queue, *sheds})
+
+    for tenant in tenants:
+        by_window: Dict[int, List[Span]] = {}
+        for span in clients.get(tenant, ()):
+            by_window.setdefault(int(span.end // w), []).append(span)
+        shed_by_window: Dict[int, int] = {}
+        for t in sheds.get(tenant, ()):
+            i = int(t // w)
+            shed_by_window[i] = shed_by_window.get(i, 0) + 1
+        depths = _carry_windows(tenant_queue.get(tenant, ()), w, n_windows)
+        for i, (start, end) in enumerate(edges):
+            members = by_window.get(i)
+            if members:
+                failed = sum(1 for s in members if s.attrs.get("failed"))
+                violations = (
+                    sum(
+                        1 for s in members
+                        if not s.attrs.get("failed") and s.duration > slo_s
+                    )
+                    if slo_s is not None
+                    else 0
+                )
+            else:
+                members = ()
+                failed = violations = 0
+            stats: Dict[str, object] = {
+                "completed": len(members),
+                "failed": failed,
+                "violations": violations,
+                "goodput_rps": (len(members) - failed - violations) / w,
+                "shed": shed_by_window.get(i, 0),
+            }
+            if members:
+                latencies = sorted(s.duration for s in members)
+                stats["mean_s"] = sum(latencies) / len(latencies)
+                stats["max_s"] = latencies[-1]
+                for q, label in qlabels:
+                    stats[label] = exact_percentile(latencies, q)
+            depth = depths[i]
+            if depth is not None:
+                stats["queue_depth_mean"], stats["queue_depth_max"] = depth
+            emit(RollupWindow("tenant", tenant, i, start, end, stats))
+
+    # -- site scope (executors: DRX units, cpu fallback, accelerators) -------
+    site_health = {
+        _label(labels, "target"): samples
+        for labels, samples in health_gauges
+        if _label(labels, "target") is not None
+    }
+    breaker_events: Dict[str, List[Tuple[float, str]]] = {}
+    for inst in instants:
+        if inst.category == "breaker" and inst.name.startswith("breaker_"):
+            state = str(
+                inst.attrs.get("state") or inst.name[len("breaker_"):]
+            )
+            if state != "reroute":
+                breaker_events.setdefault(inst.actor, []).append(
+                    (inst.time, state)
+                )
+    sites = sorted({*site_spans, *site_health, *breaker_events})
+
+    for site in sites:
+        health = site_health.get(site)
+        transitions = breaker_events.get(site, ())
+        busy, legs = _busy_windows(site_spans.get(site, ()), w, n_windows)
+        hidx, hlast = 0, None
+        tidx, state = 0, "closed"
+        for i, (start, end) in enumerate(edges):
+            stats = {
+                "busy_s": busy[i],
+                "utilization": busy[i] / w,
+                "legs": legs[i],
+            }
+            if health is not None:
+                while hidx < len(health) and health[hidx][0] <= end:
+                    hlast = health[hidx][1]
+                    hidx += 1
+                if hlast is not None:
+                    stats["health"] = hlast
+            if transitions:
+                while tidx < len(transitions) and transitions[tidx][0] <= end:
+                    state = transitions[tidx][1]
+                    tidx += 1
+                stats["breaker_state"] = state
+            emit(RollupWindow("site", site, i, start, end, stats))
+
+    # -- backend scope (planner kinds) ---------------------------------------
+    backend_queue = {
+        _label(labels, "backend"): samples
+        for labels, samples in planner_gauges
+        if _label(labels, "backend") is not None
+    }
+    backends = sorted({*backend_spans, *backend_queue})
+
+    for backend in backends:
+        busy, legs = _busy_windows(
+            backend_spans.get(backend, ()), w, n_windows
+        )
+        depths = _carry_windows(backend_queue.get(backend, ()), w, n_windows)
+        for i, (start, end) in enumerate(edges):
+            stats = {
+                "busy_s": busy[i],
+                "utilization": busy[i] / w,
+                "legs": legs[i],
+            }
+            depth = depths[i]
+            if depth is not None:
+                stats["queue_depth_mean"], stats["queue_depth_max"] = depth
+            emit(RollupWindow("backend", backend, i, start, end, stats))
+
+    rollups.windows.sort(key=lambda x: (x.scope, x.key, x.window))
+    return rollups

@@ -1,0 +1,148 @@
+"""Deterministic head-based trace sampling for high-rps artifacts.
+
+At hundreds of thousands of requests per second the full span stream
+dominates artifact size while most request trees are near-identical
+happy paths. Sampling keeps a seeded fraction of request traces —
+**head-based**: the keep/drop decision is a pure hash of
+``(seed, request_id)``, so equal-seed runs sample identically and two
+artifacts of the same run agree on every kept request without any
+coordination.
+
+Requests that carry signal are always retained, regardless of the keep
+fraction:
+
+* faulted / retried requests (fault-plane instants, recovery-phase or
+  abandoned spans);
+* requests the control plane touched (breaker reroutes, forced-CPU,
+  open-breaker skips, brownout markers);
+* failed requests;
+* requests overlapping any fired alert's slow window — the traces an
+  incident post-mortem needs are exactly the ones sampling must not
+  lose.
+
+Sampling drops **span/instant rows only**. Metrics (counters, gauges,
+histograms) are aggregates over *all* requests and are written in full,
+and the artifact's meta section records ``sampled_out`` — nothing is
+silently dropped; the books always say how many traces were elided.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from .spans import Instant, Span
+
+__all__ = ["SamplingConfig", "SamplePlan", "plan_sampling"]
+
+#: Span attributes that mark a request as control-plane-touched.
+_PROTECT_ATTRS = (
+    "rerouted_to", "forced_cpu", "breaker_open", "abandoned", "truncated",
+)
+
+#: Instant categories that mark a request as carrying incident signal.
+_PROTECT_CATEGORIES = ("fault", "breaker", "brownout")
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """One sampling policy: keep ``keep_fraction`` of unprotected
+    request traces, decided by a hash seeded with ``seed``."""
+
+    keep_fraction: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in (0, 1]")
+
+
+def _hash_keep(seed: int, request_id: int, fraction: float) -> bool:
+    """Pure, platform-independent keep decision for one request."""
+    digest = zlib.crc32(f"{seed}:{request_id}".encode("ascii"))
+    return (digest % 1_000_000) / 1_000_000.0 < fraction
+
+
+@dataclass(frozen=True)
+class SamplePlan:
+    """The resolved keep set for one run's artifact."""
+
+    keep_fraction: float
+    seed: int
+    kept: FrozenSet[int]
+    sampled_out: int
+    protected: int
+
+    def keeps(self, request_id: int) -> bool:
+        """Whether rows of this request id survive (run-scoped rows —
+        ``request_id < 0`` — always do)."""
+        return request_id < 0 or request_id in self.kept
+
+    def to_meta(self) -> Dict[str, object]:
+        return {
+            "keep_fraction": self.keep_fraction,
+            "seed": self.seed,
+            "kept": len(self.kept),
+            "sampled_out": self.sampled_out,
+            "protected": self.protected,
+        }
+
+
+def plan_sampling(
+    source,
+    config: SamplingConfig,
+    alerts: Sequence[object] = (),
+) -> SamplePlan:
+    """Decide which request traces an artifact write retains.
+
+    ``source`` is a live Telemetry or a loaded RunArtifact; ``alerts``
+    is the run's alert timeline (fired alerts protect every request
+    whose client span overlaps their slow window).
+    """
+    spans: Sequence[Span] = source.spans
+    instants: Sequence[Instant] = source.instants
+
+    all_ids = {s.request_id for s in spans if s.request_id >= 0}
+    all_ids.update(i.request_id for i in instants if i.request_id >= 0)
+
+    protected = set()
+    alert_ranges = [
+        (alert.time - alert.span_s, alert.time)
+        for alert in alerts
+        if getattr(alert, "state", "") == "fire"
+    ]
+    for span in spans:
+        rid = span.request_id
+        if rid < 0 or rid in protected:
+            continue
+        if (
+            span.attrs.get("failed")
+            or span.phase == "recovery"
+            or any(span.attrs.get(key) for key in _PROTECT_ATTRS)
+        ):
+            protected.add(rid)
+            continue
+        if span.category == "client" and span.end is not None and any(
+            span.start <= hi and span.end >= lo
+            for lo, hi in alert_ranges
+        ):
+            protected.add(rid)
+    for inst in instants:
+        if inst.request_id >= 0 and inst.category in _PROTECT_CATEGORIES:
+            protected.add(inst.request_id)
+
+    kept = set(protected)
+    for rid in all_ids:
+        if rid not in kept and _hash_keep(
+            config.seed, rid, config.keep_fraction
+        ):
+            kept.add(rid)
+
+    return SamplePlan(
+        keep_fraction=config.keep_fraction,
+        seed=config.seed,
+        kept=frozenset(kept),
+        sampled_out=len(all_ids) - len(kept),
+        protected=len(protected & all_ids),
+    )

@@ -1,0 +1,185 @@
+"""Burn-rate alerts: firing logic, hysteresis dwell, root-cause keys."""
+
+import pytest
+
+from repro.telemetry import (
+    AlertConfig,
+    AlertEvent,
+    ObservationConfig,
+    RunArtifact,
+    evaluate_alerts,
+    observe_run,
+)
+from repro.telemetry.alerts import pick_cause
+from repro.telemetry.rollup import RollupWindow, RunRollups
+from repro.telemetry.spans import ROOT_PARENT, Instant, Span
+
+W = 10e-3
+SLO = 5e-3
+
+
+def tenant_windows(cells):
+    """RunRollups from per-window (completed, violations) pairs."""
+    windows = [
+        RollupWindow(
+            "tenant", "a", i, i * W, (i + 1) * W,
+            {"completed": completed, "violations": violations},
+        )
+        for i, (completed, violations) in enumerate(cells)
+    ]
+    return RunRollups(window_s=W, quantiles=(0.99,), slo_s=SLO,
+                      windows=windows)
+
+
+def empty_source():
+    return RunArtifact(schema=2, meta={})
+
+
+CFG = AlertConfig(
+    budget=0.10, fast_windows=1, slow_windows=3, fast_burn=2.0,
+    slow_burn=1.0, min_count=4, clear_after=2,
+)
+
+
+def test_fires_when_fast_and_slow_windows_both_burn():
+    # 10 completions/window; window 2 has 4 violations: fast burn
+    # 4/10/0.1 = 4x, slow burn 4/30/0.1 = 1.33x -> fire.
+    rollups = tenant_windows([(10, 0), (10, 0), (10, 4)])
+    events = evaluate_alerts(empty_source(), rollups, CFG)
+    assert [e.state for e in events] == ["fire"]
+    (fire,) = events
+    assert fire.tenant == "a"
+    assert fire.window == 2
+    assert fire.fast_burn == pytest.approx(4.0)
+    assert fire.slow_burn == pytest.approx(4 / 30 / 0.1)
+    assert fire.span_s == pytest.approx(3 * W)
+
+
+def test_slow_window_filters_one_window_blips():
+    # Same fast breach, but a long clean history dilutes the slow burn
+    # below 1x -> no fire.
+    rollups = tenant_windows([(30, 0), (30, 0), (10, 3)])
+    assert evaluate_alerts(empty_source(), rollups, CFG) == []
+
+
+def test_min_count_gates_idle_runs():
+    # One slow request in an idle run is not an incident.
+    rollups = tenant_windows([(0, 0), (0, 0), (1, 1)])
+    assert evaluate_alerts(empty_source(), rollups, CFG) == []
+
+
+def test_no_slo_means_no_alerts():
+    rollups = tenant_windows([(10, 10)])
+    rollups.slo_s = None
+    assert evaluate_alerts(empty_source(), rollups, CFG) == []
+
+
+def test_hysteresis_dwell_rides_through_one_calm_window():
+    # fire at window 2; window 3 calm (calm=1 < clear_after=2);
+    # window 4 burns again (calm resets); windows 5-6 calm -> clear at 6.
+    rollups = tenant_windows([
+        (10, 0), (10, 0), (10, 4), (10, 0), (10, 4), (10, 0), (10, 0),
+    ])
+    events = evaluate_alerts(empty_source(), rollups, CFG)
+    assert [(e.state, e.window) for e in events] == [
+        ("fire", 2), ("clear", 6),
+    ]
+
+
+def test_refires_after_a_clear():
+    rollups = tenant_windows([
+        (10, 0), (10, 0), (10, 4), (10, 0), (10, 0),  # fire@2, clear@4
+        (10, 0), (10, 0), (10, 0), (10, 4),           # dilute, refire@8
+    ])
+    events = evaluate_alerts(empty_source(), rollups, CFG)
+    assert [(e.state, e.window) for e in events] == [
+        ("fire", 2), ("clear", 4), ("fire", 8),
+    ]
+
+
+def test_pick_cause_skips_queue_and_idle_symptoms():
+    key, share = pick_cause({
+        "queue": 10.0, "idle": 5.0, "restructuring@drx0": 3.0,
+        "kernel@a0": 2.0,
+    })
+    assert key == "restructuring@drx0"
+    assert share == pytest.approx(3.0 / 20.0)
+    # all-symptom attribution falls back rather than returning nothing
+    key, _ = pick_cause({"queue": 2.0, "idle": 1.0})
+    assert key == "queue"
+    assert pick_cause({}) == ("", 0.0)
+
+
+def test_fire_attributes_to_the_dominant_site():
+    # A violating client whose wall time is dominated by a DRX
+    # restructuring leaf, with some queue wait in front of it.
+    spans = [
+        Span(1, ROOT_PARENT, 7, "req:a", "client", "a", "",
+             0.0, 9e-3, {"tenant": "a"}),
+        Span(2, 1, 7, "admit", "queue", "a", "queue", 0.0, 3e-3),
+        Span(3, 1, 7, "drx", "restructuring", "drx0", "restructuring",
+             3e-3, 9e-3),
+    ]
+    # enough healthy traffic behind it to pass min_count
+    for i in range(8):
+        spans.append(Span(
+            10 + i, ROOT_PARENT, 20 + i, "req:a", "client", "a", "",
+            0.0, 1e-3, {"tenant": "a"},
+        ))
+    source = RunArtifact(
+        schema=2, meta={}, spans=spans,
+        instants=[Instant(time=4e-3, name="breaker_open",
+                          category="breaker", actor="drx0")],
+    )
+    rollups = tenant_windows([(9, 4)])
+    cfg = AlertConfig(budget=0.10, fast_windows=1, slow_windows=1,
+                      fast_burn=2.0, slow_burn=1.0, min_count=4)
+    (fire,) = evaluate_alerts(source, rollups, cfg)
+    assert fire.state == "fire"
+    assert fire.cause == "restructuring@drx0"
+    assert fire.phase == "restructuring"
+    assert fire.site == "drx0"
+    assert fire.share > 0.5
+    assert "queue@a" in fire.attribution  # symptom present, never ranked
+    assert fire.events == ["breaker_open@drx0"]
+    assert "restructuring on drx0" in fire.describe()
+    assert "tenant a" in fire.describe()
+
+
+def test_alert_row_round_trip():
+    fire = AlertEvent(
+        time=0.03, tenant="a", state="fire", window=2, fast_burn=4.0,
+        slow_burn=1.3, span_s=0.03, cause="restructuring@drx0",
+        site="drx0", phase="restructuring", share=0.7,
+        attribution={"restructuring@drx0": 1.0}, events=["fault@drx0"],
+    )
+    row = fire.to_row()
+    assert row["kind"] == "alert"
+    again = AlertEvent.from_row(row)
+    assert again.to_row() == row
+
+
+def test_observe_run_computes_both_and_honors_alerts_off():
+    source = RunArtifact(schema=2, meta={"slo_s": SLO}, spans=[
+        Span(1, ROOT_PARENT, 0, "req:a", "client", "a", "",
+             0.0, 1e-3, {"tenant": "a"}),
+    ])
+    rollups, alerts = observe_run(source)
+    assert rollups.slo_s == SLO
+    assert rollups.keys("tenant") == ["a"]
+    assert alerts == []
+    rollups2, alerts2 = observe_run(
+        source, ObservationConfig(alerts=None)
+    )
+    assert alerts2 == []
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AlertConfig(budget=0.0)
+    with pytest.raises(ValueError):
+        AlertConfig(fast_windows=3, slow_windows=2)
+    with pytest.raises(ValueError):
+        AlertConfig(min_count=0)
+    with pytest.raises(ValueError):
+        AlertConfig(clear_after=0)

@@ -1,0 +1,86 @@
+"""Differential diagnosis: ranked regressions, symptom separation."""
+
+import json
+
+from repro.telemetry import RunArtifact, diff_runs, render_diff
+from repro.telemetry.spans import ROOT_PARENT, Span
+
+
+def run_with(restructure_s, queue_s=1e-3, n_requests=4):
+    """Synthetic run: each request queues then restructures on drx0."""
+    spans = []
+    sid = 0
+    for rid in range(n_requests):
+        t0 = rid * 20e-3
+        sid += 1
+        root = sid
+        spans.append(Span(
+            root, ROOT_PARENT, rid, "req:a", "client", "a", "",
+            t0, t0 + queue_s + restructure_s, {"tenant": "a"},
+        ))
+        sid += 1
+        spans.append(Span(
+            sid, root, rid, "admit", "queue", "a", "queue",
+            t0, t0 + queue_s,
+        ))
+        sid += 1
+        spans.append(Span(
+            sid, root, rid, "drx", "restructuring", "drx0",
+            "restructuring", t0 + queue_s, t0 + queue_s + restructure_s,
+        ))
+    return RunArtifact(schema=2, meta={"seed": 0}, spans=spans)
+
+
+def test_injected_site_regression_ranks_first():
+    a = run_with(restructure_s=2e-3)
+    b = run_with(restructure_s=5e-3, queue_s=2e-3)  # cause + symptom
+    report = diff_runs(a, b)
+    assert report["verdict"]["top_regression"] == "restructuring@drx0"
+    assert report["verdict"]["delta_per_request_s"] > 0
+    top = report["regressions"][0]
+    assert top["key"] == "restructuring@drx0"
+    assert top["delta_per_request_s"] > 0
+    # the queue growth is reported as a symptom, never a ranked cause
+    assert all(
+        row["phase"] not in ("queue", "idle")
+        for row in report["regressions"]
+    )
+    assert any(row["phase"] == "queue" for row in report["symptoms"])
+
+
+def test_per_request_normalization_survives_count_mismatch():
+    # Same per-request behavior at different request counts: no verdict.
+    a = run_with(restructure_s=2e-3, n_requests=4)
+    b = run_with(restructure_s=2e-3, n_requests=8)
+    report = diff_runs(a, b)
+    assert report["verdict"]["top_regression"] == ""
+    for row in report["regressions"]:
+        assert abs(row["delta_per_request_s"]) < 1e-12
+
+
+def test_self_diff_is_clean_and_json_able():
+    a = run_with(restructure_s=2e-3)
+    report = diff_runs(a, a, a_path="x.jsonl", b_path="x.jsonl")
+    assert report["verdict"]["top_regression"] == ""
+    assert report["a"]["requests"] == report["b"]["requests"] == 4
+    json.dumps(report, sort_keys=True)  # must be serializable as-is
+
+
+def test_percentile_curves_move_with_the_regression():
+    a = run_with(restructure_s=2e-3)
+    b = run_with(restructure_s=5e-3)
+    report = diff_runs(a, b)
+    points = report["percentiles"]["a"]
+    assert all(pt["delta_s"] > 0 for pt in points)
+    assert [pt["q"] for pt in points] == [0.50, 0.90, 0.95, 0.99]
+
+
+def test_render_diff_text_sections():
+    a = run_with(restructure_s=2e-3)
+    b = run_with(restructure_s=5e-3)
+    text = render_diff(diff_runs(a, b))
+    assert "verdict: restructuring@drx0 regressed" in text
+    assert "ranked regressions" in text
+    assert "symptoms" in text
+    assert "phase totals" in text
+    assert "latency percentile curves" in text

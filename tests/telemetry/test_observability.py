@@ -1,0 +1,251 @@
+"""The observation plane end to end: artifact v2, CLI, export, identity.
+
+Integration-level pins for ISSUE 8's acceptance criteria:
+
+* schema-2 artifacts append observation sections as a strict byte
+  suffix (an unarmed artifact is a byte-prefix of the armed one);
+* v1 artifacts still load and report;
+* the armed run's simulation outputs are identical to the unarmed
+  run's (the observation pass is post hoc);
+* the CLI grows report/diff/dashboard subcommands while the legacy
+  positional spelling keeps working;
+* the Perfetto export carries rollup counter tracks and alert instants.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.placement import Mode
+from repro.serve.sweep import SweepConfig, run_sweep
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    AlertConfig,
+    ObservationConfig,
+    RollupConfig,
+    SamplingConfig,
+    chrome_trace,
+    load_artifact,
+    render_report,
+    report_dict,
+    validate_artifact,
+)
+from repro.telemetry.__main__ import main as cli_main
+
+
+def sweep_config(tmp_path, observation=None, sampling=None, **kwargs):
+    defaults = dict(
+        offered_loads_rps=(150.0,),
+        modes=(Mode.BUMP_IN_WIRE,),
+        requests_per_tenant=12,
+        seed=0,
+        slo_s=50e-3,
+        artifact_dir=str(tmp_path),
+        observation=observation,
+        sampling=sampling,
+    )
+    defaults.update(kwargs)
+    return SweepConfig(**defaults)
+
+
+def artifact_path(tmp_path):
+    return str(tmp_path / "bump-in-the-wire-drx-pt0.jsonl")
+
+
+OBSERVED = ObservationConfig(
+    rollup=RollupConfig(window_s=10e-3), alerts=AlertConfig()
+)
+
+
+def test_armed_artifact_is_strict_superset_of_unarmed(tmp_path):
+    plain_dir = tmp_path / "plain"
+    armed_dir = tmp_path / "armed"
+    plain = run_sweep(sweep_config(plain_dir))
+    armed = run_sweep(sweep_config(armed_dir, observation=OBSERVED))
+    # simulation outcome identical: observation is strictly post hoc
+    assert plain.to_json() == armed.to_json()
+    with open(artifact_path(plain_dir), "rb") as fh:
+        plain_bytes = fh.read()
+    with open(artifact_path(armed_dir), "rb") as fh:
+        armed_bytes = fh.read()
+    assert armed_bytes.startswith(plain_bytes)
+    assert len(armed_bytes) > len(plain_bytes)
+
+
+def test_observed_artifact_round_trips(tmp_path):
+    run_sweep(sweep_config(tmp_path, observation=OBSERVED))
+    path = artifact_path(tmp_path)
+    assert validate_artifact(path) == []
+    art = load_artifact(path)
+    assert art.schema == SCHEMA_VERSION == 2
+    assert art.rollups is not None
+    assert art.rollups.window_s == 10e-3
+    assert art.rollups.slo_s == 50e-3
+    assert art.rollups.keys("tenant")
+    assert art.rollups.keys("site")
+    assert art.observation is not None
+    # rollup stats survive the disk round trip exactly
+    from repro.telemetry import compute_rollups
+
+    recomputed = compute_rollups(
+        art, RollupConfig(window_s=10e-3), slo_s=50e-3
+    )
+    assert json.dumps(list(art.rollups.to_rows()), sort_keys=True) == \
+        json.dumps(list(recomputed.to_rows()), sort_keys=True)
+
+
+def test_observed_artifacts_are_byte_deterministic(tmp_path):
+    one = tmp_path / "one"
+    two = tmp_path / "two"
+    run_sweep(sweep_config(one, observation=OBSERVED))
+    run_sweep(sweep_config(two, observation=OBSERVED))
+    with open(artifact_path(one), "rb") as fh:
+        a = fh.read()
+    with open(artifact_path(two), "rb") as fh:
+        b = fh.read()
+    assert a == b
+
+
+def test_v1_artifact_still_loads_and_reports(tmp_path):
+    run_sweep(sweep_config(tmp_path))
+    path = artifact_path(tmp_path)
+    # rewrite as a v1 artifact: v2 minus the version bump (no
+    # observation rows exist on an unarmed run)
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    meta = json.loads(lines[0])
+    assert meta["schema"] == 2
+    meta["schema"] = 1
+    lines[0] = json.dumps(meta, sort_keys=True, separators=(",", ":"))
+    v1_path = str(tmp_path / "v1.jsonl")
+    with open(v1_path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write("\n".join(lines) + "\n")
+    assert validate_artifact(v1_path) == []
+    art = load_artifact(v1_path)
+    assert art.schema == 1
+    assert art.rollups is None
+    assert art.alerts == []
+    assert art.observation is None
+    assert art.sampling is None
+    render_report(art)
+    report_dict(art)
+    assert "rollups" not in report_dict(art)
+
+
+def test_unknown_schema_is_rejected(tmp_path):
+    path = str(tmp_path / "bad.jsonl")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write('{"kind":"meta","meta":{},"schema":0}\n')
+    assert validate_artifact(path)
+    with pytest.raises(ValueError):
+        load_artifact(path)
+
+
+def test_sampling_filters_traces_but_keeps_metrics(tmp_path):
+    full_dir = tmp_path / "full"
+    sampled_dir = tmp_path / "sampled"
+    run_sweep(sweep_config(full_dir, observation=OBSERVED))
+    run_sweep(sweep_config(
+        sampled_dir, observation=OBSERVED,
+        sampling=SamplingConfig(keep_fraction=0.3, seed=5),
+    ))
+    full = load_artifact(artifact_path(full_dir))
+    sampled = load_artifact(artifact_path(sampled_dir))
+    assert len(sampled.spans) < len(full.spans)
+    assert sampled.counters == full.counters  # metrics never sampled
+    books = sampled.sampling
+    assert books["sampled_out"] > 0
+    assert books["kept"] + books["sampled_out"] == len(full.request_ids())
+    assert validate_artifact(artifact_path(sampled_dir)) == []
+
+
+def test_export_carries_rollup_counters_and_alert_instants():
+    from repro.telemetry import AlertEvent, RunArtifact
+    from repro.telemetry.rollup import RollupWindow, RunRollups
+    from repro.telemetry.spans import ROOT_PARENT, Span
+
+    art = RunArtifact(schema=2, meta={}, spans=[
+        Span(1, ROOT_PARENT, 0, "req", "client", "a", "", 0.0, 1e-3,
+             {"tenant": "a"}),
+    ])
+    art.rollups = RunRollups(
+        window_s=10e-3, quantiles=(0.99,), slo_s=5e-3,
+        windows=[RollupWindow("tenant", "a", 0, 0.0, 10e-3,
+                              {"completed": 3, "p99_s": 2e-3})],
+    )
+    art.alerts = [AlertEvent(
+        time=10e-3, tenant="a", state="fire", window=0, fast_burn=3.0,
+        slow_burn=1.5, span_s=10e-3, cause="restructuring@drx0",
+        site="drx0", phase="restructuring", share=0.8,
+    )]
+    trace = chrome_trace(art)
+    counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+    assert counters and counters[0]["name"] == "tenant:a"
+    assert counters[0]["args"] == {"completed": 3, "p99_s": 2e-3}
+    alerts = [e for e in trace["traceEvents"]
+              if e.get("cat") == "alert"]
+    assert len(alerts) == 1
+    assert alerts[0]["name"] == "fire:a"
+    assert alerts[0]["args"]["cause"] == "restructuring@drx0"
+    # the alerts track is named in the thread metadata
+    names = [e["args"]["name"] for e in trace["traceEvents"]
+             if e["ph"] == "M"]
+    assert "alerts" in names
+
+
+def test_cli_report_json_and_subcommands(tmp_path, capsys):
+    run_sweep(sweep_config(tmp_path, observation=OBSERVED))
+    path = artifact_path(tmp_path)
+
+    # legacy positional spelling still works
+    assert cli_main([path]) == 0
+    capsys.readouterr()
+    assert cli_main([path, "--validate"]) == 0
+    capsys.readouterr()
+
+    assert cli_main(["report", path, "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == 2
+    assert "phase_totals_s" in doc
+    assert "site_critical_path_s" in doc
+    assert "rollups" in doc
+
+    assert cli_main(["diff", path, path, "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["verdict"]["top_regression"] == ""
+
+    out_svg = str(tmp_path / "dash.svg")
+    assert cli_main(["dashboard", path, "-o", out_svg]) == 0
+    capsys.readouterr()
+    with open(out_svg, "r", encoding="utf-8") as fh:
+        svg = fh.read()
+    assert svg.startswith("<svg")
+    assert "windowed p99 per tenant" in svg
+
+
+def test_dashboard_bytes_are_deterministic(tmp_path):
+    run_sweep(sweep_config(tmp_path, observation=OBSERVED))
+    art = load_artifact(artifact_path(tmp_path))
+    from repro.telemetry import render_dashboard
+
+    one = render_dashboard(art, str(tmp_path / "one.svg"))
+    two = render_dashboard(art, str(tmp_path / "two.svg"))
+    with open(one, "rb") as fh:
+        a = fh.read()
+    with open(two, "rb") as fh:
+        b = fh.read()
+    assert a == b
+
+
+def test_serve_result_carries_observation_output(tmp_path):
+    from repro.serve.sweep import run_sweep_point
+
+    cfg = sweep_config(tmp_path, observation=OBSERVED)
+    run_sweep_point(cfg, Mode.BUMP_IN_WIRE, 0)
+    art = load_artifact(artifact_path(tmp_path))
+    assert art.rollups is not None
+    # report renders the alert timeline section only when alerts fired
+    report = render_report(art)
+    if art.alerts:
+        assert "alert timeline" in report

@@ -1,0 +1,107 @@
+"""Trace sampling: determinism, protected traces, artifact filtering."""
+
+import pytest
+
+from repro.telemetry import (
+    AlertEvent,
+    RunArtifact,
+    SamplingConfig,
+    plan_sampling,
+)
+from repro.telemetry.spans import ROOT_PARENT, Instant, Span
+
+
+def client(rid, start=0.0, end=1e-3, **attrs):
+    return Span(
+        span_id=rid, parent_id=ROOT_PARENT, request_id=rid,
+        name=f"req{rid}", category="client", actor="a", phase="",
+        start=start, end=end, attrs=dict(attrs),
+    )
+
+
+def source(spans=(), instants=()):
+    return RunArtifact(
+        schema=2, meta={}, spans=list(spans), instants=list(instants),
+    )
+
+
+def test_keep_fraction_one_keeps_everything():
+    src = source([client(i) for i in range(20)])
+    plan = plan_sampling(src, SamplingConfig(keep_fraction=1.0))
+    assert plan.sampled_out == 0
+    assert all(plan.keeps(i) for i in range(20))
+
+
+def test_sampling_is_deterministic_and_books_balance():
+    src = source([client(i) for i in range(200)])
+    cfg = SamplingConfig(keep_fraction=0.25, seed=7)
+    one = plan_sampling(src, cfg)
+    two = plan_sampling(src, cfg)
+    assert one.kept == two.kept
+    assert 0 < len(one.kept) < 200
+    assert one.sampled_out == 200 - len(one.kept)
+    meta = one.to_meta()
+    assert meta["kept"] + meta["sampled_out"] == 200
+    # a different seed keeps a different set
+    other = plan_sampling(src, SamplingConfig(keep_fraction=0.25, seed=8))
+    assert other.kept != one.kept
+
+
+def test_run_scoped_rows_always_survive():
+    plan = plan_sampling(
+        source([client(0)]), SamplingConfig(keep_fraction=0.5, seed=0)
+    )
+    assert plan.keeps(-1)
+
+
+@pytest.mark.parametrize("attrs", [
+    {"failed": True},
+    {"rerouted_to": "drx1"},
+    {"forced_cpu": True},
+    {"breaker_open": True},
+])
+def test_control_plane_touched_traces_are_protected(attrs):
+    # keep_fraction so small the hash keeps nothing; only protection
+    # can retain the trace.
+    src = source(
+        [client(i) for i in range(50)] + [client(99, **attrs)]
+    )
+    plan = plan_sampling(src, SamplingConfig(keep_fraction=1e-6, seed=0))
+    assert plan.keeps(99)
+    assert plan.protected >= 1
+
+
+def test_recovery_spans_and_fault_instants_protect():
+    recovery = Span(
+        span_id=500, parent_id=ROOT_PARENT, request_id=41, name="retry",
+        category="recovery", actor="drx0", phase="recovery",
+        start=0.0, end=1e-3,
+    )
+    faulted = Instant(time=0.0, name="dma_fault", category="fault",
+                      actor="dma", request_id=42)
+    src = source([client(i) for i in range(50)] + [recovery], [faulted])
+    plan = plan_sampling(src, SamplingConfig(keep_fraction=1e-6, seed=0))
+    assert plan.keeps(41)
+    assert plan.keeps(42)
+
+
+def test_alert_overlapping_traces_are_protected():
+    fire = AlertEvent(
+        time=30e-3, tenant="a", state="fire", window=2, fast_burn=3.0,
+        slow_burn=1.5, span_s=20e-3,
+    )
+    inside = client(7, start=15e-3, end=25e-3)
+    outside = client(8, start=100e-3, end=101e-3)
+    src = source([client(i) for i in range(50)] + [inside, outside])
+    plan = plan_sampling(
+        src, SamplingConfig(keep_fraction=1e-6, seed=0), alerts=[fire]
+    )
+    assert plan.keeps(7)
+    assert not plan.keeps(8)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SamplingConfig(keep_fraction=0.0)
+    with pytest.raises(ValueError):
+        SamplingConfig(keep_fraction=1.5)
