@@ -90,6 +90,9 @@ class PlanDecision:
     #: Backends that ranked cheaper but were breaker-denied: the
     #: reroutes the resilience plane gets notified about.
     skipped: List[Tuple[str, str]] = field(default_factory=list)
+    #: True when the candidate set was restricted by the brownout CPU
+    #: cost ceiling (the planner-aware FORCE_CPU tier).
+    constrained: bool = False
 
 
 class LegPlanner:
@@ -135,12 +138,29 @@ class LegPlanner:
             reason=f"forced-cpu({reason})",
         )
 
-    def plan(self, leg: LegSpec) -> PlanDecision:
+    def plan(self, leg: LegSpec, cpu_ceiling: bool = False) -> PlanDecision:
         """Price ``leg`` on every candidate; return the cheapest admitted.
 
         Pure with respect to simulated time: estimates read live queue
         depths but never advance the clock or touch RNG state.
+
+        A backend whose dispatch target sits on a *decommissioned*
+        failure domain (crashed and detected, breaker DEAD) is removed
+        from the candidate set before it is even priced — decommission
+        means no new legs are planned onto the domain, full stop.
+
+        ``cpu_ceiling=True`` is the planner-aware brownout FORCE_CPU
+        tier: candidates pricier than the CPU estimate are dropped, so
+        the tier means "cheapest *surviving* backend no worse than CPU"
+        instead of blindly pessimizing legs whose accelerator path is
+        cheaper than host restructuring.
         """
+        domains = getattr(self.system, "domains", None)
+        ceiling = (
+            self.backends[BACKEND_CPU].estimate(leg).total_s
+            if cpu_ceiling
+            else None
+        )
         scored: List[Tuple[float, int, str, RestructureBackend,
                            CostEstimate]] = []
         notes: List[str] = []
@@ -151,12 +171,22 @@ class LegPlanner:
             if not backend.eligible(leg):
                 notes.append(f"{kind}:ineligible")
                 continue
+            if domains is not None:
+                target = backend.target(leg)
+                if target and domains.is_down(target):
+                    notes.append(f"{kind}:decommissioned")
+                    continue
             est = backend.estimate(leg)
+            if ceiling is not None and est.total_s > ceiling:
+                notes.append(f"{kind}:over-cpu-ceiling")
+                continue
             scored.append((est.total_s, index, kind, backend, est))
         scored.sort(key=lambda entry: (entry[0], entry[1]))
         ranking = " < ".join(
             f"{kind}:{_fmt_s(total)}" for total, _, kind, _b, _e in scored
         )
+        if ceiling is not None:
+            notes.append(f"cpu-ceiling:{_fmt_s(ceiling)}")
         control = self.system.control
         skipped: List[Tuple[str, str]] = []
         for total, _index, kind, backend, est in scored:
@@ -174,9 +204,10 @@ class LegPlanner:
                 reason += " [" + ",".join(notes) + "]"
             return PlanDecision(
                 kind=kind, backend=backend, reason=reason, probe=probe,
-                estimate=est, skipped=skipped,
+                estimate=est, skipped=skipped, constrained=cpu_ceiling,
             )
-        # Every candidate ineligible or breaker-denied: CPU catches it.
+        # Every candidate ineligible, decommissioned, over the ceiling,
+        # or breaker-denied: CPU catches it.
         reason = "no-eligible-backend"
         if notes:
             reason += " [" + ",".join(notes) + "]"
@@ -185,4 +216,5 @@ class LegPlanner:
             backend=self.backends[BACKEND_CPU],
             reason=reason,
             skipped=skipped,
+            constrained=cpu_ceiling,
         )

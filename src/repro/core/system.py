@@ -22,9 +22,12 @@ from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional
 from ..cpu import HostCPU
 from ..drx.microarch import DRXDevice
 from ..faults import (
+    CrashPlan,
+    DomainCrashed,
     FaultInjector,
     FaultPlan,
     InjectedFault,
+    RescueAbandoned,
     RetryExhausted,
     retry,
     with_timeout,
@@ -33,7 +36,8 @@ from ..faults.recovery import shielded
 from ..interconnect import DMACosts, DMAEngine, Fabric, LinkConfig, PCIeGen
 from ..resilience.control import ControlPlane, ResilienceConfig
 from ..runtime.driver import NotificationModel
-from ..sim import AllOf, PhaseAccumulator, Simulator, Trace, WaitTimeout
+from ..sim import AllOf, AnyOf, PhaseAccumulator, Simulator, Trace, \
+    WaitTimeout
 from ..sim.tracing import FaultRecord
 from ..telemetry import ActiveSpan, SpanContext, Telemetry
 from .chain import AppChain, KernelStage, MotionStage
@@ -61,6 +65,12 @@ PHASE_RECOVERY = "recovery"
 #: Exceptions the per-request recovery machinery handles (everything
 #: else is a genuine model bug and propagates in strict mode).
 _RECOVERABLE = (WaitTimeout, InjectedFault, RetryExhausted)
+
+#: Exceptions that terminate a request with ``failed=True``. The
+#: transient set, plus a rescue abandoned past its deadline — a typed
+#: *permanent*-failure outcome, deliberately kept out of ``_RECOVERABLE``
+#: so nothing retries it.
+_REQUEST_FATAL = _RECOVERABLE + (RescueAbandoned,)
 
 # The accelerator→DRX hop crosses the card-internal multiplexer: the
 # same x8 wire rate but with near-ideal protocol efficiency and
@@ -97,7 +107,11 @@ class RequestRecord:
     burning a timeout — distinct from ``fell_back``, which is the
     reactive path; ``failed`` marks a request whose recovery was
     exhausted (its record still exists — a production system answers
-    such requests with an error, it does not hang).
+    such requests with an error, it does not hang); ``rescued`` marks a
+    request with an in-flight leg drained off a *crashed* failure domain
+    and resubmitted to completion on a surviving backend — distinct from
+    both ``fell_back`` (retried in place after a timeout) and
+    ``rerouted`` (steered before dispatch).
     """
 
     app: str
@@ -108,6 +122,7 @@ class RequestRecord:
     fell_back: bool = False
     rerouted: bool = False
     failed: bool = False
+    rescued: bool = False
     request_id: int = -1
     #: Per-motion-leg planner decisions (backend kind chosen per leg) and
     #: the matching ranking strings. ``None`` unless the system was built
@@ -231,6 +246,16 @@ class RunResult:
             if r.failed and (app is None or r.app == app)
         )
 
+    def rescued_count(self, app: Optional[str] = None) -> int:
+        """Requests drained off a crashed failure domain and resubmitted
+        to completion on a surviving backend — distinct from
+        ``fallback_count`` (retried in place after a burned timeout)."""
+        return sum(
+            1
+            for r in self.records
+            if r.rescued and (app is None or r.app == app)
+        )
+
     def recovery_summary(self) -> Dict[str, object]:
         """Run-wide recovery counters for reporting.
 
@@ -244,6 +269,7 @@ class RunResult:
             "retries": self.total_retries(),
             "fallbacks": self.fallback_count(),
             "rerouted": self.rerouted_count(),
+            "rescued": self.rescued_count(),
             "failures": self.failure_count(),
         }
         if self.backend_legs is not None:
@@ -259,7 +285,7 @@ class _RequestState:
 
     __slots__ = (
         "request_id", "retries", "fell_back", "rerouted", "failed",
-        "leg_backends", "leg_reasons",
+        "rescued", "leg_backends", "leg_reasons",
     )
 
     def __init__(self, request_id: int):
@@ -268,6 +294,7 @@ class _RequestState:
         self.fell_back = False
         self.rerouted = False
         self.failed = False
+        self.rescued = False
         self.leg_backends: List[str] = []
         self.leg_reasons: List[str] = []
 
@@ -294,6 +321,15 @@ class DMXSystem:
     XDMA) under live contention and the cheapest admitted one runs it.
     With ``backends=None`` (the default) routing is the classic
     DRX-with-CPU-fallback engine, byte-for-byte.
+
+    Pass a :class:`~repro.faults.CrashPlan` as ``domains`` to arm the
+    permanent-failure layer: scheduled crashes kill whole failure
+    domains mid-run, in-flight legs on the dead domain are drained via
+    the engine's interrupt machinery and rescued exactly once on a
+    surviving backend, the domain is decommissioned (breaker DEAD, no
+    new legs priced on it), and an optional revival re-admits it through
+    half-open probing. A plan with no crashes arms nothing — runs stay
+    byte-identical to unarmed ones.
     """
 
     def __init__(
@@ -304,6 +340,7 @@ class DMXSystem:
         telemetry_enabled: bool = True,
         resilience: Optional[ResilienceConfig] = None,
         backends: Optional["PlannerConfig"] = None,
+        domains: Optional[CrashPlan] = None,
     ):
         if not chains:
             raise ValueError("need at least one application chain")
@@ -380,6 +417,18 @@ class DMXSystem:
                 }
         else:
             self.planner = None
+        # The permanent-failure layer (lazy import: the recovery module
+        # pulls repro.core back in for the system type). Constructed only
+        # when the plan actually schedules a crash, so an armed-but-empty
+        # plan adds zero events and zero draws — byte identity holds.
+        if domains is not None and domains.crashes:
+            from ..resilience.recovery import DomainManager
+
+            self.domains: Optional[DomainManager] = DomainManager(
+                self, domains
+            )
+        else:
+            self.domains = None
 
     # -- topology ------------------------------------------------------------
 
@@ -539,6 +588,116 @@ class DMXSystem:
 
         return cb
 
+    def _leg_race(
+        self,
+        op: Generator,
+        deadline_s: Optional[float],
+        crash_ev,
+        target: str,
+        what: str,
+    ) -> Generator:
+        """Run one motion leg racing its deadline *and* its failure
+        domain's crash broadcast.
+
+        With ``crash_ev=None`` (no crash scheduled on the target) this
+        is exactly :func:`~repro.faults.with_timeout` — the legacy
+        deadline race, byte for byte. With a crash event armed, three
+        outcomes race: the leg completes (even exactly at the crash
+        instant — completed work is completed), the deadline fires
+        (``WaitTimeout``, the transient-fallback path), or the domain
+        dies — the in-flight child is cancelled via the engine's
+        interrupt machinery (its ``finally`` blocks release every held
+        slot) and a typed :class:`~repro.faults.DomainCrashed` surfaces
+        for rescue. A leg dispatched to an *already*-crashed,
+        not-yet-detected domain fails fast at zero cost: the surprise
+        link-down is observed before any deadline budget burns.
+        """
+        if crash_ev is None:
+            result = yield from with_timeout(self.sim, op, deadline_s,
+                                             what=what)
+            return result
+        if crash_ev.triggered:
+            op.close()
+            exc = DomainCrashed(target, self.domains.crashed_at[target])
+            exc.inflight = False
+            raise exc
+        proc = self.sim.spawn(shielded(op), name=f"leg:{what}")
+        waiters = [proc]
+        deadline = None
+        if deadline_s is not None:
+            deadline = self.sim.timeout(deadline_s)
+            waiters.append(deadline)
+        waiters.append(crash_ev)
+        yield AnyOf(self.sim, waiters)
+        if proc.triggered:
+            if deadline is not None:
+                deadline.cancel()
+            ok, value = proc.value
+            if not ok:
+                raise value
+            return value
+        if crash_ev.triggered:
+            if deadline is not None:
+                deadline.cancel()
+            if proc.is_alive:
+                proc.interrupt(f"domain {target} crashed")
+            exc = DomainCrashed(target, self.domains.crashed_at[target])
+            exc.inflight = True
+            raise exc
+        if proc.is_alive:
+            proc.interrupt(f"deadline {deadline_s} s exceeded")
+        raise WaitTimeout(
+            f"{what or 'operation'} exceeded its {deadline_s} s deadline"
+        )
+
+    def _rescue_accounting(
+        self,
+        exc: DomainCrashed,
+        target: str,
+        span_start: float,
+        attempt: ActiveSpan,
+        sctx: SpanContext,
+        state: Optional[_RequestState],
+        phases: PhaseAccumulator,
+        probe: bool,
+        count: int,
+    ) -> float:
+        """Book one drained (or failed-fast) leg and gate the rescue.
+
+        Abandons the attempt subtree, re-bills the burned interval to
+        the recovery phase (carrying the already-burned latency, exactly
+        like the deadline-fallback path), feeds the crash observation to
+        the domain manager's detection escalation, and — when the leg is
+        past the plan's rescue deadline — raises
+        :class:`~repro.faults.RescueAbandoned` instead of letting the
+        caller resubmit. Returns the burned seconds."""
+        manager = self.domains
+        rid = state.request_id if state is not None else -1
+        burned = self.sim.now - span_start
+        if self.control is not None:
+            self.control.record(target, False, burned, probe=probe)
+        manager.observe_crash_failure(
+            target, rid, count, getattr(exc, "inflight", True)
+        )
+        self._note(
+            "drain", target, site="domain", request_id=rid,
+            detail=type(exc).__name__,
+        )
+        self.telemetry.end(attempt, error=type(exc).__name__)
+        self.telemetry.mark_abandoned(attempt)
+        if burned:
+            phases.add(PHASE_RECOVERY, burned)
+            self.telemetry.add(
+                "recovery", PHASE_RECOVERY, start=span_start,
+                end=self.sim.now, actor=target, parent=sctx.parent_id,
+                request_id=sctx.request_id, phase=PHASE_RECOVERY,
+                cause=type(exc).__name__,
+            )
+        if manager.past_rescue_deadline(burned):
+            manager.on_rescue_abandoned(target, rid, burned, count)
+            raise RescueAbandoned(target, burned)
+        return burned
+
     def _staged_transfer(
         self,
         src: str,
@@ -678,9 +837,15 @@ class DMXSystem:
 
         Returns ``(drx, staging, probe)`` for the unit the leg should
         use, or ``None`` when the leg must degrade to CPU restructuring
-        right away (the brownout FORCE_CPU tier, or the home breaker
-        open with no admitting alternate). Rerouted legs never burn the
-        per-request DRX deadline — that is the breaker's whole point.
+        right away (the brownout FORCE_CPU tier, the home unit's failure
+        domain decommissioned, or the home breaker open with no
+        admitting alternate). Rerouted legs never burn the per-request
+        DRX deadline — that is the breaker's whole point.
+
+        A *decommissioned* domain (crashed and detected) is excluded
+        outright — home and alternates both — without consulting its
+        breaker; an undetected corpse still admits, dispatches, and
+        fails fast, which is what drives detection.
         """
         rid = state.request_id if state is not None else -1
         record_spans = self.telemetry.enabled and mspan is not None
@@ -694,28 +859,47 @@ class DMXSystem:
                 request_id=rid,
             )
             return None
-        decision = self.control.admit(drx.name)
-        if decision.allow:
-            return drx, staging, decision.probe
-        if record_spans:
-            mspan.attrs["breaker_open"] = True
-        if self.control.config.reroute_alternates:
+        down = self.domains is not None and self.domains.is_down(drx.name)
+        if down:
+            if record_spans:
+                mspan.attrs["domain_down"] = True
+        else:
+            if self.control is None:
+                return drx, staging, False
+            decision = self.control.admit(drx.name)
+            if decision.allow:
+                return drx, staging, decision.probe
+            if record_spans:
+                mspan.attrs["breaker_open"] = True
+        if self.control is None or self.control.config.reroute_alternates:
             for alt, alt_staging in self._alternate_placements(
                 mode, drx.name
             ):
-                alt_decision = self.control.admit(alt.name)
-                if alt_decision.allow:
-                    if state is not None:
-                        state.rerouted = True
-                    if record_spans:
-                        mspan.attrs["rerouted_to"] = alt.name
+                if (
+                    self.domains is not None
+                    and self.domains.is_down(alt.name)
+                ):
+                    continue
+                if self.control is not None:
+                    alt_decision = self.control.admit(alt.name)
+                    if not alt_decision.allow:
+                        continue
+                    probe = alt_decision.probe
+                else:
+                    probe = False
+                if state is not None:
+                    state.rerouted = True
+                if record_spans:
+                    mspan.attrs["rerouted_to"] = alt.name
+                if self.control is not None:
                     self.control.note_reroute(drx.name, alt.name, rid)
-                    return alt, alt_staging, alt_decision.probe
+                return alt, alt_staging, probe
         if state is not None:
             state.rerouted = True
         if record_spans:
             mspan.attrs["rerouted_to"] = "cpu"
-        self.control.note_reroute(drx.name, "cpu", rid)
+        if self.control is not None:
+            self.control.note_reroute(drx.name, "cpu", rid)
         return None
 
     def _drx_motion(
@@ -759,6 +943,14 @@ class DMXSystem:
                 yield AllOf(self.sim, [ingest, work])
             except BaseException:
                 self.telemetry.end(pspan, abandoned=True)
+                if self.domains is not None:
+                    # A drained leg must not leave orphan children
+                    # holding the dead switch's DRX queue slot past the
+                    # decommission instant: cancel them too (their
+                    # ``finally`` blocks release what they hold).
+                    for proc in (ingest, work):
+                        if proc.is_alive:
+                            proc.interrupt("leg cancelled")
                 raise
             phases.add(PHASE_RESTRUCTURE, self.sim.now - start)
             self.telemetry.end(pspan)
@@ -904,15 +1096,16 @@ class DMXSystem:
         drx, staging = self._drx_placement(mode, src, app_index)
 
         probe = False
-        if force_cpu or self.control is not None:
+        if force_cpu or self.control is not None or self.domains is not None:
             routed = self._route_drx(
                 mode, drx, staging, state, mspan, force_cpu
             )
             if routed is None:
-                # Browned out: the FORCE_CPU tier, or the home breaker
-                # open with every alternate's breaker open too. The
-                # stage restructures on the host immediately — no DRX
-                # deadline budget is burned.
+                # Browned out: the FORCE_CPU tier, the home unit's
+                # domain decommissioned with no surviving alternate, or
+                # the home breaker open with every alternate's breaker
+                # open too. The stage restructures on the host
+                # immediately — no DRX deadline budget is burned.
                 yield from self._multi_axl_motion(
                     src, dst, stage, threads, phases, state, sctx
                 )
@@ -932,7 +1125,10 @@ class DMXSystem:
         else:  # fusion ablation: every intermediate round-trips DRAM
             fused = stage.profile
 
-        if self._faults is None:
+        crash_ev = (
+            self.domains.watch(drx.name) if self.domains is not None else None
+        )
+        if self._faults is None and crash_ev is None:
             leg_start = self.sim.now
             yield from self._drx_motion(
                 mode, src, dst, staging, drx, stage, fused, phases, state,
@@ -945,25 +1141,46 @@ class DMXSystem:
             return
 
         # Graceful degradation: the DRX leg runs under the request's
-        # deadline budget; past it (or once retries are exhausted) the
-        # stage falls back to CPU restructuring via host memory.
+        # deadline budget (and, when the unit's failure domain has a
+        # crash scheduled, races its crash broadcast too); past the
+        # deadline the stage falls back to CPU restructuring via host
+        # memory, and a crashed domain's leg is drained and rescued.
         local = PhaseAccumulator(ALL_PHASES)
         span_start = self.sim.now
+        deadline_s = (
+            self._faults.drx_deadline_s if self._faults is not None else None
+        )
         attempt = sctx.begin(
             "drx-attempt", "attempt",
-            deadline_s=self._faults.drx_deadline_s,
+            deadline_s=deadline_s,
             **({"breaker_probe": True} if probe else {}),
         )
         actx = sctx.child(attempt)
         try:
-            yield from with_timeout(
-                self.sim,
+            yield from self._leg_race(
                 self._drx_motion(
                     mode, src, dst, staging, drx, stage, fused, local, state,
                     actx,
                 ),
-                self._faults.drx_deadline_s,
+                deadline_s, crash_ev, drx.name,
                 what=f"drx:{drx.name}",
+            )
+        except DomainCrashed as exc:
+            # The domain died under (or before) this leg: drain it and
+            # rescue the request exactly once on the CPU path, carrying
+            # the already-burned latency.
+            burned = self._rescue_accounting(
+                exc, drx.name, span_start, attempt, sctx, state, phases,
+                probe, 1,
+            )
+            yield from self._multi_axl_motion(
+                src, dst, stage, threads, phases, state, sctx
+            )
+            if state is not None:
+                state.rescued = True
+            self.domains.on_rescue(
+                drx.name, state.request_id if state is not None else -1,
+                burned, 1,
             )
         except _RECOVERABLE as exc:
             if self.control is not None:
@@ -1172,6 +1389,10 @@ class DMXSystem:
                 yield AllOf(self.sim, [ingest, work])
             except BaseException:
                 self.telemetry.end(pspan, abandoned=True)
+                if self.domains is not None:
+                    for proc in (ingest, work):
+                        if proc.is_alive:
+                            proc.interrupt("leg cancelled")
                 raise
             phases.add(PHASE_RESTRUCTURE, self.sim.now - start)
             self.telemetry.end(pspan)
@@ -1325,7 +1546,7 @@ class DMXSystem:
         drx, staging = self._drx_placement(mode, src, app_index)
 
         probe = False
-        if force_cpu or self.control is not None:
+        if force_cpu or self.control is not None or self.domains is not None:
             routed = self._route_drx(
                 mode, drx, staging, state, mspan, force_cpu
             )
@@ -1345,7 +1566,10 @@ class DMXSystem:
         else:
             fused = stage.profile
 
-        if self._faults is None:
+        crash_ev = (
+            self.domains.watch(drx.name) if self.domains is not None else None
+        )
+        if self._faults is None and crash_ev is None:
             leg_start = self.sim.now
             yield from self._batched_drx_motion(
                 mode, src, dst, staging, drx, stage, fused, count, phases,
@@ -1358,24 +1582,43 @@ class DMXSystem:
             return
 
         # A failed batch falls back *as a unit*: no member is lost — all
-        # of them retry on the CPU path via host memory.
+        # of them retry on the CPU path via host memory. Likewise a
+        # crashed domain drains the batch as a unit and every member is
+        # rescued together, exactly once.
         local = PhaseAccumulator(ALL_PHASES)
         span_start = self.sim.now
-        deadline = self._faults.drx_deadline_s * count
+        deadline = (
+            self._faults.drx_deadline_s * count
+            if self._faults is not None
+            else None
+        )
         attempt = sctx.begin(
             "drx-attempt", "attempt", deadline_s=deadline, batch=count,
             **({"breaker_probe": True} if probe else {}),
         )
         actx = sctx.child(attempt)
         try:
-            yield from with_timeout(
-                self.sim,
+            yield from self._leg_race(
                 self._batched_drx_motion(
                     mode, src, dst, staging, drx, stage, fused, count, local,
                     state, actx,
                 ),
-                deadline,
+                deadline, crash_ev, drx.name,
                 what=f"drx:{drx.name}",
+            )
+        except DomainCrashed as exc:
+            burned = self._rescue_accounting(
+                exc, drx.name, span_start, attempt, sctx, state, phases,
+                probe, count,
+            )
+            yield from self._batched_multi_axl_motion(
+                src, dst, stage, threads, count, phases, state, sctx
+            )
+            if state is not None:
+                state.rescued = True
+            self.domains.on_rescue(
+                drx.name, state.request_id if state is not None else -1,
+                burned, count,
             )
         except _RECOVERABLE as exc:
             if self.control is not None:
@@ -1495,8 +1738,12 @@ class DMXSystem:
             fused=fused, threads=threads, count=count, drx=drx,
         )
         if force_cpu:
-            # The brownout FORCE_CPU tier overrides the cost model, just
-            # as it overrides the static router.
+            # The planner-aware brownout FORCE_CPU tier: instead of
+            # overriding the cost model outright, it *constrains* it —
+            # the candidate set shrinks to surviving backends no pricier
+            # than the CPU estimate, so a leg whose accelerator path is
+            # cheaper than host restructuring keeps it even under
+            # brownout (shedding load without pessimizing the leg).
             if state is not None:
                 state.rerouted = True
             if self.telemetry.enabled and mspan is not None:
@@ -1505,7 +1752,7 @@ class DMXSystem:
                 "brownout_force_cpu", "brownout", actor=drx.name,
                 request_id=state.request_id if state is not None else -1,
             )
-            decision = planner.forced_cpu()
+            decision = planner.plan(leg, cpu_ceiling=True)
         else:
             decision = planner.plan(leg)
         backend = decision.backend
@@ -1520,7 +1767,12 @@ class DMXSystem:
             self.backend_stats[kind]["executed"] += 1
             return
 
-        if self._faults is None:
+        crash_ev = (
+            self.domains.watch(target)
+            if self.domains is not None and target
+            else None
+        )
+        if self._faults is None and crash_ev is None:
             leg_start = self.sim.now
             yield from backend.execute(leg, phases, state, sctx)
             self.backend_stats[kind]["executed"] += 1
@@ -1533,7 +1785,11 @@ class DMXSystem:
 
         local = PhaseAccumulator(ALL_PHASES)
         span_start = self.sim.now
-        deadline = self._faults.drx_deadline_s * count
+        deadline = (
+            self._faults.drx_deadline_s * count
+            if self._faults is not None
+            else None
+        )
         attempt = sctx.begin(
             f"{kind}-attempt", "attempt", deadline_s=deadline,
             **({"batch": count} if count > 1 else {}),
@@ -1541,11 +1797,27 @@ class DMXSystem:
         )
         actx = sctx.child(attempt)
         try:
-            yield from with_timeout(
-                self.sim,
+            yield from self._leg_race(
                 backend.execute(leg, local, state, actx),
-                deadline,
+                deadline, crash_ev, target,
                 what=f"{kind}:{target}",
+            )
+        except DomainCrashed as exc:
+            # The chosen backend's failure domain died under the leg:
+            # drain, then rescue exactly once on the CPU backend (the
+            # planner's unconditional survivor).
+            burned = self._rescue_accounting(
+                exc, target, span_start, attempt, sctx, state, phases,
+                decision.probe, count,
+            )
+            cpu = planner.backend(BACKEND_CPU)
+            yield from cpu.execute(leg, phases, state, sctx)
+            self.backend_stats[BACKEND_CPU]["executed"] += 1
+            if state is not None:
+                state.rescued = True
+            self.domains.on_rescue(
+                target, state.request_id if state is not None else -1,
+                burned, count,
             )
         except _RECOVERABLE as exc:
             if self.control is not None and target:
@@ -1680,7 +1952,7 @@ class DMXSystem:
                         app_index, kernel_index - 1, stage, count, phases,
                         lead, rctx, force_cpu=force_cpu,
                     )
-        except _RECOVERABLE as exc:
+        except _REQUEST_FATAL as exc:
             for st in states:
                 st.failed = True
             self._note(
@@ -1693,6 +1965,7 @@ class DMXSystem:
             st.fell_back = st.fell_back or lead.fell_back
             st.rerouted = st.rerouted or lead.rerouted
             st.failed = st.failed or lead.failed
+            st.rescued = st.rescued or lead.rescued
         end = self.sim.now
         share = {
             phase: duration / count for phase, duration in phases.totals.items()
@@ -1702,12 +1975,14 @@ class DMXSystem:
             self.telemetry.end(
                 span, retries=st.retries, fell_back=st.fell_back,
                 rerouted=st.rerouted, failed=st.failed,
+                **({"rescued": True} if st.rescued else {}),
             )
             records.append(RequestRecord(
                 app=chain.name, start=start, end=end,
                 phases=dict(share),
                 retries=st.retries, fell_back=st.fell_back,
                 rerouted=st.rerouted, failed=st.failed,
+                rescued=st.rescued,
                 request_id=st.request_id,
                 # The batch plans once; every member shares the decision.
                 backend=(
@@ -1722,6 +1997,7 @@ class DMXSystem:
         self.telemetry.end(
             root, retries=lead.retries, fell_back=lead.fell_back,
             rerouted=lead.rerouted, failed=lead.failed,
+            **({"rescued": True} if lead.rescued else {}),
         )
         return records
 
@@ -1794,9 +2070,10 @@ class DMXSystem:
                         app_index, kernel_index - 1, stage, phases, state,
                         rctx, force_cpu=force_cpu,
                     )
-        except _RECOVERABLE as exc:
-            # Recovery exhausted: answer the request with an error
-            # instead of wedging the chain (or the whole simulation).
+        except _REQUEST_FATAL as exc:
+            # Recovery exhausted (or a drained leg abandoned past its
+            # rescue deadline): answer the request with an error instead
+            # of wedging the chain (or the whole simulation).
             state.failed = True
             self._note(
                 "giveup", chain.name, site="request",
@@ -1807,6 +2084,7 @@ class DMXSystem:
             phases=dict(phases.totals),
             retries=state.retries, fell_back=state.fell_back,
             rerouted=state.rerouted, failed=state.failed,
+            rescued=state.rescued,
             request_id=state.request_id,
             backend=(
                 list(state.leg_backends) if self.planner is not None else None
@@ -1818,6 +2096,7 @@ class DMXSystem:
         self.telemetry.end(
             root, retries=state.retries, fell_back=state.fell_back,
             rerouted=state.rerouted, failed=state.failed,
+            **({"rescued": True} if state.rescued else {}),
         )
         if records is not None:
             records.append(record)

@@ -10,9 +10,13 @@ This package supplies that layer:
 * :func:`with_timeout` / :func:`retry` — deadline races over ``AnyOf``
   with process interruption, and bounded exponential backoff;
 * :class:`FaultPlan` — the system-level configuration
-  :class:`~repro.core.system.DMXSystem` consumes.
+  :class:`~repro.core.system.DMXSystem` consumes;
+* :class:`CrashPlan` — *permanent* failure domains (a card, an engine
+  pool, a fabric link dies at a sim instant, optionally revived later),
+  executed by :class:`repro.resilience.recovery.DomainManager`.
 """
 
+from .domains import CrashPlan, DomainCrash, DomainCrashed, RescueAbandoned
 from .injector import FaultInjector, FaultKind, FaultPolicy, InjectedFault
 from .plan import FaultPlan
 from .recovery import RetryExhausted, RetryPolicy, retry, with_timeout
@@ -23,6 +27,10 @@ __all__ = [
     "FaultPolicy",
     "InjectedFault",
     "FaultPlan",
+    "CrashPlan",
+    "DomainCrash",
+    "DomainCrashed",
+    "RescueAbandoned",
     "RetryExhausted",
     "RetryPolicy",
     "retry",

@@ -19,7 +19,15 @@ deadline fallback), this package closes the loop at the *system* level:
   p99-vs-SLO headroom;
 * :mod:`repro.resilience.chaos` — :func:`run_chaos_sweep`, crossing
   FaultPlan intensity × offered load to chart the goodput cliff with
-  and without the control plane.
+  and without the control plane;
+* :mod:`repro.resilience.recovery` — permanent-failure domains: the
+  :class:`DomainManager` executes a seeded
+  :class:`~repro.faults.CrashPlan` (crash → detect → decommission →
+  drain → rescue → revive → re-admit) against a live
+  :class:`~repro.core.system.DMXSystem`;
+* :mod:`repro.resilience.invariants` — the post-hoc conservation
+  checker proving every chaos/recovery artifact balances its books
+  (``python -m repro.telemetry verify``).
 
 Everything is deterministic given a seed, like the rest of the repo.
 """
@@ -57,6 +65,15 @@ __all__ = [
     "run_chaos_cell",
     "scale_plan",
     "DEFAULT_CHAOS_PLAN",
+    # lazy: permanent-failure domains + conservation invariants
+    "DomainManager",
+    "RecoveryScenarioConfig",
+    "RecoveryScenarioResult",
+    "run_recovery_scenario",
+    "InvariantReport",
+    "InvariantViolation",
+    "verify_artifact",
+    "verify_artifact_path",
 ]
 
 #: Names served lazily from :mod:`repro.resilience.chaos`. The chaos
@@ -70,12 +87,31 @@ _CHAOS_EXPORTS = frozenset({
     "DEFAULT_CHAOS_PLAN",
 })
 
+#: Served lazily from :mod:`repro.resilience.recovery` /
+#: :mod:`repro.resilience.invariants` for the same cycle reason.
+_RECOVERY_EXPORTS = frozenset({
+    "DomainManager", "RecoveryScenarioConfig", "RecoveryScenarioResult",
+    "run_recovery_scenario",
+})
+_INVARIANT_EXPORTS = frozenset({
+    "InvariantReport", "InvariantViolation", "verify_artifact",
+    "verify_artifact_path",
+})
+
 
 def __getattr__(name: str):
     if name in _CHAOS_EXPORTS:
         from . import chaos
 
         return getattr(chaos, name)
+    if name in _RECOVERY_EXPORTS:
+        from . import recovery
+
+        return getattr(recovery, name)
+    if name in _INVARIANT_EXPORTS:
+        from . import invariants
+
+        return getattr(invariants, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )

@@ -1,4 +1,4 @@
-"""Circuit breakers over DRX dispatch: closed / open / half-open.
+"""Circuit breakers over DRX dispatch: closed / open / half-open / dead.
 
 A :class:`CircuitBreaker` guards one dispatch target (one DRX unit).
 In ``CLOSED`` state traffic flows; when the target's windowed failure
@@ -46,6 +46,11 @@ class BreakerState(enum.Enum):
     CLOSED = "closed"
     OPEN = "open"
     HALF_OPEN = "half_open"
+    #: Decommissioned: the target's failure domain crashed. Unlike OPEN,
+    #: DEAD never half-opens on a cooldown — only an explicit
+    #: :meth:`CircuitBreaker.revive` (the domain coming back) re-admits
+    #: it, and it does so through the normal half-open probe path.
+    DEAD = "dead"
 
 
 class BreakerDecision(NamedTuple):
@@ -173,6 +178,8 @@ class CircuitBreaker:
         Closed: yes. Open: no until the cooldown elapses, at which point
         the breaker half-opens. Half-open: one probe at a time.
         """
+        if self.state is BreakerState.DEAD:
+            return BreakerDecision(False, False)
         if self.state is BreakerState.OPEN:
             if self.clock.now < self.open_until:
                 return BreakerDecision(False, False)
@@ -197,6 +204,11 @@ class CircuitBreaker:
         mistaken for the half-open probe's verdict.
         """
         self.monitor.record(self.target, ok, latency_s)
+        if self.state is BreakerState.DEAD:
+            # Stragglers admitted before the decommission still report;
+            # their outcomes inform health but cannot transition a dead
+            # breaker — only revive() can.
+            return
         if probe and self.state is BreakerState.HALF_OPEN:
             self._probe_inflight = False
             if ok:
@@ -219,7 +231,37 @@ class CircuitBreaker:
         """Operator hook: open the breaker now regardless of health
         (drain a unit for maintenance; also the deterministic lever the
         system tests pull). ``cooldown_s`` overrides the schedule."""
+        if self.state is BreakerState.DEAD:
+            return
         if self.state is not BreakerState.OPEN:
             self._trip(cooldown_s=cooldown_s)
         elif cooldown_s is not None:
             self.open_until = self.clock.now + cooldown_s
+
+    # -- decommission / revival ----------------------------------------------
+
+    def mark_dead(self) -> None:
+        """Decommission the target: no traffic, no cooldown-driven
+        half-open. Idempotent."""
+        if self.state is BreakerState.DEAD:
+            return
+        self.trips += 1
+        self._probe_ok = 0
+        self._probe_inflight = False
+        self.open_until = float("inf")
+        self._transition(BreakerState.DEAD)
+
+    def revive(self, cooldown_s: float = 0.0) -> None:
+        """Re-admit a revived domain *through half-open probing*: the
+        breaker moves DEAD → OPEN with an (optionally zero) cooldown, so
+        the next :meth:`allow` half-opens and sends a single probe; only
+        ``probe_successes`` consecutive probe wins close it. The health
+        window is reset — a revived domain starts from fresh evidence."""
+        if self.state is not BreakerState.DEAD:
+            return
+        self.monitor.reset(self.target)
+        self._consecutive_opens = 0
+        self._probe_ok = 0
+        self._probe_inflight = False
+        self.open_until = self.clock.now + cooldown_s
+        self._transition(BreakerState.OPEN)

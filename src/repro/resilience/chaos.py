@@ -126,6 +126,10 @@ class ChaosSweepConfig:
     goodput_floor: float = 0.7
     chain_factory: Optional[Callable[[], List[AppChain]]] = None
     artifact_dir: Optional[str] = None
+    #: Run the conservation-invariant checker on every written cell
+    #: artifact (raises :class:`InvariantViolation` if the books don't
+    #: balance — a chaos sweep that miscounts a request is worthless).
+    verify_artifacts: bool = True
 
     def __post_init__(self) -> None:
         if not self.offered_loads_rps:
@@ -364,6 +368,10 @@ def _write_cell_artifact(
             "mode": config.mode.value,
         },
     )
+    if config.verify_artifacts:
+        from .invariants import verify_artifact_path
+
+        verify_artifact_path(path).raise_on_problems()
 
 
 def run_chaos_cell(

@@ -134,6 +134,25 @@ class ControlPlane:
             request_id=request_id, to=to,
         )
 
+    # -- decommission / revival ----------------------------------------------
+
+    def mark_dead(self, target: str) -> None:
+        """Decommission ``target``: its breaker goes DEAD (no traffic,
+        no cooldown-driven half-open) until :meth:`revive`."""
+        self.breaker(target).mark_dead()
+
+    def revive(self, target: str, cooldown_s: float = 0.0) -> None:
+        """Re-admit a revived domain through half-open probing."""
+        self.breaker(target).revive(cooldown_s)
+
+    def dead_targets(self) -> List[str]:
+        """Decommissioned targets, sorted."""
+        return sorted(
+            target
+            for target, breaker in self._breakers.items()
+            if breaker.state is BreakerState.DEAD
+        )
+
     # -- queries -------------------------------------------------------------
 
     def open_targets(self) -> List[str]:

@@ -54,12 +54,24 @@ class BatchingConfig:
     fewer control-path invocations exactly when the system is drowning
     in them. Both escalations read the tier at the moment a batch is
     *opened*, so an in-flight batch's terms never change under it.
+
+    ``size_aware=True`` shrinks the window of a batch *at open time* to
+    the time the tenant's recent admission rate says it actually needs:
+    a window long enough for the members that can plausibly arrive, and
+    zero when the rate estimate says no other request will show up
+    inside ``window_s`` at all. Low-rate tenants stop paying the full
+    window as pure added latency on every singleton batch, while
+    high-rate tenants (whose batches size-out anyway) are untouched.
+    The estimate is the last ``rate_window`` admission timestamps of the
+    tenant — deterministic DES state, so seeded replays still match.
     """
 
     max_batch: int = 8
     window_s: float = 2e-3
     coalesce_window_factor: float = 4.0
     coalesce_max_batch: Optional[int] = None
+    size_aware: bool = False
+    rate_window: int = 8
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -70,6 +82,10 @@ class BatchingConfig:
             raise ValueError("coalesce_window_factor must be >= 1")
         if self.coalesce_max_batch is not None and self.coalesce_max_batch < 1:
             raise ValueError("coalesce_max_batch must be >= 1")
+        if self.rate_window < 2:
+            raise ValueError(
+                "rate_window must be >= 2 (a rate needs two samples)"
+            )
 
 
 class FormingBatch:

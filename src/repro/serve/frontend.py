@@ -290,6 +290,17 @@ class ServingFrontend:
             self._formation_delay_gauge = self.telemetry.metrics.gauge(
                 "batch_formation_delay_s"
             )
+        # Size-aware formation: per-tenant admission timestamps feeding
+        # the arrival-rate estimate (None = fixed-window formation, the
+        # exact pre-size-aware code path).
+        self._admit_times: Optional[Dict[str, Deque[float]]] = (
+            {
+                t.name: deque(maxlen=config.batching.rate_window)
+                for t in self.tenants
+            }
+            if self._former is not None and config.batching.size_aware
+            else None
+        )
 
     # -- wakeup plumbing -----------------------------------------------------
 
@@ -384,6 +395,8 @@ class ServingFrontend:
             stats.admitted += 1
             if record_metrics:
                 admitted_counter.inc()
+            if self._admit_times is not None:
+                self._admit_times[spec.name].append(self.sim.now)
             queue.append(
                 _Admitted(
                     spec, self.sim.now, seq,
@@ -578,10 +591,12 @@ class ServingFrontend:
 
     # -- batched dispatch ----------------------------------------------------
 
-    def _batch_terms(self) -> "tuple[int, float]":
-        """(max_batch, window_s) for a batch opened *now*: the brownout
-        COALESCE tier stretches the window (and optionally the cap) so
-        overload buys more amortization per control-path invocation."""
+    def _batch_terms(self, tenant: str) -> "tuple[int, float]":
+        """(max_batch, window_s) for a batch the ``tenant`` opens *now*:
+        the brownout COALESCE tier stretches the window (and optionally
+        the cap) so overload buys more amortization per control-path
+        invocation; size-aware formation then shrinks the window to what
+        the tenant's admission rate can actually fill."""
         cfg = self.config.batching
         max_batch, window_s = cfg.max_batch, cfg.window_s
         if (
@@ -591,7 +606,35 @@ class ServingFrontend:
             window_s *= cfg.coalesce_window_factor
             if cfg.coalesce_max_batch is not None:
                 max_batch = cfg.coalesce_max_batch
+        if self._admit_times is not None:
+            window_s = self._size_aware_window(tenant, max_batch, window_s)
         return max_batch, window_s
+
+    def _size_aware_window(
+        self, tenant: str, max_batch: int, window_s: float
+    ) -> float:
+        """Shrink ``window_s`` to the time the batch plausibly needs.
+
+        With the tenant admitting at rate λ̂ (estimated from its last
+        ``rate_window`` admission timestamps), a full window collects
+        about ``λ̂·window_s`` more members. Waiting any longer than the
+        expected time for ``min(max_batch-1, floor(λ̂·window_s))`` of
+        them is pure added latency — and when that count is zero, the
+        window buys nothing at all, so the batch seals immediately
+        instead of idling out ``window_s`` as a singleton. Fewer than
+        two samples means no estimate: keep the configured window.
+        """
+        times = self._admit_times[tenant]
+        if len(times) < 2 or window_s <= 0:
+            return window_s
+        span = times[-1] - times[0]
+        if span <= 0:
+            return window_s  # same-instant burst: rate is unbounded
+        rate = (len(times) - 1) / span
+        fills = min(max_batch - 1, math.floor(rate * window_s))
+        if fills <= 0:
+            return 0.0
+        return min(window_s, fills / rate)
 
     def _form(self, item: _Admitted) -> None:
         """Route one dispatched item into its tenant's forming batch.
@@ -603,7 +646,7 @@ class ServingFrontend:
         """
         if not self._former.is_forming(item.spec.name):
             self._inflight += 1
-        max_batch, window_s = self._batch_terms()
+        max_batch, window_s = self._batch_terms(item.spec.name)
         self._former.add(item, max_batch, window_s)
 
     def _feed_formers(self) -> None:
@@ -622,7 +665,7 @@ class ServingFrontend:
             if not self._former.is_forming(spec.name):
                 continue
             queue = self._queues[spec.name]
-            max_batch, window_s = self._batch_terms()
+            max_batch, window_s = self._batch_terms(spec.name)
             while queue and self._former.is_forming(spec.name):
                 self._former.add(queue.popleft(), max_batch, window_s)
 

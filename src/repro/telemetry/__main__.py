@@ -9,6 +9,7 @@ Usage::
     python -m repro.telemetry diff BASELINE.jsonl CANDIDATE.jsonl
     python -m repro.telemetry diff A.jsonl B.jsonl --format json
     python -m repro.telemetry dashboard RUN.jsonl -o dash.svg
+    python -m repro.telemetry verify RUN.jsonl              # invariants
 
 The bare legacy form ``python -m repro.telemetry RUN.jsonl`` still
 works — a first argument that is not a subcommand is treated as
@@ -28,7 +29,7 @@ from .diff import diff_runs, render_diff
 from .export import write_chrome_trace
 from .report import render_report, report_dict
 
-_COMMANDS = ("report", "diff", "dashboard")
+_COMMANDS = ("report", "diff", "dashboard", "verify")
 
 
 def _dumps(obj: object) -> str:
@@ -99,6 +100,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="panel grid columns (default 2)",
     )
 
+    verify = sub.add_parser(
+        "verify",
+        help="run the conservation-invariant checker over artifacts",
+    )
+    verify.add_argument(
+        "artifacts", nargs="+", help="run artifact path(s) to verify"
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "report":
@@ -140,6 +149,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(render_diff(result))
         return 0
+
+    if args.command == "verify":
+        # Imported lazily: telemetry must stay importable without the
+        # resilience package (and without creating an import cycle).
+        from ..resilience.invariants import verify_artifact_path
+
+        failed = 0
+        for path in args.artifacts:
+            report = verify_artifact_path(path)
+            print(report.render())
+            if not report.ok:
+                failed += 1
+        return 1 if failed else 0
 
     # dashboard
     path = render_dashboard(

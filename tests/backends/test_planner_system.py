@@ -97,15 +97,16 @@ def test_decisions_land_on_the_request_record():
 def test_recovery_summary_gains_backends_key_only_when_armed():
     armed = _system().run_latency(requests_per_app=1).recovery_summary()
     assert set(armed) == {
-        "requests", "retries", "fallbacks", "rerouted", "failures",
-        "backends",
+        "requests", "retries", "fallbacks", "rerouted", "rescued",
+        "failures", "backends",
     }
     assert armed["backends"][BACKEND_XDMA]["executed"] == 1
     plain = DMXSystem(
         [_chain()], SystemConfig(mode=Mode.BUMP_IN_WIRE)
     ).run_latency(requests_per_app=1).recovery_summary()
     assert set(plain) == {
-        "requests", "retries", "fallbacks", "rerouted", "failures",
+        "requests", "retries", "fallbacks", "rerouted", "rescued",
+        "failures",
     }
 
 
@@ -269,3 +270,76 @@ def test_report_cli_renders_backend_section(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "backend attribution" in out
     assert "xdma" in out
+
+
+# -- the planner-aware FORCE_CPU tier ------------------------------------------
+
+
+def _submit(system, force_cpu=False, clients=1):
+    records = []
+
+    def client():
+        records.append((yield from system.submit(0, force_cpu=force_cpu)))
+
+    for _ in range(clients):
+        system.sim.spawn(client())
+    system.sim.run()
+    return records
+
+
+def test_force_cpu_keeps_accelerators_cheaper_than_cpu():
+    """The brownout FORCE_CPU tier no longer pessimizes legs whose
+    accelerator path is *cheaper* than host restructuring: the ceiling
+    admits any surviving backend pricing at or below the CPU estimate."""
+    (record,) = _submit(_system(), force_cpu=True)
+    assert record.backend == [BACKEND_XDMA]
+    assert "cpu-ceiling:" in record.planner_reason[0]
+    assert not record.fell_back
+
+
+def test_force_cpu_tier_is_deterministic():
+    a = [r.backend for r in _submit(_system(), force_cpu=True, clients=4)]
+    b = [r.backend for r in _submit(_system(), force_cpu=True, clients=4)]
+    assert a == b
+
+
+def test_force_cpu_prunes_backends_pricier_than_cpu():
+    """Deep queues inflate accelerator estimates past the CPU ceiling:
+    those candidates are dropped *before* breaker checks, and the
+    decision records why."""
+    system = DMXSystem(
+        [_chain(4 * MB)],
+        SystemConfig(mode=Mode.BUMP_IN_WIRE),
+        backends=PlannerConfig(queue_weight=40.0),
+    )
+    records = _submit(system, force_cpu=True, clients=24)
+    assert len(records) == 24
+    pruned = [
+        r for r in records if "over-cpu-ceiling" in r.planner_reason[0]
+    ]
+    assert pruned, "contention must price some backend above CPU"
+    # Every decision carries the ceiling it was constrained by.
+    assert all("cpu-ceiling:" in r.planner_reason[0] for r in records)
+
+
+def test_planner_excludes_decommissioned_domains():
+    """A detected-dead failure domain is pruned from the candidate set
+    before pricing — decommission means no new legs, full stop."""
+    from repro.faults import CrashPlan, DomainCrash
+
+    system = DMXSystem(
+        [_chain()],
+        SystemConfig(mode=Mode.BUMP_IN_WIRE),
+        backends=PlannerConfig(candidates=("drx", "cpu")),
+        resilience=ResilienceConfig(),
+        domains=CrashPlan(
+            crashes=(DomainCrash(target="a0k0.drx", at_s=0.0),)
+        ),
+    )
+    first, second = _submit(system, clients=2)
+    # The corpse is detected via the first leg's failure; the second
+    # request's plan never offers the dead unit again.
+    assert system.domains.is_down("a0k0.drx")
+    assert not first.failed and not second.failed
+    reasons = [r.planner_reason[0] for r in (first, second)]
+    assert any("drx:decommissioned" in reason for reason in reasons)

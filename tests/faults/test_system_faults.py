@@ -161,7 +161,8 @@ def test_recovery_summary_shape():
     _, result, _ = run_summary(Mode.STANDALONE, ACCEPTANCE_PLAN)
     summary = result.recovery_summary()
     assert set(summary) == {
-        "requests", "retries", "fallbacks", "rerouted", "failures",
+        "requests", "retries", "fallbacks", "rerouted", "rescued",
+        "failures",
     }
     assert summary["retries"] == result.total_retries()
     assert summary["fallbacks"] == result.fallback_count()

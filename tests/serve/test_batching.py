@@ -285,3 +285,118 @@ def test_submit_batch_validates_count():
     with pytest.raises(ValueError):
         system.sim.spawn(system.submit_batch(0, 0))
         system.sim.run()
+
+
+# -- size-aware formation windows ----------------------------------------------
+
+
+def test_size_aware_window_config_validates():
+    with pytest.raises(ValueError):
+        BatchingConfig(size_aware=True, rate_window=1)
+    cfg = BatchingConfig(size_aware=True)
+    assert cfg.rate_window >= 2
+
+
+def test_low_rate_tenants_stop_paying_the_full_window():
+    """A tenant arriving slower than the window can fill stops idling
+    out ``window_s`` on every singleton batch — the size-aware former
+    seals as soon as the rate estimate says nobody else is coming."""
+    window = BatchingConfig(max_batch=8, window_s=2e-3)
+    aware = BatchingConfig(max_batch=8, window_s=2e-3, size_aware=True)
+    # 100 rps per tenant: interarrivals ~10 ms >> the 2 ms window, so a
+    # fixed window is pure added latency on every request.
+    fixed = serve(window, rate_rps=200.0, n_requests=25, slo_s=None)
+    sized = serve(aware, rate_rps=200.0, n_requests=25, slo_s=None)
+    assert fixed.completed == sized.completed == 50
+    assert sized.latency.mean() < fixed.latency.mean() / 2
+    # The fixed run pays ~window_s of formation delay per request; the
+    # size-aware run pays (almost) none once the estimator warms up.
+    assert fixed.latency.mean() > window.window_s / 2
+    assert sized.latency.mean() < window.window_s / 4
+
+
+def test_size_aware_batching_is_deterministic():
+    aware = BatchingConfig(max_batch=4, window_s=100e-6, size_aware=True)
+    first = serve(aware, seed=7)
+    second = serve(aware, seed=7)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_size_aware_off_is_the_exact_fixed_window_path():
+    """size_aware defaults off; the flag set to False changes nothing."""
+    off = serve(BATCHING, seed=3).to_dict()
+    explicit = serve(
+        BatchingConfig(max_batch=4, window_s=100e-6, size_aware=False),
+        seed=3,
+    ).to_dict()
+    assert off == explicit
+
+
+def test_size_aware_high_rate_batches_still_fill():
+    """At rates where batches size-out, shrinking the window must not
+    break batching itself — batches still coalesce members."""
+    aware = BatchingConfig(max_batch=4, window_s=100e-6, size_aware=True)
+    result = serve(aware, rate_rps=200e3)
+    sizes = result.telemetry.metrics.histogram("batch_size")
+    assert sizes.sum == result.completed == 80
+    assert sizes.count < sizes.sum  # some batches held > 1 member
+
+
+# -- rescue under batching -----------------------------------------------------
+
+
+def make_crash_serve(crashes, batching, requests=12, rate_rps=40e3, seed=0,
+                     **overrides):
+    from repro.resilience.recovery import RecoveryScenarioConfig, \
+        run_recovery_scenario
+
+    def factory():
+        return [make_chain(i) for i in range(4)]
+
+    config = RecoveryScenarioConfig(
+        offered_rps=rate_rps,
+        crashes=crashes,
+        n_tenants=4,
+        requests_per_tenant=requests,
+        chain_factory=factory,
+        batching=batching,
+        slo_s=5e-3,
+        seed=seed,
+        **overrides,
+    )
+    return run_recovery_scenario(config)
+
+
+def test_batch_members_rescued_exactly_once(tmp_path):
+    """A coalesced batch whose domain dies mid-flight rescues *all*
+    members exactly once: none lost, none double-counted, and the
+    artifact's phase books reconcile (the invariant checker runs on it)."""
+    from repro.faults import DomainCrash
+
+    crashes = (DomainCrash(target="drx.s0", at_s=300e-6),)
+    result = make_crash_serve(
+        crashes, BatchingConfig(max_batch=4, window_s=100e-6),
+        artifact_path=str(tmp_path / "batched-crash.jsonl"),
+    )
+    rescued = [r for r in result.records if r.rescued]
+    assert rescued, "the kill must catch a batch in flight"
+    # Whole batches drain and rescue together: every drained member is
+    # rescued (exactly once), and completes.
+    assert len(rescued) == result.domains["rescued"]
+    assert result.domains["drained"] == result.domains["rescued"]
+    assert all(not r.failed for r in result.records)
+    assert len(result.records) == 48  # conservation: all admitted answered
+    # At least one rescue covered a multi-member batch.
+    sizes = result.serve.telemetry.metrics.histogram("batch_size")
+    assert sizes.sum == result.serve.completed
+
+
+def test_batched_rescue_replays_exactly():
+    from repro.faults import DomainCrash
+
+    crashes = (DomainCrash(target="drx.s0", at_s=300e-6),)
+    batching = BatchingConfig(max_batch=4, window_s=100e-6)
+    first = make_crash_serve(crashes, batching)
+    second = make_crash_serve(crashes, batching)
+    assert first.serve.to_dict() == second.serve.to_dict()
+    assert first.domains == second.domains
