@@ -482,6 +482,7 @@ class DMXSystem:
                     self.drx_devices[drx_name] = DRXDevice(
                         self.sim, drx_config, name=drx_name
                     )
+                    self._switch_of[drx_name] = app_first_switch.name
                 self._standalone_drx_of[app_index] = drx_name
 
         if mode == Mode.INTEGRATED:
@@ -823,6 +824,68 @@ class DMXSystem:
                 if name != exclude
             ]
         return []
+
+    # -- placement control surface (the closed-loop controller's actuator) ----
+
+    def standalone_cards(self) -> List[str]:
+        """Standalone DRX card names, sorted (empty in other modes)."""
+        if self.config.mode is not Mode.STANDALONE:
+            return []
+        return sorted(self.drx_devices)
+
+    def card_of_app(self, app_index: int) -> str:
+        """The standalone card currently homing ``app_index``'s legs."""
+        return self._standalone_drx_of[app_index]
+
+    def card_switch(self, card: str) -> str:
+        """The switch a standalone card hangs off."""
+        return self._switch_of[card]
+
+    def upstream_crossings(self, app_index: int, card: str) -> int:
+        """Upstream (switch→root→switch) traversals one request on chain
+        ``app_index`` pays with its motion legs staged on ``card``.
+
+        Each motion stage moves ``src accel → card → dst accel``; every
+        endpoint on a different switch than the card costs one crossing
+        each way. This is the placement optimizer's objective: staged on
+        its home-switch card an app crosses zero upstream links, staged
+        remotely every leg round-trips the root complex.
+        """
+        card_switch = self._switch_of[card]
+        crossings = 0
+        for stage_index, stage in enumerate(self.chains[app_index].stages):
+            if not isinstance(stage, MotionStage):
+                continue
+            src = self._accel_names[(app_index, stage_index - 1)]
+            dst = self._accel_names[(app_index, stage_index + 1)]
+            if self._switch_of[src] != card_switch:
+                crossings += 1
+            if self._switch_of[dst] != card_switch:
+                crossings += 1
+        return crossings
+
+    def migrate_app(self, app_index: int, card: str) -> str:
+        """Re-home chain ``app_index``'s motion staging onto ``card``.
+
+        STANDALONE-placement live migration: the mapping is consulted at
+        every motion leg's placement lookup, so the next leg dispatched
+        for the app stages on the new card — in-flight legs finish where
+        they started. Callers (the closed-loop controller) migrate at
+        request boundaries so a single request never splits across
+        cards. Returns the card the app was homed on before.
+        """
+        if self.config.mode is not Mode.STANDALONE:
+            raise ValueError(
+                "migrate_app is a STANDALONE-placement operation "
+                f"(mode is {self.config.mode})"
+            )
+        if card not in self.drx_devices:
+            raise KeyError(f"no standalone card named {card!r}")
+        if not 0 <= app_index < len(self.chains):
+            raise IndexError(f"app_index {app_index} out of range")
+        old = self._standalone_drx_of[app_index]
+        self._standalone_drx_of[app_index] = card
+        return old
 
     def _route_drx(
         self,

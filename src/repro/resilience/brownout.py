@@ -94,7 +94,11 @@ class BrownoutController:
         self.config = config
         self.tier = BrownoutTier.NORMAL
         self._window: Deque[float] = deque(maxlen=config.window)
-        self._last_change = 0.0
+        # None until the first tier change: a fresh controller has no
+        # change to dwell on, so the ladder may move at any ``now``
+        # (including now < min_dwell_s — the first-window bug this
+        # replaces pinned the ladder at NORMAL for a whole dwell).
+        self._last_change: Optional[float] = None
         #: (time, tier) history, starting implicitly at NORMAL.
         self.history: List[Tuple[float, BrownoutTier]] = []
 
@@ -114,7 +118,7 @@ class BrownoutController:
         """Evaluate the ladder at ``now``; returns ``(old, new)`` on a
         tier change, else None. At most one step per call, and never
         within ``min_dwell_s`` of the previous change."""
-        if now - self._last_change < self.config.min_dwell_s:
+        if not self._may_change(now):
             return None
         tail = self.windowed_tail()
         if tail is None:
@@ -132,6 +136,34 @@ class BrownoutController:
             self.tier = BrownoutTier(self.tier - 1)
         if self.tier is old:
             return None
+        self._last_change = now
+        self.history.append((now, self.tier))
+        return (old, self.tier)
+
+    def _may_change(self, now: float) -> bool:
+        """Dwell gate: True when a tier change at ``now`` is allowed.
+
+        Before the first change there is nothing to dwell on — the
+        ladder may move immediately.
+        """
+        if self._last_change is None:
+            return True
+        return now - self._last_change >= self.config.min_dwell_s
+
+    def set_tier(
+        self, now: float, tier: BrownoutTier
+    ) -> Optional[Tuple[BrownoutTier, BrownoutTier]]:
+        """Controller-driven tier override (the closed-loop cost model
+        in :mod:`repro.control` picks a target tier directly instead of
+        stepping the ladder). Honors the same dwell hysteresis and
+        ``max_tier`` cap as :meth:`update`; returns ``(old, new)`` on a
+        change, else None."""
+        if tier > self.config.max_tier:
+            tier = self.config.max_tier
+        if tier is self.tier or not self._may_change(now):
+            return None
+        old = self.tier
+        self.tier = tier
         self._last_change = now
         self.history.append((now, self.tier))
         return (old, self.tier)

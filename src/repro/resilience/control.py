@@ -156,11 +156,19 @@ class ControlPlane:
     # -- queries -------------------------------------------------------------
 
     def open_targets(self) -> List[str]:
-        """Targets whose breaker is not CLOSED, sorted."""
+        """Targets whose breaker is OPEN or HALF_OPEN, sorted.
+
+        Terminal ``DEAD`` breakers are *not* open: a decommissioned
+        domain is not recoverable traffic-steering state, and conflating
+        the two made ``summary()["open"]`` (and the report CLI) claim a
+        dead card might come back on its own. Dead targets are reported
+        separately via :meth:`dead_targets`.
+        """
         return sorted(
             target
             for target, breaker in self._breakers.items()
-            if breaker.state is not BreakerState.CLOSED
+            if breaker.state
+            not in (BreakerState.CLOSED, BreakerState.DEAD)
         )
 
     def summary(self) -> Dict[str, object]:
@@ -169,5 +177,6 @@ class ControlPlane:
             "transitions": self.transitions,
             "reroutes": self.reroutes,
             "open": self.open_targets(),
+            "dead": self.dead_targets(),
             "health": self.monitor.summary(),
         }

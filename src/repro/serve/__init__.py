@@ -27,6 +27,7 @@ from .arrivals import (
     DeterministicArrivals,
     MMPPArrivals,
     PoissonArrivals,
+    RampArrivals,
     arrival_times,
     make_arrivals,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "PoissonArrivals",
     "DeterministicArrivals",
     "MMPPArrivals",
+    "RampArrivals",
     "make_arrivals",
     "arrival_times",
     "ShedPolicy",

@@ -29,6 +29,7 @@ __all__ = [
     "PoissonArrivals",
     "DeterministicArrivals",
     "MMPPArrivals",
+    "RampArrivals",
     "ARRIVAL_KINDS",
     "make_arrivals",
     "arrival_times",
@@ -161,6 +162,78 @@ class MMPPArrivals(ArrivalProcess):
             raise ValueError("mean_rate_rps must be positive")
         factor = mean_rate_rps / self.mean_rate_rps
         return replace(self, base_rate_rps=self.base_rate_rps * factor)
+
+
+@dataclass(frozen=True)
+class RampArrivals(ArrivalProcess):
+    """Piecewise-constant-rate Poisson: a load ramp in one process.
+
+    ``segments`` is a sequence of ``(duration_s, rate_rps)`` legs walked
+    once from t=0; after the last leg its rate holds forever. Within a
+    leg arrivals are Poisson at the leg's rate, and a gap that straddles
+    a leg boundary is re-drawn at the new rate from the boundary — the
+    memorylessness construction :class:`MMPPArrivals` uses, so this is
+    the exact inhomogeneous process, not a thinning approximation.
+    Closed-loop controller tests ramp offered load through a knee with
+    this while keeping the whole run one seeded, replayable process.
+    """
+
+    segments: "tuple"
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("need at least one (duration_s, rate_rps) leg")
+        for duration, rate in self.segments:
+            if duration <= 0:
+                raise ValueError(f"leg duration must be positive: {duration}")
+            if rate <= 0:
+                raise ValueError(f"leg rate must be positive: {rate}")
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Time-weighted mean rate over the declared ramp span."""
+        total = sum(duration for duration, _ in self.segments)
+        return (
+            sum(duration * rate for duration, rate in self.segments) / total
+        )
+
+    def interarrivals(self, rng: random.Random) -> Iterator[float]:
+        index = 0
+        leg_left = self.segments[0][0]
+        while True:
+            gap = 0.0
+            while True:
+                rate = self.segments[index][1]
+                draw = rng.expovariate(rate)
+                if index == len(self.segments) - 1 and leg_left <= 0:
+                    # Past the ramp: the final rate holds forever.
+                    gap += draw
+                    break
+                if draw < leg_left:
+                    leg_left -= draw
+                    gap += draw
+                    break
+                # No arrival before the leg ends: advance to the
+                # boundary and re-draw the residual at the next rate.
+                gap += leg_left
+                if index < len(self.segments) - 1:
+                    index += 1
+                    leg_left = self.segments[index][0]
+                else:
+                    leg_left = 0.0
+            yield gap
+
+    def scaled(self, mean_rate_rps: float) -> "RampArrivals":
+        if mean_rate_rps <= 0:
+            raise ValueError("mean_rate_rps must be positive")
+        factor = mean_rate_rps / self.mean_rate_rps
+        return replace(
+            self,
+            segments=tuple(
+                (duration, rate * factor)
+                for duration, rate in self.segments
+            ),
+        )
 
 
 ARRIVAL_KINDS = ("poisson", "deterministic", "mmpp")

@@ -43,11 +43,12 @@ import random
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, Generator, List, Optional, \
-    Sequence
+    Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..telemetry.alerts import ObservationConfig
 
+from ..control import ClosedLoopController, ControllerConfig
 from ..core.system import DMXSystem, RequestRecord
 from ..resilience.admission import TokenBucket, TokenBucketConfig
 from ..resilience.brownout import BrownoutConfig, BrownoutController, \
@@ -164,6 +165,14 @@ class FrontendConfig:
     brownout: Optional[BrownoutConfig] = None
     batching: Optional[BatchingConfig] = None
     max_affinity_run: Optional[int] = None
+    #: Arms the closed-loop controller (:mod:`repro.control`): live WRR
+    #: weight driving, cheapest-sufficient-tier brownout selection, the
+    #: standby-card capacity autoscaler, and crossing-minimizing chain
+    #: placement — all on the sim clock. Requires ``slo_s`` (the loop
+    #: senses p99-vs-SLO headroom); ``drive_tiers`` additionally
+    #: requires ``brownout``. ``None`` (the default) changes nothing:
+    #: disarmed runs are byte-identical to pre-controller builds.
+    controller: Optional["ControllerConfig"] = None
     #: Arms the SLO observation plane (windowed rollups + burn-rate
     #: alerts). Evaluated strictly *after* the simulation drains, from
     #: recorded telemetry only — an armed run's simulation, telemetry,
@@ -181,6 +190,13 @@ class FrontendConfig:
             raise ValueError("brownout control requires slo_s")
         if self.max_affinity_run is not None and self.max_affinity_run < 1:
             raise ValueError("max_affinity_run must be >= 1")
+        if self.controller is not None:
+            if self.slo_s is None:
+                raise ValueError("the closed-loop controller requires slo_s")
+            if self.controller.drive_tiers and self.brownout is None:
+                raise ValueError(
+                    "controller.drive_tiers requires the brownout ladder"
+                )
 
 
 class _Admitted:
@@ -252,9 +268,14 @@ class ServingFrontend:
         self._finished = False
         self._done_at = 0.0
         self._ran = False
+        # Live per-tenant WRR weights. Seeded from the specs, but kept
+        # in mutable state so a closed-loop controller can retune shares
+        # mid-run (:meth:`set_weight`); every credit refresh reads this
+        # table, never the frozen spec.
+        self._weights: Dict[str, int] = {t.name: t.weight for t in tenants}
         # Weighted-round-robin cursor: current tenant + remaining credit.
         self._wrr_index = 0
-        self._wrr_credit = self.tenants[0].weight
+        self._wrr_credit = self._weights[self.tenants[0].name]
         # Resilience hooks: per-tenant policers + the brownout ladder.
         self._buckets: Dict[str, TokenBucket] = {
             t.name: TokenBucket(t.rate_limit)
@@ -301,6 +322,37 @@ class ServingFrontend:
             if self._former is not None and config.batching.size_aware
             else None
         )
+        # Per-tenant in-flight counts: the controller's request-boundary
+        # gate for live migration (a tenant moves cards only when none
+        # of its requests are inside the system).
+        self._tenant_inflight: Dict[str, int] = {
+            t.name: 0 for t in tenants
+        }
+        self._controller: Optional[ClosedLoopController] = (
+            ClosedLoopController(self, config.controller)
+            if config.controller is not None
+            else None
+        )
+
+    # -- live control surface ------------------------------------------------
+
+    def weight(self, tenant: str) -> int:
+        """The tenant's current (live) WRR weight."""
+        return self._weights[tenant]
+
+    def set_weight(self, tenant: str, weight: int) -> None:
+        """Retune one tenant's WRR share mid-run.
+
+        Takes effect at the next cursor advance onto the tenant (credit
+        is always refreshed from the live table); the in-progress credit
+        run is never retroactively grown or clawed back, so fairness
+        accounting stays consistent across the change.
+        """
+        if tenant not in self._weights:
+            raise KeyError(f"unknown tenant {tenant!r}")
+        if weight < 1:
+            raise ValueError(f"{tenant}: weight must be >= 1, got {weight}")
+        self._weights[tenant] = weight
 
     # -- wakeup plumbing -----------------------------------------------------
 
@@ -429,7 +481,10 @@ class ServingFrontend:
                 self._wrr_credit -= 1
                 return queue.popleft()
             self._wrr_index = (self._wrr_index + 1) % n
-            self._wrr_credit = self.tenants[self._wrr_index].weight
+            # Credit refreshes from the *live* weight at every cursor
+            # advance: a mid-run set_weight takes effect the next time
+            # the cursor reaches the tenant, with no stale-credit skew.
+            self._wrr_credit = self._weights[self.tenants[self._wrr_index].name]
         return None
 
     def _next_edf(self) -> Optional[_Admitted]:
@@ -463,7 +518,7 @@ class ServingFrontend:
         """Longest same-tenant run the COALESCE fast path may extend."""
         if self.config.max_affinity_run is not None:
             return self.config.max_affinity_run
-        return max(1, self._tenant_spec[tenant].weight)
+        return max(1, self._weights[tenant])
 
     def _next_affinity(self) -> Optional[_Admitted]:
         """The COALESCE tenant-affinity fast path — capped and
@@ -530,6 +585,7 @@ class ServingFrontend:
                     self._form(item)
                     continue
                 self._inflight += 1
+                self._tenant_inflight[item.spec.name] += 1
                 self.sim.spawn(
                     self._serve_one(item),
                     name=f"serve:{item.spec.name}#{item.seq}",
@@ -582,11 +638,16 @@ class ServingFrontend:
         self._latency.add(latency)
         if self._brownout is not None:
             self._brownout.observe(latency)
+        if self._controller is not None:
+            self._controller.observe(item.spec.name, latency)
         self._records.append(record)
         telemetry.end(client, failed=record.failed)
         if self._client_latency is not None:
             self._client_latency[item.spec.name].observe(latency)
         self._inflight -= 1
+        self._tenant_inflight[item.spec.name] -= 1
+        if self._controller is not None:
+            self._controller.on_request_boundary(item.spec.name)
         self._kick()
 
     # -- batched dispatch ----------------------------------------------------
@@ -646,6 +707,7 @@ class ServingFrontend:
         """
         if not self._former.is_forming(item.spec.name):
             self._inflight += 1
+            self._tenant_inflight[item.spec.name] += 1
         max_batch, window_s = self._batch_terms(item.spec.name)
         self._former.add(item, max_batch, window_s)
 
@@ -731,12 +793,17 @@ class ServingFrontend:
             self._latency.add(latency)
             if self._brownout is not None:
                 self._brownout.observe(latency)
+            if self._controller is not None:
+                self._controller.observe(item.spec.name, latency)
             self._records.append(record)
             telemetry.end(client, failed=record.failed)
             if self._client_latency is not None:
                 self._client_latency[item.spec.name].observe(latency)
         telemetry.end(bspan)
         self._inflight -= 1
+        self._tenant_inflight[spec.name] -= 1
+        if self._controller is not None:
+            self._controller.on_request_boundary(spec.name)
         self._kick()
 
     # -- brownout control loop -----------------------------------------------
@@ -757,6 +824,22 @@ class ServingFrontend:
                     "brownout_tier", "brownout",
                     **{"from": old.name, "to": new.name},
                 )
+
+    # -- closed-loop controller ----------------------------------------------
+
+    def _controller_loop(self, period: float) -> Generator:
+        controller = self._controller
+        while not self._finished:
+            yield self.sim.timeout(period)
+            controller.update(self.sim.now)
+
+    @property
+    def controller_actions(self) -> List[Tuple[float, str, str]]:
+        """``(time, kind, detail)`` log of every decision the armed
+        closed-loop controller applied; empty when disarmed."""
+        if self._controller is None:
+            return []
+        return list(self._controller.actions)
 
     # -- queue-depth timeline ------------------------------------------------
 
@@ -817,10 +900,29 @@ class ServingFrontend:
                 self._sampler_loop(self.config.sample_period_s),
                 name="queue-sampler",
             )
-        if self._brownout is not None:
+        drives_tiers = (
+            self._controller is not None
+            and self.config.controller.drive_tiers
+        )
+        if self._brownout is not None and not drives_tiers:
+            # With the closed-loop controller picking tiers, the open-
+            # loop ladder stepping stands down (two writers would fight
+            # over the same actuator); the ladder machinery still
+            # applies whatever tier the controller sets.
             self.sim.spawn(
                 self._brownout_loop(self.config.brownout.update_period_s),
                 name="brownout-controller",
+            )
+        if self._controller is not None:
+            # Arm-time pass at t=0 (park standby cards, settle initial
+            # placement), then the periodic control loop on the sim
+            # clock.
+            self._controller.start(self.sim.now)
+            self.sim.spawn(
+                self._controller_loop(
+                    self.config.controller.update_period_s
+                ),
+                name="closed-loop-controller",
             )
         self.sim.run()
         self.telemetry.finalize()

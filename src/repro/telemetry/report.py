@@ -372,13 +372,13 @@ def render_report(
 
     control = [
         i for i in artifact.instants
-        if i.category in ("breaker", "brownout")
+        if i.category in ("breaker", "brownout", "controller")
     ]
     if control:
         # Only runs with the resilience control plane armed carry these
         # events; quiet runs keep the report unchanged.
         lines.append("")
-        lines.append("control-plane events (breakers, brownout)")
+        lines.append("control-plane events (breakers, brownout, controller)")
         shown = 24
         for instant in control[:shown]:
             attrs = " ".join(
@@ -498,7 +498,7 @@ def report_dict(
                 "attrs": dict(i.attrs),
             }
             for i in artifact.instants
-            if i.category in ("breaker", "brownout")
+            if i.category in ("breaker", "brownout", "controller")
         ],
         "alerts": [alert.to_row() for alert in alerts],
         "requests": requests,

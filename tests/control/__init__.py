@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.control` — the unified closed-loop controller."""

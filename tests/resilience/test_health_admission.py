@@ -194,6 +194,50 @@ def test_max_tier_caps_the_ladder():
     assert controller.tier is BrownoutTier.COALESCE
 
 
+def test_first_escalation_is_not_suppressed_by_the_initial_dwell():
+    """Failing-first for the ``_last_change = 0.0`` bug: before any tier
+    change there is nothing to dwell on, so a hot window escalates even
+    at ``now < min_dwell_s``."""
+    controller = BrownoutController(slo_s=50e-3, config=BROWNOUT)
+    fill(controller, 100e-3)  # tail at 2x SLO
+    assert controller.update(now=0.002) == (
+        BrownoutTier.NORMAL, BrownoutTier.SHED_LOW,
+    )
+    # And the dwell *does* bind from that change onward.
+    assert controller.update(now=0.004) is None
+
+
+def test_set_tier_jumps_directly_and_honors_dwell():
+    controller = BrownoutController(slo_s=50e-3, config=BROWNOUT)
+    # A controller-picked tier may skip rungs (cheapest sufficient tier,
+    # not one-step ladder walking), from t=0 on a fresh ladder.
+    assert controller.set_tier(0.001, BrownoutTier.FORCE_CPU) == (
+        BrownoutTier.NORMAL, BrownoutTier.FORCE_CPU,
+    )
+    # Within the dwell: no flapping, even controller-driven.
+    assert controller.set_tier(0.005, BrownoutTier.NORMAL) is None
+    assert controller.tier is BrownoutTier.FORCE_CPU
+    # Past the dwell the override lands and history records both moves.
+    assert controller.set_tier(0.012, BrownoutTier.NORMAL) == (
+        BrownoutTier.FORCE_CPU, BrownoutTier.NORMAL,
+    )
+    assert [tier for _, tier in controller.history] == [
+        BrownoutTier.FORCE_CPU, BrownoutTier.NORMAL,
+    ]
+
+
+def test_set_tier_respects_max_tier_and_no_ops_on_same_tier():
+    config = BrownoutConfig(
+        window=8, min_samples=4, min_dwell_s=0.0,
+        max_tier=BrownoutTier.COALESCE,
+    )
+    controller = BrownoutController(slo_s=50e-3, config=config)
+    assert controller.set_tier(0.0, BrownoutTier.FORCE_CPU) == (
+        BrownoutTier.NORMAL, BrownoutTier.COALESCE,
+    )
+    assert controller.set_tier(1.0, BrownoutTier.COALESCE) is None
+
+
 def test_brownout_config_validation():
     with pytest.raises(ValueError):
         BrownoutConfig(window=0)

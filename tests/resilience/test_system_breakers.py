@@ -242,3 +242,27 @@ def test_modes_without_siblings_reroute_to_cpu(mode):
         i for i in system.telemetry.instants if i.name == "breaker_reroute"
     ]
     assert all(i.attrs["to"] == "cpu" for i in reroutes)
+
+
+def test_dead_breakers_are_reported_separately_from_open():
+    """Failing-first for the open/dead conflation: a decommissioned
+    (DEAD) target must not appear in ``open_targets()`` — open means
+    recoverable (OPEN/HALF_OPEN), dead means gone until revived."""
+    from repro.resilience.control import ControlPlane
+    from repro.sim import Simulator
+
+    plane = ControlPlane(Simulator(), None, ResilienceConfig(seed=1))
+    plane.mark_dead("drx.s0")
+    for _ in range(4):  # trip drx.s1 OPEN the honest way
+        plane.record("drx.s1", ok=False)
+    assert plane.breaker("drx.s0").state is BreakerState.DEAD
+    assert plane.breaker("drx.s1").state is BreakerState.OPEN
+    assert plane.open_targets() == ["drx.s1"]
+    assert plane.dead_targets() == ["drx.s0"]
+    summary = plane.summary()
+    assert summary["open"] == ["drx.s1"]
+    assert summary["dead"] == ["drx.s0"]
+    # Revival moves the card back into the recoverable population.
+    plane.revive("drx.s0", cooldown_s=0.0)
+    assert plane.dead_targets() == []
+    assert "drx.s0" in plane.open_targets()

@@ -264,3 +264,61 @@ def test_queue_policy_deliberately_ignores_capacity():
     assert result.admitted == 20
     assert result.completed == 20
     assert result.max_queue_depth() > 2
+
+
+# -- live WRR weights ----------------------------------------------------------
+
+
+def wrr_frontend(tenants):
+    """A plain WRR frontend (no brownout) for live-weight tests."""
+    system = DMXSystem(
+        [make_chain(i) for i in range(len(tenants))],
+        SystemConfig(mode=Mode.STANDALONE),
+    )
+    return ServingFrontend(
+        system,
+        tenants,
+        FrontendConfig(
+            max_inflight=1, discipline=Discipline.WRR, slo_s=1e-3,
+            sample_period_s=None,
+        ),
+    )
+
+
+def test_mid_run_weight_change_takes_effect_at_cursor_advance():
+    """Failing-first for the frozen-weight cursor: WRR credit used to
+    refresh from the immutable ``TenantSpec.weight``, so a mid-run
+    weight change never reached dispatch."""
+    frontend = wrr_frontend([spec("app0"), spec("app1")])
+    enqueue(frontend, "app0", 30)
+    enqueue(frontend, "app1", 30)
+    assert dispatch_sequence(frontend, 4) == [
+        "app0", "app1", "app0", "app1",
+    ]
+    frontend.set_weight("app0", 3)
+    seq = dispatch_sequence(frontend, 8)
+    # Shares shift to 3:1 from the next cursor advance onto app0.
+    assert seq.count("app0") == 6
+    assert seq.count("app1") == 2
+
+
+def test_weight_change_never_retroactively_grows_a_credit_run():
+    frontend = wrr_frontend([spec("app0", weight=2), spec("app1")])
+    enqueue(frontend, "app0", 30)
+    enqueue(frontend, "app1", 30)
+    assert dispatch_sequence(frontend, 1) == ["app0"]  # credit 2 -> 1
+    frontend.set_weight("app0", 5)
+    # The in-progress run still finishes at the *old* credit; the new
+    # weight lands at the next cursor pass.
+    assert dispatch_sequence(frontend, 2) == ["app0", "app1"]
+    assert dispatch_sequence(frontend, 6) == ["app0"] * 5 + ["app1"]
+
+
+def test_set_weight_validates():
+    frontend = wrr_frontend([spec("app0"), spec("app1")])
+    with pytest.raises(KeyError):
+        frontend.set_weight("ghost", 2)
+    with pytest.raises(ValueError):
+        frontend.set_weight("app0", 0)
+    frontend.set_weight("app0", 4)
+    assert frontend.weight("app0") == 4
